@@ -1,0 +1,129 @@
+// Package ahbpower is a system-level power-analysis library for the AMBA
+// AHB on-chip bus, reproducing Caldari et al., "System-Level Power
+// Analysis Methodology Applied to the AMBA AHB Bus" (DATE 2003).
+//
+// It bundles:
+//
+//   - a discrete-event simulation kernel with SystemC-like delta-cycle
+//     semantics (internal/sim);
+//   - a cycle-accurate AMBA AHB bus model — arbiter, decoder, M2S/S2M
+//     multiplexers, script-driven masters, memory/error/retry/split
+//     slaves — plus an APB tier behind a bridge (internal/amba);
+//   - parametric dynamic-energy macromodels for the AHB sub-blocks and
+//     the instruction-based power FSM of the paper (internal/power);
+//   - a gate-level netlist substrate with structural generators and SOP
+//     synthesis used to characterize and validate the macromodels
+//     (internal/gate, internal/synth, internal/charact);
+//   - experiment runners regenerating every table and figure of the
+//     paper's evaluation (internal/experiments).
+//
+// The typical flow mirrors the paper: build a system, attach a power
+// analyzer in one of the three integration styles, run, and read the
+// instruction-energy report:
+//
+//	sys, _ := ahbpower.NewSystem(ahbpower.PaperSystem())
+//	sys.LoadPaperWorkload(50000)
+//	an, _ := ahbpower.Attach(sys, ahbpower.AnalyzerConfig{Style: ahbpower.StyleGlobal})
+//	sys.Run(50000)
+//	fmt.Print(an.Report().FormatTable())
+package ahbpower
+
+import (
+	"io"
+
+	"ahbpower/internal/amba/ahb"
+	"ahbpower/internal/charact"
+	"ahbpower/internal/core"
+	"ahbpower/internal/power"
+	"ahbpower/internal/sim"
+	"ahbpower/internal/workload"
+)
+
+// Core system and analysis types.
+type (
+	// SystemConfig describes an AHB system under power analysis.
+	SystemConfig = core.SystemConfig
+	// System is a fully built simulation (kernel, bus, masters, slaves).
+	System = core.System
+	// AnalyzerConfig parameterizes the power analyzer.
+	AnalyzerConfig = core.AnalyzerConfig
+	// Analyzer is the instrumented power model attached to a system.
+	Analyzer = core.Analyzer
+	// Report is the outcome of one analyzed simulation.
+	Report = core.Report
+	// Style selects the power-model integration style (paper Fig. 1).
+	Style = core.Style
+	// Tech holds the technology constants of the energy models.
+	Tech = power.Tech
+	// Models bundles the four sub-block macromodels of one bus shape; a
+	// serialized Models file is the reusable power model of the IP.
+	Models = power.Models
+)
+
+// Bus-level types for custom systems.
+type (
+	// BusConfig configures a raw AHB bus instance.
+	BusConfig = ahb.Config
+	// Bus is the AHB interconnect.
+	Bus = ahb.Bus
+	// Master is a script-driven AHB master.
+	Master = ahb.Master
+	// Op is one master operation (write burst, read burst or idle).
+	Op = ahb.Op
+	// Sequence is a non-interruptible run of operations.
+	Sequence = ahb.Sequence
+	// Region maps an address range to a slave.
+	Region = ahb.Region
+	// WorkloadConfig parameterizes random testbench traffic.
+	WorkloadConfig = workload.Config
+	// Time is simulated time in picoseconds.
+	Time = sim.Time
+)
+
+// Power-model integration styles (paper Fig. 1).
+const (
+	StyleGlobal  = core.StyleGlobal
+	StyleLocal   = core.StyleLocal
+	StylePrivate = core.StylePrivate
+)
+
+// Common time units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+)
+
+// NewSystem builds a system from the configuration.
+func NewSystem(cfg SystemConfig) (*System, error) { return core.NewSystem(cfg) }
+
+// PaperSystem returns the paper's testbench configuration: two masters, a
+// simple default master and three slaves on a 100 MHz AHB.
+func PaperSystem() SystemConfig { return core.PaperSystem() }
+
+// Attach hooks a power analyzer into a system; call before Run.
+func Attach(sys *System, cfg AnalyzerConfig) (*Analyzer, error) { return core.Attach(sys, cfg) }
+
+// DefaultTech returns the calibrated default technology constants.
+func DefaultTech() Tech { return power.DefaultTech() }
+
+// GenerateWorkload produces a master script from a workload configuration.
+func GenerateWorkload(cfg WorkloadConfig) ([]Sequence, error) { return workload.Generate(cfg) }
+
+// PaperWorkload returns the paper-testbench workload configuration for
+// master m with the given number of WRITE-READ sequences.
+func PaperWorkload(m, numSequences int) WorkloadConfig {
+	return workload.PaperTestbench(m, numSequences)
+}
+
+// FitBusModels characterizes the sub-blocks of a bus shape at gate level
+// and returns a fitted, serializable model set.
+func FitBusModels(numMasters, numSlaves, dataWidth, vectors int, seed int64, tech Tech) (*Models, error) {
+	return charact.FitBusModels(numMasters, numSlaves, dataWidth, vectors, seed, tech)
+}
+
+// SaveModels writes a model set as JSON.
+func SaveModels(w io.Writer, m *Models) error { return power.SaveModels(w, m) }
+
+// LoadModels reads a model set written by SaveModels.
+func LoadModels(r io.Reader) (*Models, error) { return power.LoadModels(r) }

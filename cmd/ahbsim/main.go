@@ -1,0 +1,212 @@
+// Command ahbsim runs the paper's AMBA AHB testbench — two masters, a
+// simple default master and three slaves at 100 MHz — with system-level
+// power analysis attached, and prints the per-instruction energy table
+// (the paper's Table 1) and the sub-block power contribution (Fig. 6).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ahbpower/internal/core"
+	"ahbpower/internal/experiments"
+	"ahbpower/internal/power"
+)
+
+func main() {
+	cycles := flag.Uint64("cycles", 5000, "bus cycles to simulate (paper: 5000 = 50 us at 100 MHz)")
+	style := flag.String("style", "global", "power model style: global, local or private")
+	masters := flag.Int("masters", 2, "number of active masters")
+	slaves := flag.Int("slaves", 3, "number of slaves")
+	waits := flag.Int("waits", 0, "slave wait states")
+	modelFile := flag.String("models", "", "load characterized macromodels from a JSON file (see examples/characterize)")
+	exp := flag.String("exp", "", "run a named experiment instead: table1, figures, overhead, validation, granularity, styles, parametric, burst, pattern, dpm, cosim, impl, buses, all")
+	flag.Parse()
+
+	if *exp != "" {
+		if err := runExperiments(*exp, *cycles); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	st := core.StyleGlobal
+	switch *style {
+	case "global":
+	case "local":
+		st = core.StyleLocal
+	case "private":
+		st = core.StylePrivate
+	default:
+		fmt.Fprintf(os.Stderr, "unknown style %q\n", *style)
+		os.Exit(2)
+	}
+
+	cfg := core.PaperSystem()
+	cfg.NumActiveMasters = *masters
+	cfg.NumSlaves = *slaves
+	cfg.SlaveWaits = *waits
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := sys.LoadPaperWorkload(*cycles); err != nil {
+		fatal(err)
+	}
+	acfg := core.AnalyzerConfig{Style: st}
+	if *modelFile != "" {
+		f, err := os.Open(*modelFile)
+		if err != nil {
+			fatal(err)
+		}
+		models, err := power.LoadModels(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		acfg.Models = models
+	}
+	an, err := core.Attach(sys, acfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := sys.Run(*cycles); err != nil {
+		fatal(err)
+	}
+	if errs := sys.Monitor.Errors(); len(errs) > 0 {
+		fmt.Fprintf(os.Stderr, "protocol violations: %d (first: %v)\n", len(errs), errs[0])
+	}
+
+	r := an.Report()
+	fmt.Println("== Instruction energy analysis (paper Table 1) ==")
+	fmt.Print(r.FormatTable())
+	fmt.Println()
+	fmt.Println("== AHB sub-block power contribution (paper Fig. 6) ==")
+	fmt.Print(r.FormatBreakdown())
+	fmt.Println()
+	fmt.Println(r.FormatSummary())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ahbsim:", err)
+	os.Exit(1)
+}
+
+// runExperiments executes one named experiment (or all) and prints its
+// paper-style text output.
+func runExperiments(name string, cycles uint64) error {
+	type runner struct {
+		name string
+		fn   func() (string, error)
+	}
+	runners := []runner{
+		{"table1", func() (string, error) {
+			r, err := experiments.Table1(cycles)
+			if err != nil {
+				return "", err
+			}
+			return r.Text, nil
+		}},
+		{"figures", func() (string, error) {
+			r, err := experiments.Figures(cycles, 100e-9)
+			if err != nil {
+				return "", err
+			}
+			return r.Text, nil
+		}},
+		{"overhead", func() (string, error) {
+			r, err := experiments.Overhead(cycles)
+			if err != nil {
+				return "", err
+			}
+			return r.Text, nil
+		}},
+		{"validation", func() (string, error) {
+			r, err := experiments.Validation(3000, 42)
+			if err != nil {
+				return "", err
+			}
+			return r.Text, nil
+		}},
+		{"granularity", func() (string, error) {
+			r, err := experiments.Granularity(cycles)
+			if err != nil {
+				return "", err
+			}
+			return r.Text, nil
+		}},
+		{"styles", func() (string, error) {
+			r, err := experiments.ModelStyles(cycles)
+			if err != nil {
+				return "", err
+			}
+			return r.Text, nil
+		}},
+		{"parametric", func() (string, error) {
+			r, err := experiments.Parametric()
+			if err != nil {
+				return "", err
+			}
+			return r.Text, nil
+		}},
+		{"burst", func() (string, error) {
+			r, err := experiments.BurstAblation(cycles)
+			if err != nil {
+				return "", err
+			}
+			return r.Text, nil
+		}},
+		{"pattern", func() (string, error) {
+			r, err := experiments.PatternAblation(cycles)
+			if err != nil {
+				return "", err
+			}
+			return r.Text, nil
+		}},
+		{"dpm", func() (string, error) {
+			r, err := experiments.DPMSweep(cycles, 5e-12)
+			if err != nil {
+				return "", err
+			}
+			return r.Text, nil
+		}},
+		{"cosim", func() (string, error) {
+			r, err := experiments.CoSimDecoder(cycles)
+			if err != nil {
+				return "", err
+			}
+			return r.Text, nil
+		}},
+		{"impl", func() (string, error) {
+			r, err := experiments.ImplAblation(8, 3000, 11)
+			if err != nil {
+				return "", err
+			}
+			return r.Text, nil
+		}},
+		{"buses", func() (string, error) {
+			r, err := experiments.CompareBuses(cycles)
+			if err != nil {
+				return "", err
+			}
+			return r.Text, nil
+		}},
+	}
+	ran := false
+	for _, r := range runners {
+		if name != "all" && name != r.name {
+			continue
+		}
+		ran = true
+		text, err := r.fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.name, err)
+		}
+		fmt.Printf("== %s ==\n%s\n", r.name, text)
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+// Command ahbsweep runs a design-space sweep — the "hundreds of different
+// configurations and architectures" evaluation the paper's §4 motivates —
+// over slave count, data width, slave wait states and arbitration policy,
+// and emits one CSV row per configuration with energy, power, per-beat
+// energy and the energy-class split.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ahbpower/internal/amba/ahb"
+	"ahbpower/internal/core"
+)
+
+func main() {
+	cycles := flag.Uint64("cycles", 4000, "bus cycles per configuration")
+	slaves := flag.String("slaves", "2,3,8", "comma-separated slave counts")
+	widths := flag.String("widths", "16,32", "comma-separated data widths")
+	waits := flag.String("waits", "0,1,2", "comma-separated slave wait states")
+	policies := flag.String("policies", "sticky,fixed,rr", "comma-separated arbitration policies")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	fmt.Fprintln(w, "slaves,width,waits,policy,cycles,beats,energy_J,avg_power_W,pJ_per_beat,data_transfer_pct,arbitration_pct")
+	for _, ns := range ints(*slaves) {
+		for _, dw := range ints(*widths) {
+			for _, ws := range ints(*waits) {
+				for _, pol := range strings.Split(*policies, ",") {
+					if err := runOne(w, *cycles, ns, dw, ws, strings.TrimSpace(pol)); err != nil {
+						fatal(err)
+					}
+				}
+			}
+		}
+	}
+}
+
+func runOne(w *os.File, cycles uint64, slaves, width, waits int, policy string) error {
+	cfg := core.PaperSystem()
+	cfg.NumSlaves = slaves
+	cfg.DataWidth = width
+	cfg.SlaveWaits = waits
+	switch policy {
+	case "sticky":
+		cfg.Policy = ahb.PolicySticky
+	case "fixed":
+		cfg.Policy = ahb.PolicyFixed
+	case "rr":
+		cfg.Policy = ahb.PolicyRoundRobin
+	default:
+		return fmt.Errorf("unknown policy %q", policy)
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return err
+	}
+	if err := sys.LoadPaperWorkload(cycles); err != nil {
+		return err
+	}
+	an, err := core.Attach(sys, core.AnalyzerConfig{Style: core.StyleGlobal})
+	if err != nil {
+		return err
+	}
+	if err := sys.Run(cycles); err != nil {
+		return err
+	}
+	if errs := sys.Monitor.Errors(); len(errs) > 0 {
+		return fmt.Errorf("protocol violation in %d/%d/%d/%s: %v", slaves, width, waits, policy, errs[0])
+	}
+	r := an.Report()
+	var beats uint64
+	for _, m := range sys.Masters {
+		beats += m.Stats().Beats
+	}
+	perBeat := 0.0
+	if beats > 0 {
+		perBeat = r.TotalEnergy / float64(beats) * 1e12
+	}
+	_, err = fmt.Fprintf(w, "%d,%d,%d,%s,%d,%d,%g,%g,%.3f,%.2f,%.2f\n",
+		slaves, width, waits, policy, r.Cycles, beats,
+		r.TotalEnergy, r.AvgPower, perBeat,
+		100*r.DataTransferShare, 100*r.ArbitrationShare)
+	return err
+}
+
+func ints(csv string) []int {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n := 0
+		for _, r := range f {
+			if r < '0' || r > '9' {
+				fatal(fmt.Errorf("bad integer %q", f))
+			}
+			n = n*10 + int(r-'0')
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ahbsweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+// Command ahbtrace regenerates the paper's power-versus-time figures
+// (Figs. 3-5) and the sub-block contribution data behind Fig. 6, emitting
+// CSV suitable for any plotting tool.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ahbpower/internal/experiments"
+	"ahbpower/internal/stats"
+)
+
+func main() {
+	fig := flag.Int("fig", 3, "figure to regenerate: 3 (total), 4 (arbiter), 5 (M2S mux), 6 (breakdown)")
+	cycles := flag.Uint64("cycles", 4000, "bus cycles to simulate (paper analyzes the first 4 us = 400 cycles)")
+	window := flag.Float64("window", 100e-9, "power averaging window in seconds")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	res, err := experiments.Figures(*cycles, *window)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	var series *stats.Series
+	switch *fig {
+	case 3:
+		series = res.Total
+	case 4:
+		series = res.ARB
+	case 5:
+		series = res.M2S
+	case 6:
+		fmt.Fprintln(w, "block,energy_J,share")
+		for _, blk := range []string{"M2S", "DEC", "ARB", "S2M"} {
+			fmt.Fprintf(w, "%s,%g,%g\n", blk, res.Report.BlockEnergy[blk], res.Report.BlockShare[blk])
+		}
+		return
+	default:
+		fatal(fmt.Errorf("unknown figure %d", *fig))
+	}
+	if err := series.WriteCSV(w); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ahbtrace:", err)
+	os.Exit(1)
+}

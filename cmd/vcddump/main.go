@@ -1,0 +1,70 @@
+// Command vcddump runs the paper's testbench for a configurable number of
+// cycles and writes the main AHB signals to a VCD file for inspection in
+// any waveform viewer.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"ahbpower/internal/core"
+	"ahbpower/internal/vcd"
+)
+
+func main() {
+	cycles := flag.Uint64("cycles", 500, "bus cycles to simulate")
+	out := flag.String("o", "ahb.vcd", "output VCD file")
+	flag.Parse()
+
+	sys, err := core.NewSystem(core.PaperSystem())
+	if err != nil {
+		fatal(err)
+	}
+	if err := sys.LoadPaperWorkload(*cycles); err != nil {
+		fatal(err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	defer bw.Flush()
+
+	w := vcd.NewWriter(bw, sys.K)
+	bus := sys.Bus
+	w.AddBool("ahb.hclk", bus.Clk.Signal())
+	w.AddU8("ahb.htrans", bus.HTrans, 2)
+	w.AddU32("ahb.haddr", bus.HAddr, 32)
+	w.AddBool("ahb.hwrite", bus.HWrite)
+	w.AddU32("ahb.hwdata", bus.HWdata, 32)
+	w.AddU32("ahb.hrdata", bus.HRdata, 32)
+	w.AddBool("ahb.hready", bus.HReady)
+	w.AddU8("ahb.hresp", bus.HResp, 2)
+	w.AddU8("ahb.hmaster", bus.HMaster, 4)
+	for m := range bus.M {
+		w.AddBool(fmt.Sprintf("ahb.m%d.hbusreq", m), bus.M[m].BusReq)
+		w.AddBool(fmt.Sprintf("ahb.m%d.hgrant", m), bus.Grant[m])
+	}
+	for s := range bus.Sel {
+		w.AddBool(fmt.Sprintf("ahb.s%d.hsel", s), bus.Sel[s])
+	}
+	if err := w.Start(); err != nil {
+		fatal(err)
+	}
+	if err := sys.Run(*cycles); err != nil {
+		fatal(err)
+	}
+	if err := w.Err(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d cycles)\n", *out, *cycles)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vcddump:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module ahbpower
+
+go 1.22

@@ -1,0 +1,124 @@
+package ahb
+
+import "fmt"
+
+// FifoSlave models a stream peripheral: bus writes push into a FIFO that a
+// background consumer drains at a fixed rate (one element every DrainEvery
+// cycles — think of a UART or a display stream); bus reads pop in FIFO
+// order. A write to a full FIFO stalls the bus with wait states until the
+// consumer frees a slot; a read from an empty FIFO responds with a
+// two-cycle ERROR. The state-dependent wait behaviour produces the bursty
+// stall patterns real peripherals impose on the bus power profile.
+type FifoSlave struct {
+	bus   *Bus
+	idx   int
+	ports *slavePorts
+
+	Capacity   int
+	DrainEvery int // consumer period in cycles; 0 disables draining
+
+	fifo       []uint32
+	drainCnt   int
+	pendingWr  bool
+	errCycle   bool
+	stallWrite bool
+
+	Pushes  uint64
+	Pops    uint64
+	Drained uint64
+	Stalls  uint64
+	Errors  uint64
+}
+
+// NewFifoSlave attaches a FIFO slave to bus port idx.
+func NewFifoSlave(b *Bus, idx, capacity, drainEvery int) (*FifoSlave, error) {
+	if idx < 0 || idx >= b.Cfg.NumSlaves {
+		return nil, fmt.Errorf("ahb: slave index %d out of range", idx)
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("ahb: FIFO capacity must be >=1")
+	}
+	if drainEvery < 0 {
+		return nil, fmt.Errorf("ahb: negative drain period")
+	}
+	s := &FifoSlave{bus: b, idx: idx, ports: &b.S[idx], Capacity: capacity, DrainEvery: drainEvery}
+	b.K.MethodNoInit(fmt.Sprintf("%s.fifoslave%d", b.Cfg.Name, idx), s.tick, b.Clk.Posedge())
+	return s, nil
+}
+
+// Depth returns the current number of buffered elements.
+func (s *FifoSlave) Depth() int { return len(s.fifo) }
+
+func (s *FifoSlave) tick() {
+	// Background consumer.
+	if s.DrainEvery > 0 && len(s.fifo) > 0 {
+		s.drainCnt++
+		if s.drainCnt >= s.DrainEvery {
+			s.drainCnt = 0
+			s.fifo = s.fifo[1:]
+			s.Drained++
+		}
+	}
+
+	hready := s.bus.HReady.Read()
+
+	// A stalled write completes as soon as a slot frees up.
+	if s.stallWrite {
+		s.Stalls++
+		if len(s.fifo) < s.Capacity {
+			s.stallWrite = false
+			s.pendingWr = true
+			s.ports.ReadyOut.Write(true)
+		}
+		return
+	}
+
+	if !hready {
+		if s.errCycle {
+			s.ports.ReadyOut.Write(true) // second ERROR cycle
+			s.errCycle = false
+		}
+		return
+	}
+
+	// Complete an accepted write: capture the data-phase word.
+	if s.pendingWr {
+		s.pendingWr = false
+		s.fifo = append(s.fifo, s.bus.HWdata.Read())
+		s.Pushes++
+	}
+
+	t := s.bus.HTrans.Read()
+	if !s.bus.Sel[s.idx].Read() || (t != TransNonseq && t != TransSeq) {
+		s.ports.ReadyOut.Write(true)
+		s.ports.Resp.Write(RespOkay)
+		return
+	}
+	if s.bus.HWrite.Read() {
+		if len(s.fifo) >= s.Capacity {
+			// Full: stall with wait states until the consumer drains.
+			s.ports.ReadyOut.Write(false)
+			s.ports.Resp.Write(RespOkay)
+			s.stallWrite = true
+			return
+		}
+		s.pendingWr = true
+		s.ports.ReadyOut.Write(true)
+		s.ports.Resp.Write(RespOkay)
+		return
+	}
+	// Read: pop, or ERROR when empty.
+	if len(s.fifo) == 0 {
+		s.Errors++
+		s.ports.ReadyOut.Write(false)
+		s.ports.Resp.Write(RespError)
+		s.errCycle = true
+		return
+	}
+	v := s.fifo[0]
+	s.fifo = s.fifo[1:]
+	s.Pops++
+	s.ports.Rdata.Write(v)
+	s.ports.ReadyOut.Write(true)
+	s.ports.Resp.Write(RespOkay)
+}

@@ -1,0 +1,157 @@
+package ahb
+
+import (
+	"testing"
+
+	"ahbpower/internal/sim"
+)
+
+// newFifoSystem builds a 1-master bus with a FIFO slave on port 0.
+func newFifoSystem(t *testing.T, capacity, drainEvery int) (*sim.Kernel, *Bus, *Master, *FifoSlave, *Monitor) {
+	t.Helper()
+	k := sim.NewKernel()
+	bus, err := New(k, Config{
+		NumMasters:  1,
+		NumSlaves:   1,
+		Regions:     []Region{{Start: 0, Size: 0x1000, Slave: 0}},
+		ClockPeriod: 10 * sim.Nanosecond,
+		DataWidth:   32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := NewMonitor(bus)
+	m, err := NewMaster(bus, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.KeepResults(true)
+	f, err := NewFifoSlave(bus, 0, capacity, drainEvery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, bus, m, f, mon
+}
+
+func TestFifoWriteReadOrder(t *testing.T) {
+	k, bus, m, f, mon := newFifoSystem(t, 8, 0)
+	m.Enqueue(Sequence{Ops: []Op{
+		{Kind: OpWrite, Addr: 0x0, Data: []uint32{11}},
+		{Kind: OpWrite, Addr: 0x0, Data: []uint32{22}},
+		{Kind: OpWrite, Addr: 0x0, Data: []uint32{33}},
+		{Kind: OpRead, Addr: 0x0},
+		{Kind: OpRead, Addr: 0x0},
+		{Kind: OpRead, Addr: 0x0},
+	}})
+	if err := k.RunCycles(bus.Clk, 50); err != nil {
+		t.Fatal(err)
+	}
+	res := m.Results()
+	if len(res) != 6 {
+		t.Fatalf("results=%d, want 6", len(res))
+	}
+	want := []uint32{11, 22, 33}
+	for i, w := range want {
+		if res[3+i].Data != w {
+			t.Errorf("pop %d = %d, want %d (FIFO order)", i, res[3+i].Data, w)
+		}
+	}
+	if f.Pushes != 3 || f.Pops != 3 || f.Depth() != 0 {
+		t.Errorf("fifo counters: %+v depth=%d", f, f.Depth())
+	}
+	for _, e := range mon.Errors() {
+		t.Errorf("protocol violation: %v", e)
+	}
+}
+
+func TestFifoBackpressureStallsWrites(t *testing.T) {
+	// Capacity 2, drain every 4 cycles: a burst of 6 writes must stall
+	// until the consumer frees slots, then all data must drain through.
+	k, bus, m, f, mon := newFifoSystem(t, 2, 4)
+	var ops []Op
+	for i := 0; i < 6; i++ {
+		ops = append(ops, Op{Kind: OpWrite, Addr: 0x0, Data: []uint32{uint32(100 + i)}})
+	}
+	m.Enqueue(Sequence{Ops: ops})
+	if err := k.RunCycles(bus.Clk, 200); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Done() {
+		t.Fatal("master must finish despite backpressure")
+	}
+	if f.Stalls == 0 {
+		t.Error("full FIFO must stall the bus")
+	}
+	if m.Stats().WaitCycle == 0 {
+		t.Error("master must see wait states")
+	}
+	if f.Pushes != 6 {
+		t.Errorf("pushes=%d, want 6", f.Pushes)
+	}
+	// Everything eventually drains.
+	if err := k.RunCycles(bus.Clk, 100); err != nil {
+		t.Fatal(err)
+	}
+	if f.Depth() != 0 {
+		t.Errorf("depth=%d, want 0 after draining", f.Depth())
+	}
+	if f.Drained != 6 {
+		t.Errorf("drained=%d, want 6", f.Drained)
+	}
+	for _, e := range mon.Errors() {
+		t.Errorf("protocol violation: %v", e)
+	}
+}
+
+func TestFifoEmptyReadErrors(t *testing.T) {
+	k, bus, m, f, mon := newFifoSystem(t, 4, 0)
+	m.Enqueue(Sequence{Ops: []Op{{Kind: OpRead, Addr: 0x0}}})
+	if err := k.RunCycles(bus.Clk, 30); err != nil {
+		t.Fatal(err)
+	}
+	res := m.Results()
+	if len(res) != 1 || res[0].Resp != RespError {
+		t.Fatalf("results=%+v, want one ERROR", res)
+	}
+	if f.Errors != 1 {
+		t.Errorf("fifo errors=%d", f.Errors)
+	}
+	for _, e := range mon.Errors() {
+		t.Errorf("protocol violation: %v", e)
+	}
+}
+
+func TestFifoDrainWithoutTraffic(t *testing.T) {
+	k, bus, _, f, _ := newFifoSystem(t, 4, 2)
+	// Preload without the bus.
+	f.fifo = []uint32{1, 2, 3}
+	if err := k.RunCycles(bus.Clk, 20); err != nil {
+		t.Fatal(err)
+	}
+	if f.Depth() != 0 {
+		t.Errorf("depth=%d, want 0", f.Depth())
+	}
+}
+
+func TestFifoConstructorValidation(t *testing.T) {
+	k := sim.NewKernel()
+	bus, err := New(k, Config{
+		NumMasters:  1,
+		NumSlaves:   1,
+		Regions:     []Region{{Start: 0, Size: 0x100, Slave: 0}},
+		ClockPeriod: 10 * sim.Nanosecond,
+		DataWidth:   32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFifoSlave(bus, 9, 4, 0); err == nil {
+		t.Error("bad index must fail")
+	}
+	if _, err := NewFifoSlave(bus, 0, 0, 0); err == nil {
+		t.Error("zero capacity must fail")
+	}
+	if _, err := NewFifoSlave(bus, 0, 4, -1); err == nil {
+		t.Error("negative drain must fail")
+	}
+}

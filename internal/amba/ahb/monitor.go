@@ -1,0 +1,217 @@
+package ahb
+
+import (
+	"fmt"
+
+	"ahbpower/internal/sim"
+)
+
+// CycleInfo is a settled snapshot of the bus at the end of one clock
+// cycle. It is the observation record consumed by power analyzers (the
+// "bus event" the paper's get_activity function reacts to) and by
+// protocol-checking monitors.
+type CycleInfo struct {
+	Cycle uint64
+	Time  sim.Time
+
+	// Address/control phase (muxed M2S outputs).
+	Trans  uint8
+	Addr   uint32
+	Write  bool
+	Size   uint8
+	Burst  uint8
+	Wdata  uint32
+	Master uint8 // address-phase owner
+	Lock   bool
+
+	// Decode.
+	SelIdx int // selected slave, -2 default slave, valid when Trans active
+
+	// Data phase / response (muxed S2M outputs).
+	Rdata      uint32
+	Resp       uint8
+	Ready      bool
+	DataMaster uint8
+	DataSlave  int
+
+	// Arbitration.
+	GrantIdx uint8
+	Requests uint16 // bitmask of asserted HBUSREQx
+	Handover bool   // HMASTER changed relative to the previous cycle
+}
+
+// buildCycleProbe registers the end-of-timestep hook that snapshots the
+// bus once per clock cycle (on the settled high phase of HCLK).
+func (b *Bus) buildCycleProbe() {
+	b.K.AtEndOfTimestep(func(t sim.Time) {
+		if !b.Clk.Signal().Read() {
+			return
+		}
+		b.cycles++
+		ci := CycleInfo{
+			Cycle:      b.cycles,
+			Time:       t,
+			Trans:      b.HTrans.Read(),
+			Addr:       b.HAddr.Read(),
+			Write:      b.HWrite.Read(),
+			Size:       b.HSize.Read(),
+			Burst:      b.HBurst.Read(),
+			Wdata:      b.HWdata.Read(),
+			Master:     b.HMaster.Read(),
+			Lock:       b.HMastlock.Read(),
+			SelIdx:     b.SelIdx.Read(),
+			Rdata:      b.HRdata.Read(),
+			Resp:       b.HResp.Read(),
+			Ready:      b.HReady.Read(),
+			DataMaster: b.DataMaster.Read(),
+			DataSlave:  b.DataSlave.Read(),
+			GrantIdx:   b.GrantIdx.Read(),
+		}
+		for m := range b.M {
+			if b.M[m].BusReq.Read() {
+				ci.Requests |= 1 << uint(m)
+			}
+		}
+		ci.Handover = ci.Master != b.lastMaster
+		b.lastMaster = ci.Master
+		for _, fn := range b.cycleHooks {
+			fn(ci)
+		}
+	})
+}
+
+// OnCycle registers a hook invoked with every settled bus cycle.
+func (b *Bus) OnCycle(fn func(CycleInfo)) {
+	b.cycleHooks = append(b.cycleHooks, fn)
+}
+
+// Cycles returns the number of observed bus cycles.
+func (b *Bus) Cycles() uint64 { return b.cycles }
+
+// ProtocolError describes a violation detected by the Monitor.
+type ProtocolError struct {
+	Cycle uint64
+	Rule  string
+	Desc  string
+}
+
+func (e ProtocolError) Error() string {
+	return fmt.Sprintf("cycle %d: %s: %s", e.Cycle, e.Rule, e.Desc)
+}
+
+// Monitor performs on-line AHB protocol checking over the cycle stream —
+// the "complete set of testbenches to observe all the different activity
+// states" needs a referee. Violations are collected, not fatal.
+type Monitor struct {
+	bus       *Bus
+	errs      []ProtocolError
+	prev      *CycleInfo
+	counts    map[string]uint64
+	burstBase uint32
+}
+
+// NewMonitor attaches a protocol monitor to the bus.
+func NewMonitor(b *Bus) *Monitor {
+	m := &Monitor{bus: b, counts: map[string]uint64{}}
+	b.OnCycle(m.check)
+	return m
+}
+
+// Errors returns the violations detected so far.
+func (m *Monitor) Errors() []ProtocolError { return m.errs }
+
+// Counts returns per-event counters (transfers, waits, handovers, ...).
+func (m *Monitor) Counts() map[string]uint64 { return m.counts }
+
+func (m *Monitor) fail(c uint64, rule, format string, args ...any) {
+	m.errs = append(m.errs, ProtocolError{Cycle: c, Rule: rule, Desc: fmt.Sprintf(format, args...)})
+}
+
+func (m *Monitor) check(ci CycleInfo) {
+	defer func() {
+		cc := ci
+		m.prev = &cc
+	}()
+
+	switch ci.Trans {
+	case TransIdle:
+		m.counts["idle"]++
+	case TransBusy:
+		m.counts["busy"]++
+	case TransNonseq:
+		m.counts["nonseq"]++
+	case TransSeq:
+		m.counts["seq"]++
+	}
+	if ci.Handover {
+		m.counts["handover"]++
+	}
+	if !ci.Ready {
+		m.counts["wait"]++
+	}
+
+	// Alignment rule: active transfers must be size-aligned.
+	if ci.Trans == TransNonseq || ci.Trans == TransSeq {
+		if !Aligned(ci.Addr, ci.Size) {
+			m.fail(ci.Cycle, "alignment", "HADDR %#x not aligned to HSIZE %d", ci.Addr, ci.Size)
+		}
+	}
+
+	if m.prev == nil {
+		return
+	}
+	p := m.prev
+
+	// A response other than OKAY must be a two-cycle response: first
+	// cycle with HREADY low.
+	if ci.Resp != RespOkay && ci.Ready {
+		if p.Resp != ci.Resp || p.Ready {
+			m.fail(ci.Cycle, "two-cycle-response", "%s completed without a first low-HREADY cycle", RespName(ci.Resp))
+		}
+	}
+
+	// During wait states the address phase must be frozen.
+	if !p.Ready && p.Resp == RespOkay {
+		if ci.Trans != p.Trans || (p.Trans != TransIdle && ci.Addr != p.Addr) {
+			m.fail(ci.Cycle, "frozen-address", "address phase changed during wait state (%s %#x -> %s %#x)",
+				TransName(p.Trans), p.Addr, TransName(ci.Trans), ci.Addr)
+		}
+	}
+
+	// SEQ transfers continue a burst: same direction, address advanced by
+	// the burst rule from the previous active beat.
+	if ci.Trans == TransSeq && p.Ready {
+		if p.Trans == TransNonseq || p.Trans == TransSeq {
+			want := NextBurstAddr(p.Addr, p.Burst, p.Size)
+			if ci.Addr != want {
+				m.fail(ci.Cycle, "burst-address", "SEQ HADDR %#x, want %#x after %s", ci.Addr, want, BurstName(p.Burst))
+			}
+			if ci.Write != p.Write {
+				m.fail(ci.Cycle, "burst-direction", "HWRITE changed mid-burst")
+			}
+		} else if p.Trans != TransBusy {
+			m.fail(ci.Cycle, "seq-after-idle", "SEQ after %s", TransName(p.Trans))
+		}
+	}
+
+	// BUSY is only legal inside a burst.
+	if ci.Trans == TransBusy && p.Ready {
+		if p.Trans != TransNonseq && p.Trans != TransSeq && p.Trans != TransBusy {
+			m.fail(ci.Cycle, "busy-outside-burst", "BUSY after %s", TransName(p.Trans))
+		}
+	}
+
+	// Bursts must not cross a 1 KB boundary: a SEQ beat must stay in the
+	// 1 KB block of the burst's first (NONSEQ) beat.
+	if ci.Trans == TransNonseq {
+		m.burstBase = ci.Addr
+	}
+	if ci.Trans == TransSeq && ci.Addr>>10 != m.burstBase>>10 {
+		m.fail(ci.Cycle, "kb-boundary", "burst from %#x reached %#x across a 1KB boundary", m.burstBase, ci.Addr)
+	}
+
+	// Ownership handover requires HREADY high in the previous cycle.
+	if ci.Handover && !p.Ready {
+		m.fail(ci.Cycle, "handover-wait", "HMASTER changed while HREADY low")
+	}
+}

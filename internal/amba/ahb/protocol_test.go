@@ -1,0 +1,199 @@
+package ahb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNames(t *testing.T) {
+	if TransName(TransIdle) != "IDLE" || TransName(TransNonseq) != "NONSEQ" ||
+		TransName(TransBusy) != "BUSY" || TransName(TransSeq) != "SEQ" {
+		t.Error("HTRANS names")
+	}
+	if TransName(9) == "" {
+		t.Error("unknown HTRANS must format")
+	}
+	if BurstName(BurstWrap8) != "WRAP8" || BurstName(BurstIncr16) != "INCR16" {
+		t.Error("HBURST names")
+	}
+	if RespName(RespSplit) != "SPLIT" || RespName(RespOkay) != "OKAY" {
+		t.Error("HRESP names")
+	}
+	if BurstName(99) == "" || RespName(99) == "" {
+		t.Error("unknown values must format")
+	}
+}
+
+func TestBurstBeats(t *testing.T) {
+	cases := []struct {
+		b    uint8
+		want int
+	}{
+		{BurstSingle, 1}, {BurstIncr, 0},
+		{BurstWrap4, 4}, {BurstIncr4, 4},
+		{BurstWrap8, 8}, {BurstIncr8, 8},
+		{BurstWrap16, 16}, {BurstIncr16, 16},
+	}
+	for _, c := range cases {
+		if got := BurstBeats(c.b); got != c.want {
+			t.Errorf("BurstBeats(%s)=%d, want %d", BurstName(c.b), got, c.want)
+		}
+	}
+}
+
+func TestIsWrap(t *testing.T) {
+	for _, b := range []uint8{BurstWrap4, BurstWrap8, BurstWrap16} {
+		if !IsWrap(b) {
+			t.Errorf("%s must be wrap", BurstName(b))
+		}
+	}
+	for _, b := range []uint8{BurstSingle, BurstIncr, BurstIncr4, BurstIncr8, BurstIncr16} {
+		if IsWrap(b) {
+			t.Errorf("%s must not be wrap", BurstName(b))
+		}
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	if SizeBytes(Size8) != 1 || SizeBytes(Size16) != 2 || SizeBytes(Size32) != 4 || SizeBytes(Size64) != 8 {
+		t.Error("SizeBytes wrong")
+	}
+}
+
+func TestNextBurstAddrIncr(t *testing.T) {
+	if got := NextBurstAddr(0x100, BurstIncr4, Size32); got != 0x104 {
+		t.Errorf("INCR4 next=%#x, want 0x104", got)
+	}
+	if got := NextBurstAddr(0x100, BurstIncr, Size16); got != 0x102 {
+		t.Errorf("INCR h16 next=%#x, want 0x102", got)
+	}
+}
+
+func TestNextBurstAddrWrap(t *testing.T) {
+	// WRAP4 of word transfers wraps at a 16-byte boundary.
+	addr := uint32(0x38)
+	seq := []uint32{addr}
+	for i := 0; i < 3; i++ {
+		addr = NextBurstAddr(addr, BurstWrap4, Size32)
+		seq = append(seq, addr)
+	}
+	want := []uint32{0x38, 0x3C, 0x30, 0x34}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("WRAP4 sequence %#x, want %#x", seq, want)
+		}
+	}
+}
+
+func TestNextBurstAddrWrap8(t *testing.T) {
+	// WRAP8 halfword: wraps at 16-byte boundary.
+	addr := uint32(0x1E)
+	var seq []uint32
+	for i := 0; i < 8; i++ {
+		seq = append(seq, addr)
+		addr = NextBurstAddr(addr, BurstWrap8, Size16)
+	}
+	want := []uint32{0x1E, 0x10, 0x12, 0x14, 0x16, 0x18, 0x1A, 0x1C}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("WRAP8 sequence %#x, want %#x", seq, want)
+		}
+	}
+}
+
+func TestWrapBurstStaysInBlock(t *testing.T) {
+	// Property: a wrapping burst never leaves its aligned block.
+	f := func(start uint32, kind uint8) bool {
+		burst := []uint8{BurstWrap4, BurstWrap8, BurstWrap16}[kind%3]
+		size := Size32
+		span := uint32(BurstBeats(burst)) * 4
+		addr := (start &^ 3) % 0x10000
+		base := addr &^ (span - 1)
+		for i := 0; i < BurstBeats(burst); i++ {
+			if addr < base || addr >= base+span {
+				return false
+			}
+			addr = NextBurstAddr(addr, burst, size)
+		}
+		return addr == (start&^3)%0x10000 // full wrap returns to start
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIncrBurstVisitsDistinctAddresses(t *testing.T) {
+	f := func(start uint32) bool {
+		addr := (start &^ 3) % 0xFFFF000
+		seen := map[uint32]bool{}
+		for i := 0; i < 16; i++ {
+			if seen[addr] {
+				return false
+			}
+			seen[addr] = true
+			addr = NextBurstAddr(addr, BurstIncr16, Size32)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrossesKB(t *testing.T) {
+	if CrossesKB(0x3F0, 4, Size32) {
+		t.Error("0x3F0..0x3FC must not cross")
+	}
+	if !CrossesKB(0x3F8, 4, Size32) {
+		t.Error("0x3F8..0x404 must cross")
+	}
+	if CrossesKB(0x3FC, 1, Size32) {
+		t.Error("single beat never crosses")
+	}
+}
+
+func TestBeatsUntilKB(t *testing.T) {
+	if got := BeatsUntilKB(0x3F0, Size32); got != 4 {
+		t.Errorf("BeatsUntilKB(0x3F0)=%d, want 4", got)
+	}
+	if got := BeatsUntilKB(0x0, Size32); got != 256 {
+		t.Errorf("BeatsUntilKB(0)=%d, want 256", got)
+	}
+	if got := BeatsUntilKB(0x3FC, Size32); got != 1 {
+		t.Errorf("BeatsUntilKB(0x3FC)=%d, want 1", got)
+	}
+}
+
+func TestBeatsUntilKBNeverCrosses(t *testing.T) {
+	f := func(addr uint32, sz uint8) bool {
+		size := []uint8{Size8, Size16, Size32}[sz%3]
+		a := addr &^ (uint32(SizeBytes(size)) - 1)
+		n := BeatsUntilKB(a, size)
+		return n >= 1 && !CrossesKB(a, n, size)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAligned(t *testing.T) {
+	if !Aligned(0x100, Size32) || Aligned(0x102, Size32) {
+		t.Error("word alignment")
+	}
+	if !Aligned(0x102, Size16) || Aligned(0x101, Size16) {
+		t.Error("halfword alignment")
+	}
+	if !Aligned(0x101, Size8) {
+		t.Error("bytes are always aligned")
+	}
+}
+
+func TestRegionContains(t *testing.T) {
+	r := Region{Start: 0x1000, Size: 0x100, Slave: 0}
+	if !r.Contains(0x1000) || !r.Contains(0x10FF) {
+		t.Error("boundaries must be inside")
+	}
+	if r.Contains(0xFFF) || r.Contains(0x1100) {
+		t.Error("outside must be excluded")
+	}
+}

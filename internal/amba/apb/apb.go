@@ -1,0 +1,301 @@
+// Package apb models the AMBA Advanced Peripheral Bus and the AHB-to-APB
+// bridge. An AMBA-based architecture (paper §5) pairs the high-performance
+// AHB with a low-bandwidth APB behind a bridge, where most peripherals
+// live; this package provides that tier so full-SoC power exploration can
+// span both busses.
+//
+// The APB protocol is the two-phase rev 2.0 scheme: a SETUP cycle (PSEL
+// asserted, PENABLE low) followed by an ENABLE cycle (PENABLE high) in
+// which writes commit and reads return data.
+package apb
+
+import (
+	"fmt"
+
+	"ahbpower/internal/amba/ahb"
+	"ahbpower/internal/sim"
+)
+
+// Region maps an APB address range to a peripheral select index.
+type Region struct {
+	Start uint32
+	Size  uint32
+	Sel   int
+}
+
+// Config describes an APB segment behind a bridge.
+type Config struct {
+	Name    string
+	NumSel  int
+	Regions []Region
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.NumSel < 1 || c.NumSel > 16 {
+		return fmt.Errorf("apb: NumSel=%d, want 1..16", c.NumSel)
+	}
+	for i, r := range c.Regions {
+		if r.Sel < 0 || r.Sel >= c.NumSel {
+			return fmt.Errorf("apb: region %d maps to sel %d, out of range", i, r.Sel)
+		}
+		if r.Size == 0 {
+			return fmt.Errorf("apb: region %d has zero size", i)
+		}
+	}
+	return nil
+}
+
+// Bus is the APB signal fabric plus the decode map.
+type Bus struct {
+	Cfg Config
+	K   *sim.Kernel
+
+	PSel    []*sim.Signal[bool]
+	PEnable *sim.Signal[bool]
+	PAddr   *sim.Signal[uint32]
+	PWrite  *sim.Signal[bool]
+	PWdata  *sim.Signal[uint32]
+	// PRdata is driven by the selected peripheral.
+	PRdata *sim.Signal[uint32]
+
+	// Transfers counts completed APB accesses (for power accounting).
+	Transfers uint64
+}
+
+// NewBus creates the APB signal fabric.
+func NewBus(k *sim.Kernel, cfg Config) (*Bus, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Name == "" {
+		cfg.Name = "apb"
+	}
+	b := &Bus{Cfg: cfg, K: k}
+	n := cfg.Name
+	for s := 0; s < cfg.NumSel; s++ {
+		b.PSel = append(b.PSel, sim.NewBool(k, fmt.Sprintf("%s.psel%d", n, s), false))
+	}
+	b.PEnable = sim.NewBool(k, n+".penable", false)
+	b.PAddr = sim.NewSignal[uint32](k, n+".paddr", 0)
+	b.PWrite = sim.NewBool(k, n+".pwrite", false)
+	b.PWdata = sim.NewSignal[uint32](k, n+".pwdata", 0)
+	b.PRdata = sim.NewSignal[uint32](k, n+".prdata", 0)
+	return b, nil
+}
+
+// decode returns the select index for an address, or -1.
+func (b *Bus) decode(addr uint32) int {
+	for _, r := range b.Cfg.Regions {
+		if addr >= r.Start && addr-r.Start < r.Size {
+			return r.Sel
+		}
+	}
+	return -1
+}
+
+// bridgeState is the AHB-side FSM of the bridge.
+type bridgeState uint8
+
+const (
+	brIdle bridgeState = iota
+	brSetup
+	brEnable
+	brDone
+)
+
+// Bridge is an AHB slave that converts AHB transfers into APB accesses.
+// Each AHB transfer to the bridge takes two wait states (SETUP + ENABLE).
+// Accesses to addresses no APB region claims complete with an AHB ERROR.
+type Bridge struct {
+	ahbBus *ahb.Bus
+	apbBus *Bus
+	idx    int
+
+	state bridgeState
+	cur   struct {
+		addr  uint32
+		write bool
+		sel   int
+	}
+	errCycle bool
+
+	Accesses uint64
+	Errors   uint64
+}
+
+// NewBridge attaches a bridge on AHB slave port idx, fronting the given
+// APB bus.
+func NewBridge(ahbBus *ahb.Bus, idx int, apbBus *Bus) (*Bridge, error) {
+	if idx < 0 || idx >= ahbBus.Cfg.NumSlaves {
+		return nil, fmt.Errorf("apb: AHB slave index %d out of range", idx)
+	}
+	br := &Bridge{ahbBus: ahbBus, apbBus: apbBus, idx: idx}
+	ahbBus.K.MethodNoInit(fmt.Sprintf("%s.bridge%d", ahbBus.Cfg.Name, idx), br.tick, ahbBus.Clk.Posedge())
+	return br, nil
+}
+
+func (br *Bridge) ports() (ready *sim.Signal[bool], resp *sim.Signal[uint8], rdata *sim.Signal[uint32]) {
+	return br.ahbBus.S[br.idx].ReadyOut, br.ahbBus.S[br.idx].Resp, br.ahbBus.S[br.idx].Rdata
+}
+
+func (br *Bridge) tick() {
+	ready, resp, rdata := br.ports()
+	a := br.apbBus
+	hready := br.ahbBus.HReady.Read()
+
+	switch br.state {
+	case brSetup:
+		// SETUP cycle ran; drive ENABLE for the next cycle. HWDATA was
+		// valid during the SETUP cycle (the AHB data phase), so sample it
+		// here for the peripheral to commit at ENABLE.
+		if br.cur.write {
+			a.PWdata.Write(br.ahbBus.HWdata.Read())
+		}
+		a.PEnable.Write(true)
+		br.state = brEnable
+		return
+	case brEnable:
+		// ENABLE cycle ran: the access completes now. Reads: forward the
+		// peripheral's combinational PRDATA to the AHB side.
+		if !br.cur.write {
+			rdata.Write(a.PRdata.Read())
+		}
+		a.PEnable.Write(false)
+		a.PSel[br.cur.sel].Write(false)
+		a.Transfers++
+		br.Accesses++
+		ready.Write(true)
+		resp.Write(ahb.RespOkay)
+		br.state = brDone
+		return
+	case brDone:
+		br.state = brIdle
+	}
+
+	if !hready {
+		if br.errCycle {
+			ready.Write(true) // second ERROR cycle
+			br.errCycle = false
+		}
+		return
+	}
+
+	t := br.ahbBus.HTrans.Read()
+	if br.ahbBus.Sel[br.idx].Read() && (t == ahb.TransNonseq || t == ahb.TransSeq) {
+		addr := br.ahbBus.HAddr.Read()
+		sel := a.decode(addr)
+		if sel < 0 {
+			br.Errors++
+			ready.Write(false)
+			resp.Write(ahb.RespError)
+			br.errCycle = true
+			return
+		}
+		br.cur.addr = addr
+		br.cur.write = br.ahbBus.HWrite.Read()
+		br.cur.sel = sel
+		// Drive the SETUP cycle.
+		a.PAddr.Write(addr)
+		a.PWrite.Write(br.cur.write)
+		a.PSel[sel].Write(true)
+		a.PEnable.Write(false)
+		ready.Write(false)
+		resp.Write(ahb.RespOkay)
+		br.state = brSetup
+	} else {
+		ready.Write(true)
+		resp.Write(ahb.RespOkay)
+	}
+}
+
+// RegisterBlock is an APB peripheral exposing a bank of 32-bit registers.
+type RegisterBlock struct {
+	bus  *Bus
+	sel  int
+	base uint32
+	regs []uint32
+
+	Reads  uint64
+	Writes uint64
+}
+
+// NewRegisterBlock attaches a register bank of n words at the given select
+// index and base address.
+func NewRegisterBlock(b *Bus, sel int, base uint32, n int) (*RegisterBlock, error) {
+	if sel < 0 || sel >= b.Cfg.NumSel {
+		return nil, fmt.Errorf("apb: sel %d out of range", sel)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("apb: register block needs >=1 register")
+	}
+	rb := &RegisterBlock{bus: b, sel: sel, base: base, regs: make([]uint32, n)}
+	// Combinational read path.
+	b.K.Method(fmt.Sprintf("%s.regs%d.read", b.Cfg.Name, sel), func() {
+		if b.PSel[sel].Read() && !b.PWrite.Read() {
+			b.PRdata.Write(rb.regs[rb.regIndex()])
+		}
+	}, b.PSel[sel].Changed(), b.PAddr.Changed(), b.PWrite.Changed())
+	return rb, nil
+}
+
+func (rb *RegisterBlock) regIndex() int {
+	off := int(rb.bus.PAddr.Read()-rb.base) >> 2
+	if off < 0 || off >= len(rb.regs) {
+		return 0
+	}
+	return off
+}
+
+// clockWrite commits a write during ENABLE; called by the bridge's owner
+// via an explicit clocked process.
+func (rb *RegisterBlock) clockWrite() {
+	b := rb.bus
+	if b.PSel[rb.sel].Read() && b.PEnable.Read() {
+		if b.PWrite.Read() {
+			rb.regs[rb.regIndex()] = b.PWdata.Read()
+			rb.Writes++
+		} else {
+			rb.Reads++
+		}
+	}
+}
+
+// AttachClock registers the peripheral's write-commit process on an AHB
+// clock (APB uses the same clock domain here).
+func (rb *RegisterBlock) AttachClock(clk *sim.Clock) {
+	rb.bus.K.MethodNoInit(fmt.Sprintf("%s.regs%d.wr", rb.bus.Cfg.Name, rb.sel), rb.clockWrite, clk.Posedge())
+}
+
+// Peek reads a register directly (for tests).
+func (rb *RegisterBlock) Peek(i int) uint32 {
+	if i < 0 || i >= len(rb.regs) {
+		return 0
+	}
+	return rb.regs[i]
+}
+
+// Timer is an APB peripheral: a free-running counter readable at offset 0,
+// with a compare register at offset 4.
+type Timer struct {
+	rb    *RegisterBlock
+	count uint32
+}
+
+// NewTimer attaches a timer at the given select index and base address.
+func NewTimer(b *Bus, sel int, base uint32, clk *sim.Clock) (*Timer, error) {
+	rb, err := NewRegisterBlock(b, sel, base, 2)
+	if err != nil {
+		return nil, err
+	}
+	rb.AttachClock(clk)
+	t := &Timer{rb: rb}
+	b.K.MethodNoInit(fmt.Sprintf("%s.timer%d", b.Cfg.Name, sel), func() {
+		t.count++
+		t.rb.regs[0] = t.count
+	}, clk.Posedge())
+	return t, nil
+}
+
+// Count returns the current timer value.
+func (t *Timer) Count() uint32 { return t.count }

@@ -1,0 +1,234 @@
+package apb
+
+import (
+	"testing"
+
+	"ahbpower/internal/amba/ahb"
+	"ahbpower/internal/sim"
+)
+
+// apbSystem is an AHB with slave 0 = memory, slave 1 = APB bridge with a
+// register block and a timer behind it.
+type apbSystem struct {
+	k      *sim.Kernel
+	ahbBus *ahb.Bus
+	apbBus *Bus
+	m      *ahb.Master
+	bridge *Bridge
+	regs   *RegisterBlock
+	timer  *Timer
+	mon    *ahb.Monitor
+}
+
+func newAPBSystem(t *testing.T) *apbSystem {
+	t.Helper()
+	k := sim.NewKernel()
+	ahbBus, err := ahb.New(k, ahb.Config{
+		NumMasters: 1,
+		NumSlaves:  2,
+		Regions: []ahb.Region{
+			{Start: 0x0000, Size: 0x1000, Slave: 0},
+			{Start: 0x1000, Size: 0x1000, Slave: 1},
+		},
+		ClockPeriod: 10 * sim.Nanosecond,
+		DataWidth:   32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ahb.NewMemorySlave(ahbBus, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	apbBus, err := NewBus(k, Config{
+		NumSel: 2,
+		Regions: []Region{
+			{Start: 0x1000, Size: 0x100, Sel: 0},
+			{Start: 0x1100, Size: 0x100, Sel: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bridge, err := NewBridge(ahbBus, 1, apbBus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs, err := NewRegisterBlock(apbBus, 0, 0x1000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs.AttachClock(ahbBus.Clk)
+	timer, err := NewTimer(apbBus, 1, 0x1100, ahbBus.Clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ahb.NewMaster(ahbBus, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.KeepResults(true)
+	return &apbSystem{
+		k: k, ahbBus: ahbBus, apbBus: apbBus, m: m,
+		bridge: bridge, regs: regs, timer: timer,
+		mon: ahb.NewMonitor(ahbBus),
+	}
+}
+
+func (s *apbSystem) run(t *testing.T, cycles uint64) {
+	t.Helper()
+	if err := s.k.RunCycles(s.ahbBus.Clk, cycles); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range s.mon.Errors() {
+		t.Errorf("protocol violation: %v", e)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	k := sim.NewKernel()
+	if _, err := NewBus(k, Config{NumSel: 0}); err == nil {
+		t.Error("NumSel=0 must fail")
+	}
+	if _, err := NewBus(k, Config{NumSel: 2, Regions: []Region{{Start: 0, Size: 0, Sel: 0}}}); err == nil {
+		t.Error("zero-size region must fail")
+	}
+	if _, err := NewBus(k, Config{NumSel: 2, Regions: []Region{{Start: 0, Size: 4, Sel: 5}}}); err == nil {
+		t.Error("out-of-range sel must fail")
+	}
+}
+
+func TestBridgeWriteReadRegister(t *testing.T) {
+	s := newAPBSystem(t)
+	s.m.Enqueue(ahb.Sequence{Ops: []ahb.Op{
+		{Kind: ahb.OpWrite, Addr: 0x1008, Data: []uint32{0xABCD1234}},
+		{Kind: ahb.OpRead, Addr: 0x1008},
+	}})
+	s.run(t, 60)
+	if !s.m.Done() {
+		t.Fatal("master must complete")
+	}
+	res := s.m.Results()
+	if len(res) != 2 {
+		t.Fatalf("results=%d, want 2", len(res))
+	}
+	if res[0].Resp != ahb.RespOkay || res[1].Resp != ahb.RespOkay {
+		t.Fatalf("responses: %+v", res)
+	}
+	if s.regs.Peek(2) != 0xABCD1234 {
+		t.Errorf("reg[2]=%#x, want 0xABCD1234", s.regs.Peek(2))
+	}
+	if res[1].Data != 0xABCD1234 {
+		t.Errorf("read=%#x, want 0xABCD1234", res[1].Data)
+	}
+	if s.bridge.Accesses != 2 {
+		t.Errorf("bridge accesses=%d, want 2", s.bridge.Accesses)
+	}
+	if s.apbBus.Transfers != 2 {
+		t.Errorf("apb transfers=%d, want 2", s.apbBus.Transfers)
+	}
+}
+
+func TestBridgeTakesTwoWaitStates(t *testing.T) {
+	s := newAPBSystem(t)
+	s.m.Enqueue(ahb.Sequence{Ops: []ahb.Op{
+		{Kind: ahb.OpWrite, Addr: 0x1000, Data: []uint32{1}},
+	}})
+	s.run(t, 40)
+	if s.m.Stats().WaitCycle < 2 {
+		t.Errorf("wait cycles=%d, want >=2 (SETUP+ENABLE)", s.m.Stats().WaitCycle)
+	}
+}
+
+func TestBridgeUnmappedAPBAddressErrors(t *testing.T) {
+	s := newAPBSystem(t)
+	// 0x1F00 is behind the bridge on AHB but outside both APB regions.
+	s.m.Enqueue(ahb.Sequence{Ops: []ahb.Op{
+		{Kind: ahb.OpWrite, Addr: 0x1F00, Data: []uint32{1}},
+	}})
+	s.run(t, 40)
+	res := s.m.Results()
+	if len(res) != 1 || res[0].Resp != ahb.RespError {
+		t.Fatalf("results=%+v, want one ERROR", res)
+	}
+	if s.bridge.Errors != 1 {
+		t.Errorf("bridge errors=%d, want 1", s.bridge.Errors)
+	}
+}
+
+func TestMultipleRegisters(t *testing.T) {
+	s := newAPBSystem(t)
+	var ops []ahb.Op
+	for i := 0; i < 4; i++ {
+		ops = append(ops, ahb.Op{Kind: ahb.OpWrite, Addr: uint32(0x1000 + 4*i), Data: []uint32{uint32(0x100 + i)}})
+	}
+	for i := 0; i < 4; i++ {
+		ops = append(ops, ahb.Op{Kind: ahb.OpRead, Addr: uint32(0x1000 + 4*i)})
+	}
+	s.m.Enqueue(ahb.Sequence{Ops: ops})
+	s.run(t, 120)
+	res := s.m.Results()
+	if len(res) != 8 {
+		t.Fatalf("results=%d, want 8", len(res))
+	}
+	for i := 0; i < 4; i++ {
+		if s.regs.Peek(i) != uint32(0x100+i) {
+			t.Errorf("reg[%d]=%#x", i, s.regs.Peek(i))
+		}
+		if res[4+i].Data != uint32(0x100+i) {
+			t.Errorf("read[%d]=%#x, want %#x", i, res[4+i].Data, 0x100+i)
+		}
+	}
+}
+
+func TestTimerCounts(t *testing.T) {
+	s := newAPBSystem(t)
+	s.run(t, 50)
+	if s.timer.Count() < 40 {
+		t.Errorf("timer=%d, want ~50", s.timer.Count())
+	}
+	// Read the timer over the bus; it returns a recent (slightly stale)
+	// count, which must be positive and below the current count.
+	s.m.Enqueue(ahb.Sequence{Ops: []ahb.Op{{Kind: ahb.OpRead, Addr: 0x1100}}})
+	s.run(t, 30)
+	res := s.m.Results()
+	if len(res) != 1 {
+		t.Fatalf("results=%d", len(res))
+	}
+	if res[0].Data == 0 || res[0].Data > s.timer.Count() {
+		t.Errorf("timer read=%d, current=%d", res[0].Data, s.timer.Count())
+	}
+}
+
+func TestMixedAHBAndAPBTraffic(t *testing.T) {
+	s := newAPBSystem(t)
+	s.m.Enqueue(ahb.Sequence{Ops: []ahb.Op{
+		{Kind: ahb.OpWrite, Addr: 0x0010, Data: []uint32{0xAA}}, // AHB memory
+		{Kind: ahb.OpWrite, Addr: 0x1004, Data: []uint32{0xBB}}, // APB reg
+		{Kind: ahb.OpRead, Addr: 0x0010},
+		{Kind: ahb.OpRead, Addr: 0x1004},
+	}})
+	s.run(t, 80)
+	res := s.m.Results()
+	if len(res) != 4 {
+		t.Fatalf("results=%d, want 4", len(res))
+	}
+	if res[2].Data != 0xAA {
+		t.Errorf("AHB read=%#x", res[2].Data)
+	}
+	if res[3].Data != 0xBB {
+		t.Errorf("APB read=%#x", res[3].Data)
+	}
+}
+
+func TestBadBridgeAndPeripheralIndexes(t *testing.T) {
+	s := newAPBSystem(t)
+	if _, err := NewBridge(s.ahbBus, 9, s.apbBus); err == nil {
+		t.Error("bad bridge index must fail")
+	}
+	if _, err := NewRegisterBlock(s.apbBus, 9, 0, 4); err == nil {
+		t.Error("bad sel must fail")
+	}
+	if _, err := NewRegisterBlock(s.apbBus, 0, 0, 0); err == nil {
+		t.Error("empty register block must fail")
+	}
+}

@@ -1,0 +1,356 @@
+// Package asb models the AMBA ASB (Advanced System Bus), the predecessor
+// of the AHB and the third bus topology the paper's §5 enumerates ("the
+// AHB, the Advanced System Bus (ASB) and the Advanced Peripheral Bus
+// (APB)"). The model is cycle-accurate at the granularity the power
+// methodology needs, with the defining architectural difference preserved:
+// ASB uses a single shared (tri-state) data bus BD for both directions,
+// where the AHB splits write and read data onto separate always-driven
+// multiplexed paths.
+//
+// Simplifications relative to the full rev 2.0 ASB, documented here
+// per DESIGN.md: the two-phase clocking is flattened to single-edge
+// cycles, BLAST-initiated burst retraction is not modeled, and there is
+// no SPLIT/RETRY (ASB has none — its only abnormal response is BERROR).
+package asb
+
+import (
+	"fmt"
+
+	"ahbpower/internal/sim"
+)
+
+// BTRAN transaction-type encoding.
+const (
+	TranAddressOnly uint8 = 0 // no data movement
+	TranNonSeq      uint8 = 2
+	TranSeq         uint8 = 3
+)
+
+// Region maps an address range to a slave index.
+type Region struct {
+	Start uint32
+	Size  uint32
+	Slave int
+}
+
+// Config parameterizes an ASB instance.
+type Config struct {
+	Name        string
+	NumMasters  int
+	NumSlaves   int
+	Regions     []Region
+	ClockPeriod sim.Time
+	DataWidth   int
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.NumMasters < 1 || c.NumMasters > 16 {
+		return fmt.Errorf("asb: NumMasters=%d, want 1..16", c.NumMasters)
+	}
+	if c.NumSlaves < 1 || c.NumSlaves > 16 {
+		return fmt.Errorf("asb: NumSlaves=%d, want 1..16", c.NumSlaves)
+	}
+	if c.DataWidth != 8 && c.DataWidth != 16 && c.DataWidth != 32 {
+		return fmt.Errorf("asb: DataWidth=%d, want 8/16/32", c.DataWidth)
+	}
+	if c.ClockPeriod <= 0 {
+		return fmt.Errorf("asb: ClockPeriod must be positive")
+	}
+	for i, r := range c.Regions {
+		if r.Slave < 0 || r.Slave >= c.NumSlaves {
+			return fmt.Errorf("asb: region %d maps to slave %d, out of range", i, r.Slave)
+		}
+		if r.Size == 0 {
+			return fmt.Errorf("asb: region %d has zero size", i)
+		}
+	}
+	return nil
+}
+
+// masterPorts bundles one master's outputs.
+type masterPorts struct {
+	AReq  *sim.Signal[bool]
+	BTran *sim.Signal[uint8]
+	BA    *sim.Signal[uint32]
+	BWr   *sim.Signal[bool]
+	BDOut *sim.Signal[uint32] // write-data drive value
+}
+
+// slavePorts bundles one slave's outputs.
+type slavePorts struct {
+	BWait  *sim.Signal[bool]
+	BError *sim.Signal[bool]
+	BDOut  *sim.Signal[uint32] // read-data drive value
+}
+
+// CycleInfo is a settled per-cycle ASB snapshot for power probes.
+type CycleInfo struct {
+	Cycle    uint64
+	Time     sim.Time
+	Tran     uint8
+	Addr     uint32
+	Write    bool
+	BD       uint32 // the shared data bus value this cycle
+	Wait     bool
+	Error    bool
+	Master   uint8
+	SelIdx   int
+	Requests uint16
+	Handover bool
+}
+
+// Bus is the ASB interconnect: central arbiter, decoder, and the shared
+// data bus resolution.
+type Bus struct {
+	Cfg Config
+	K   *sim.Kernel
+	Clk *sim.Clock
+
+	M []masterPorts
+	S []slavePorts
+
+	AGnt    []*sim.Signal[bool]
+	GntIdx  *sim.Signal[uint8]
+	BTran   *sim.Signal[uint8]
+	BA      *sim.Signal[uint32]
+	BWrite  *sim.Signal[bool]
+	BD      *sim.Signal[uint32] // shared data bus (tri-state modeled as a keeper)
+	BWait   *sim.Signal[bool]
+	BError  *sim.Signal[bool]
+	Sel     []*sim.Signal[bool]
+	SelIdx  *sim.Signal[int]
+	BMaster *sim.Signal[uint8] // address-phase owner
+
+	// Data-phase bookkeeping.
+	DataSlave *sim.Signal[int]
+	DataWrite *sim.Signal[bool]
+
+	cycleHooks []func(CycleInfo)
+	cycles     uint64
+	lastOwner  uint8
+}
+
+// DataMask returns the data-width mask.
+func (b *Bus) DataMask() uint32 {
+	if b.Cfg.DataWidth >= 32 {
+		return ^uint32(0)
+	}
+	return (uint32(1) << uint(b.Cfg.DataWidth)) - 1
+}
+
+// New creates an ASB.
+func New(k *sim.Kernel, cfg Config) (*Bus, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Name == "" {
+		cfg.Name = "asb"
+	}
+	b := &Bus{Cfg: cfg, K: k}
+	n := cfg.Name
+	b.Clk = sim.NewClock(k, n+".bclk", cfg.ClockPeriod)
+	for m := 0; m < cfg.NumMasters; m++ {
+		p := fmt.Sprintf("%s.m%d.", n, m)
+		b.M = append(b.M, masterPorts{
+			AReq:  sim.NewBool(k, p+"areq", false),
+			BTran: sim.NewSignal[uint8](k, p+"btran", TranAddressOnly),
+			BA:    sim.NewSignal[uint32](k, p+"ba", 0),
+			BWr:   sim.NewBool(k, p+"bwrite", false),
+			BDOut: sim.NewSignal[uint32](k, p+"bdout", 0),
+		})
+		b.AGnt = append(b.AGnt, sim.NewBool(k, fmt.Sprintf("%s.agnt%d", n, m), m == 0))
+	}
+	for s := 0; s < cfg.NumSlaves; s++ {
+		p := fmt.Sprintf("%s.s%d.", n, s)
+		b.S = append(b.S, slavePorts{
+			BWait:  sim.NewBool(k, p+"bwait", false),
+			BError: sim.NewBool(k, p+"berror", false),
+			BDOut:  sim.NewSignal[uint32](k, p+"bdout", 0),
+		})
+		b.Sel = append(b.Sel, sim.NewBool(k, fmt.Sprintf("%s.dsel%d", n, s), false))
+	}
+	b.GntIdx = sim.NewSignal[uint8](k, n+".gntidx", 0)
+	b.BTran = sim.NewSignal[uint8](k, n+".btran", TranAddressOnly)
+	b.BA = sim.NewSignal[uint32](k, n+".ba", 0)
+	b.BWrite = sim.NewBool(k, n+".bwrite", false)
+	b.BD = sim.NewSignal[uint32](k, n+".bd", 0)
+	b.BWait = sim.NewBool(k, n+".bwait", false)
+	b.BError = sim.NewBool(k, n+".berror", false)
+	b.SelIdx = sim.NewSignal[int](k, n+".selidx", -1)
+	b.BMaster = sim.NewSignal[uint8](k, n+".bmaster", 0)
+	b.DataSlave = sim.NewSignal[int](k, n+".dataslave", -1)
+	b.DataWrite = sim.NewBool(k, n+".datawrite", false)
+
+	b.buildDecoder()
+	b.buildAddrMux()
+	b.buildDataBus()
+	b.buildResponse()
+	b.buildArbiter()
+	b.buildCycleProbe()
+	return b, nil
+}
+
+func (b *Bus) buildDecoder() {
+	b.K.Method(b.Cfg.Name+".decoder", func() {
+		addr := b.BA.Read()
+		idx := -2
+		for _, r := range b.Cfg.Regions {
+			if addr >= r.Start && addr-r.Start < r.Size {
+				idx = r.Slave
+				break
+			}
+		}
+		for s := range b.Sel {
+			b.Sel[s].Write(idx == s)
+		}
+		b.SelIdx.Write(idx)
+	}, b.BA.Changed(), b.BTran.Changed())
+}
+
+// buildAddrMux steers the granted master's address/control onto the bus.
+func (b *Bus) buildAddrMux() {
+	var sens []sim.Trigger
+	for m := range b.M {
+		p := &b.M[m]
+		sens = append(sens, p.BTran.Changed(), p.BA.Changed(), p.BWr.Changed())
+	}
+	sens = append(sens, b.BMaster.Changed())
+	b.K.Method(b.Cfg.Name+".addrmux", func() {
+		m := int(b.BMaster.Read())
+		if m >= len(b.M) {
+			m = 0
+		}
+		p := &b.M[m]
+		b.BTran.Write(p.BTran.Read())
+		b.BA.Write(p.BA.Read())
+		b.BWrite.Write(p.BWr.Read())
+	}, sens...)
+}
+
+// buildDataBus resolves the single shared data bus: during a write data
+// phase the data-phase master drives it; during a read data phase the
+// selected slave drives it; otherwise the keeper holds the last value
+// (tri-state bus with bus keepers).
+func (b *Bus) buildDataBus() {
+	var sens []sim.Trigger
+	for m := range b.M {
+		sens = append(sens, b.M[m].BDOut.Changed())
+	}
+	for s := range b.S {
+		sens = append(sens, b.S[s].BDOut.Changed())
+	}
+	sens = append(sens, b.DataSlave.Changed(), b.DataWrite.Changed(), b.BMaster.Changed())
+	b.K.Method(b.Cfg.Name+".databus", func() {
+		ds := b.DataSlave.Read()
+		if ds < 0 {
+			return // keeper holds the previous value
+		}
+		if b.DataWrite.Read() {
+			m := int(b.BMaster.Read())
+			if m < len(b.M) {
+				b.BD.Write(b.M[m].BDOut.Read() & b.DataMask())
+			}
+		} else if ds < len(b.S) {
+			b.BD.Write(b.S[ds].BDOut.Read() & b.DataMask())
+		}
+	}, sens...)
+}
+
+// buildResponse merges the slave wait/error lines.
+func (b *Bus) buildResponse() {
+	var sens []sim.Trigger
+	for s := range b.S {
+		sens = append(sens, b.S[s].BWait.Changed(), b.S[s].BError.Changed())
+	}
+	sens = append(sens, b.DataSlave.Changed())
+	b.K.Method(b.Cfg.Name+".response", func() {
+		ds := b.DataSlave.Read()
+		if ds >= 0 && ds < len(b.S) {
+			b.BWait.Write(b.S[ds].BWait.Read())
+			b.BError.Write(b.S[ds].BError.Read())
+		} else if ds == -2 {
+			// Unmapped: immediate error.
+			b.BWait.Write(false)
+			b.BError.Write(true)
+		} else {
+			b.BWait.Write(false)
+			b.BError.Write(false)
+		}
+	}, sens...)
+}
+
+// buildArbiter advances grants and data-phase bookkeeping on edges where
+// the bus is not waited.
+func (b *Bus) buildArbiter() {
+	b.K.MethodNoInit(b.Cfg.Name+".arbiter", func() {
+		if b.BWait.Read() {
+			return
+		}
+		cur := int(b.GntIdx.Read())
+		b.BMaster.Write(uint8(cur))
+		t := b.BTran.Read()
+		if t == TranNonSeq || t == TranSeq {
+			b.DataSlave.Write(b.SelIdx.Read())
+			b.DataWrite.Write(b.BWrite.Read())
+		} else {
+			b.DataSlave.Write(-1)
+		}
+		// Sticky arbitration: keep the owner while it requests.
+		next := cur
+		if !b.M[cur].AReq.Read() {
+			next = 0
+			for m := 0; m < b.Cfg.NumMasters; m++ {
+				if b.M[m].AReq.Read() {
+					next = m
+					break
+				}
+			}
+		}
+		if next != cur {
+			for m := range b.AGnt {
+				b.AGnt[m].Write(m == next)
+			}
+			b.GntIdx.Write(uint8(next))
+		}
+	}, b.Clk.Posedge())
+}
+
+func (b *Bus) buildCycleProbe() {
+	b.K.AtEndOfTimestep(func(t sim.Time) {
+		if !b.Clk.Signal().Read() {
+			return
+		}
+		b.cycles++
+		ci := CycleInfo{
+			Cycle:  b.cycles,
+			Time:   t,
+			Tran:   b.BTran.Read(),
+			Addr:   b.BA.Read(),
+			Write:  b.BWrite.Read(),
+			BD:     b.BD.Read(),
+			Wait:   b.BWait.Read(),
+			Error:  b.BError.Read(),
+			Master: b.BMaster.Read(),
+			SelIdx: b.SelIdx.Read(),
+		}
+		for m := range b.M {
+			if b.M[m].AReq.Read() {
+				ci.Requests |= 1 << uint(m)
+			}
+		}
+		ci.Handover = ci.Master != b.lastOwner
+		b.lastOwner = ci.Master
+		for _, fn := range b.cycleHooks {
+			fn(ci)
+		}
+	})
+}
+
+// OnCycle registers a per-cycle observer.
+func (b *Bus) OnCycle(fn func(CycleInfo)) {
+	b.cycleHooks = append(b.cycleHooks, fn)
+}
+
+// Cycles returns the number of observed bus cycles.
+func (b *Bus) Cycles() uint64 { return b.cycles }

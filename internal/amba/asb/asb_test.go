@@ -1,0 +1,227 @@
+package asb
+
+import (
+	"testing"
+
+	"ahbpower/internal/sim"
+)
+
+type asbSystem struct {
+	k      *sim.Kernel
+	bus    *Bus
+	m      []*Master
+	slaves []*MemorySlave
+}
+
+func newASB(t *testing.T, nMasters, waits int) *asbSystem {
+	t.Helper()
+	k := sim.NewKernel()
+	bus, err := New(k, Config{
+		NumMasters: nMasters,
+		NumSlaves:  2,
+		Regions: []Region{
+			{Start: 0, Size: 0x1000, Slave: 0},
+			{Start: 0x1000, Size: 0x1000, Slave: 1},
+		},
+		ClockPeriod: 10 * sim.Nanosecond,
+		DataWidth:   32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &asbSystem{k: k, bus: bus}
+	for i := 0; i < nMasters; i++ {
+		mm, err := NewMaster(bus, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mm.KeepResults(true)
+		s.m = append(s.m, mm)
+	}
+	for i := 0; i < 2; i++ {
+		sl, err := NewMemorySlave(bus, i, waits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.slaves = append(s.slaves, sl)
+	}
+	return s
+}
+
+func (s *asbSystem) run(t *testing.T, n uint64) {
+	t.Helper()
+	if err := s.k.RunCycles(s.bus.Clk, n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestASBConfigValidation(t *testing.T) {
+	k := sim.NewKernel()
+	bad := []Config{
+		{NumMasters: 0, NumSlaves: 1, ClockPeriod: 1, DataWidth: 32},
+		{NumMasters: 1, NumSlaves: 0, ClockPeriod: 1, DataWidth: 32},
+		{NumMasters: 1, NumSlaves: 1, ClockPeriod: 1, DataWidth: 9},
+		{NumMasters: 1, NumSlaves: 1, ClockPeriod: 0, DataWidth: 32},
+		{NumMasters: 1, NumSlaves: 1, ClockPeriod: 1, DataWidth: 32,
+			Regions: []Region{{Start: 0, Size: 0, Slave: 0}}},
+		{NumMasters: 1, NumSlaves: 1, ClockPeriod: 1, DataWidth: 32,
+			Regions: []Region{{Start: 0, Size: 4, Slave: 7}}},
+	}
+	for i, c := range bad {
+		if _, err := New(k, c); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestASBWriteRead(t *testing.T) {
+	s := newASB(t, 1, 0)
+	s.m[0].Enqueue(Sequence{Ops: []Op{
+		{Kind: OpWrite, Addr: 0x40, Data: []uint32{0xFEED0001}},
+		{Kind: OpRead, Addr: 0x40},
+	}})
+	s.run(t, 50)
+	if !s.m[0].Done() {
+		t.Fatal("master must finish")
+	}
+	res := s.m[0].Results()
+	if len(res) != 2 {
+		t.Fatalf("results=%d, want 2", len(res))
+	}
+	if res[1].Data != 0xFEED0001 || res[1].Error {
+		t.Errorf("read %+v", res[1])
+	}
+	if s.slaves[0].Peek(0x40) != 0xFEED0001 {
+		t.Errorf("mem=%#x", s.slaves[0].Peek(0x40))
+	}
+}
+
+func TestASBBurst(t *testing.T) {
+	s := newASB(t, 1, 0)
+	data := []uint32{1, 2, 3, 4, 5, 6, 7, 8}
+	s.m[0].Enqueue(Sequence{Ops: []Op{
+		{Kind: OpWrite, Addr: 0x100, Data: data},
+		{Kind: OpRead, Addr: 0x100, Beats: 8},
+	}})
+	s.run(t, 60)
+	res := s.m[0].Results()
+	if len(res) != 16 {
+		t.Fatalf("results=%d, want 16", len(res))
+	}
+	for i, want := range data {
+		if res[8+i].Data != want {
+			t.Errorf("read beat %d = %d, want %d", i, res[8+i].Data, want)
+		}
+	}
+}
+
+func TestASBWaitStates(t *testing.T) {
+	for _, waits := range []int{1, 3} {
+		s := newASB(t, 1, waits)
+		s.m[0].Enqueue(Sequence{Ops: []Op{
+			{Kind: OpWrite, Addr: 0x20, Data: []uint32{0x77}},
+			{Kind: OpRead, Addr: 0x20},
+		}})
+		s.run(t, 80)
+		if !s.m[0].Done() {
+			t.Fatalf("waits=%d: master stuck", waits)
+		}
+		res := s.m[0].Results()
+		if res[1].Data != 0x77 {
+			t.Errorf("waits=%d: read=%#x", waits, res[1].Data)
+		}
+	}
+}
+
+func TestASBTwoMasters(t *testing.T) {
+	s := newASB(t, 2, 0)
+	s.m[0].Enqueue(Sequence{Ops: []Op{
+		{Kind: OpWrite, Addr: 0x10, Data: []uint32{0xA}},
+		{Kind: OpRead, Addr: 0x10},
+	}, IdleAfter: 3})
+	s.m[1].Enqueue(Sequence{Ops: []Op{
+		{Kind: OpWrite, Addr: 0x1010, Data: []uint32{0xB}},
+		{Kind: OpRead, Addr: 0x1010},
+	}, IdleAfter: 3})
+	s.run(t, 200)
+	if !s.m[0].Done() || !s.m[1].Done() {
+		t.Fatal("both masters must finish")
+	}
+	if s.m[0].Results()[1].Data != 0xA {
+		t.Errorf("m0 read=%#x", s.m[0].Results()[1].Data)
+	}
+	if s.m[1].Results()[1].Data != 0xB {
+		t.Errorf("m1 read=%#x", s.m[1].Results()[1].Data)
+	}
+}
+
+func TestASBUnmappedError(t *testing.T) {
+	s := newASB(t, 1, 0)
+	s.m[0].Enqueue(Sequence{Ops: []Op{
+		{Kind: OpWrite, Addr: 0xF0000000, Data: []uint32{1}},
+		{Kind: OpWrite, Addr: 0x10, Data: []uint32{2}},
+	}})
+	s.run(t, 50)
+	res := s.m[0].Results()
+	if len(res) != 2 {
+		t.Fatalf("results=%d, want 2", len(res))
+	}
+	if !res[0].Error {
+		t.Error("unmapped access must raise BERROR")
+	}
+	if res[1].Error || s.slaves[0].Peek(0x10) != 2 {
+		t.Error("following access must succeed")
+	}
+}
+
+func TestASBSharedBusCarriesBothDirections(t *testing.T) {
+	// The defining ASB feature: write data and read data appear on the
+	// same BD wires.
+	s := newASB(t, 1, 0)
+	var bdSeen []uint32
+	s.bus.OnCycle(func(ci CycleInfo) { bdSeen = append(bdSeen, ci.BD) })
+	s.slaves[0].Poke(0x80, 0x1234)
+	s.m[0].Enqueue(Sequence{Ops: []Op{
+		{Kind: OpWrite, Addr: 0x40, Data: []uint32{0xAAAA}},
+		{Kind: OpRead, Addr: 0x80},
+	}})
+	s.run(t, 30)
+	sawWrite, sawRead := false, false
+	for _, v := range bdSeen {
+		if v == 0xAAAA {
+			sawWrite = true
+		}
+		if v == 0x1234 {
+			sawRead = true
+		}
+	}
+	if !sawWrite || !sawRead {
+		t.Errorf("BD must carry both write (0xAAAA seen=%v) and read (0x1234 seen=%v) data", sawWrite, sawRead)
+	}
+}
+
+func TestASBCycleProbe(t *testing.T) {
+	s := newASB(t, 1, 0)
+	var n uint64
+	s.bus.OnCycle(func(ci CycleInfo) { n = ci.Cycle })
+	s.run(t, 25)
+	if n < 20 {
+		t.Errorf("probe saw %d cycles, want ~25", n)
+	}
+	if s.bus.Cycles() != n {
+		t.Errorf("Cycles()=%d, probe=%d", s.bus.Cycles(), n)
+	}
+}
+
+func TestASBBadIndexes(t *testing.T) {
+	s := newASB(t, 1, 0)
+	if _, err := NewMaster(s.bus, 9); err == nil {
+		t.Error("bad master index must fail")
+	}
+	if _, err := NewMemorySlave(s.bus, 9, 0); err == nil {
+		t.Error("bad slave index must fail")
+	}
+	if _, err := NewMemorySlave(s.bus, 0, -1); err == nil {
+		t.Error("negative waits must fail")
+	}
+}

@@ -1,0 +1,54 @@
+package charact
+
+import (
+	"ahbpower/internal/power"
+)
+
+// FitBusModels characterizes all four sub-blocks of a bus configuration
+// at gate level and returns a complete, serializable model set: the
+// decoder and both multiplexers carry fitted coefficients, the arbiter
+// keeps its structural FSM coefficients (its CActive term is behavioral,
+// not structural — see power.ArbiterModel). This is the full
+// IP-characterization deliverable of the paper's §3: run once per
+// configuration, save with power.SaveModels, reuse everywhere.
+//
+// The mux netlists are characterized at a reduced width (16 bits) for
+// tractability and the linear-in-w coefficients rescaled, exploiting the
+// macromodel's linearity in the datapath width.
+func FitBusModels(numMasters, numSlaves, dataWidth, vectors int, seed int64, tech power.Tech) (*power.Models, error) {
+	models, err := power.DefaultModels(numMasters, numSlaves, dataWidth, tech)
+	if err != nil {
+		return nil, err
+	}
+
+	// Decoder: fit CHD / CEvent directly at full size.
+	decFit, err := CharacterizeDecoder(models.Dec.NO, vectors, seed, tech)
+	if err != nil {
+		return nil, err
+	}
+	scale := tech.VDD * tech.VDD / 4
+	models.Dec.CHD = decFit.Coef[0] / scale
+	models.Dec.CEvent = decFit.Coef[1] / scale
+
+	// Muxes: characterize a 16-bit-wide instance and scale the
+	// width-proportional select coefficient; CIn and COut are per-bit and
+	// carry over directly.
+	const fitW = 16
+	fitMux := func(target *power.MuxModel, muxSeed int64) error {
+		_, fitted, err := CharacterizeMux(fitW, target.N, vectors, muxSeed, tech)
+		if err != nil {
+			return err
+		}
+		target.CIn = fitted.CIn
+		target.COut = fitted.COut
+		target.CSel = fitted.CSel * float64(target.W) / float64(fitW)
+		return nil
+	}
+	if err := fitMux(models.M2S, seed+1); err != nil {
+		return nil, err
+	}
+	if err := fitMux(models.S2M, seed+2); err != nil {
+		return nil, err
+	}
+	return models, nil
+}

@@ -1,0 +1,408 @@
+package core
+
+import (
+	"fmt"
+
+	"ahbpower/internal/amba/ahb"
+	"ahbpower/internal/power"
+	"ahbpower/internal/stats"
+)
+
+// Style selects how the power model is integrated into the executable
+// specification — the three alternatives of the paper's Fig. 1.
+type Style uint8
+
+// Power-model integration styles.
+const (
+	// StyleGlobal implements the power analysis "in a further specific
+	// module": the analyzer observes only the shared (muxed) bus signals
+	// once per settled cycle. Most reusable, least intrusive, slight
+	// approximation of mux input activity.
+	StyleGlobal Style = iota
+	// StyleLocal adds a monitor FSM to the bus module itself: besides the
+	// shared signals it reads every master/slave port, capturing input-side
+	// activity the global analyzer cannot see.
+	StyleLocal
+	// StylePrivate instruments the components: signal watchers count every
+	// transition, including multi-delta glitches, at the highest accuracy
+	// and the highest simulation cost.
+	StylePrivate
+)
+
+// String names the style.
+func (s Style) String() string {
+	switch s {
+	case StyleGlobal:
+		return "global"
+	case StyleLocal:
+		return "local"
+	case StylePrivate:
+		return "private"
+	}
+	return fmt.Sprintf("style(%d)", uint8(s))
+}
+
+// AnalyzerConfig parameterizes the power analyzer.
+type AnalyzerConfig struct {
+	Style Style
+	Tech  power.Tech
+	// TraceWindow enables windowed power traces with the given window
+	// duration in seconds (0 disables tracing).
+	TraceWindow float64
+	// RecordActivity keeps per-signal switching statistics (the paper's
+	// Activity object); adds memory and time cost.
+	RecordActivity bool
+	// DPM, when non-nil, enables the dynamic-power-management savings
+	// estimator (see DPMConfig).
+	DPM *DPMConfig
+	// Models, when non-nil, supplies characterized macromodels (e.g.
+	// loaded with power.LoadModels) instead of the structural defaults —
+	// the IP-reuse flow of the paper's §2.
+	Models *power.Models
+}
+
+// Analyzer computes, cycle by cycle, the energy of each AHB sub-block from
+// the energy macromodels, classifies the cycle in the power FSM, and
+// accumulates Table 1 / Figs. 3-6 data. It corresponds to the paper's
+// power_fsm plus get_activity instrumentation, compiled in only when
+// requested (the POWERTEST switch is the decision to call Attach at all).
+type Analyzer struct {
+	cfg AnalyzerConfig
+	sys *System
+
+	dec *power.DecoderModel
+	m2s *power.MuxModel
+	s2m *power.MuxModel
+	arb *power.ArbiterModel
+
+	fsm      *power.FSM
+	bd       power.Breakdown
+	activity *power.Activity
+	dpm      *dpmState
+
+	tTotal, tM2S, tDEC, tARB, tS2M *stats.Windower
+
+	// Previous-cycle snapshot for Hamming distances.
+	havePrev   bool
+	prevDecIn  uint64
+	prevAddr   uint32
+	prevCtrl   uint64
+	prevWdata  uint32
+	prevRdata  uint32
+	prevS2MCtl uint64
+	prevM2SSel uint64
+	prevS2MSel uint64
+	prevReq    uint16
+	prevGrant  uint16
+
+	lastActiveMaster uint8
+	haveActive       bool
+
+	// Private-style glitch accumulators, filled by signal watchers and
+	// drained once per cycle.
+	privM2S int
+	privS2M int
+	privDec int
+	privArb int
+
+	// Local-style per-port history (previous sampled values).
+	localPrev  []uint64
+	localFirst bool
+}
+
+// Attach builds an analyzer and hooks it into the system. It must be
+// called before the simulation starts.
+func Attach(sys *System, cfg AnalyzerConfig) (*Analyzer, error) {
+	bus := sys.Bus
+	tech := cfg.Tech
+	if tech.VDD == 0 {
+		tech = power.DefaultTech()
+	}
+	models := cfg.Models
+	if models == nil {
+		var err error
+		models, err = power.DefaultModels(bus.Cfg.NumMasters, bus.Cfg.NumSlaves, bus.Cfg.DataWidth, tech)
+		if err != nil {
+			return nil, err
+		}
+	} else if err := models.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Analyzer{
+		cfg: cfg,
+		sys: sys,
+		dec: models.Dec,
+		m2s: models.M2S,
+		s2m: models.S2M,
+		arb: models.Arb,
+		fsm: power.NewFSM(),
+	}
+	a.cfg.Tech = tech
+	if cfg.TraceWindow > 0 {
+		a.tTotal = stats.NewWindower("AHB total", cfg.TraceWindow)
+		a.tM2S = stats.NewWindower("M2S mux", cfg.TraceWindow)
+		a.tDEC = stats.NewWindower("decoder", cfg.TraceWindow)
+		a.tARB = stats.NewWindower("arbiter", cfg.TraceWindow)
+		a.tS2M = stats.NewWindower("S2M mux", cfg.TraceWindow)
+	}
+	if cfg.RecordActivity {
+		a.activity = power.NewActivity()
+	}
+	if cfg.DPM != nil {
+		a.dpm = newDPMState(*cfg.DPM)
+	}
+	if cfg.Style == StylePrivate {
+		a.attachWatchers()
+	}
+	if cfg.Style == StyleLocal {
+		a.localPrev = make([]uint64, 3*len(bus.M)+2*len(bus.S))
+	}
+	bus.OnCycle(a.onCycle)
+	return a, nil
+}
+
+// attachWatchers installs the private-style transition counters directly
+// on the component output signals.
+func (a *Analyzer) attachWatchers() {
+	bus := a.sys.Bus
+	bus.HAddr.Watch(func(o, n uint32) { a.privM2S += stats.Hamming32(o, n) })
+	bus.HWdata.Watch(func(o, n uint32) { a.privM2S += stats.Hamming32(o, n) })
+	bus.HTrans.Watch(func(o, n uint8) { a.privM2S += stats.Hamming(uint64(o), uint64(n)) })
+	bus.HWrite.Watch(func(o, n bool) { a.privM2S += stats.HammingBool(o, n) })
+	bus.HSize.Watch(func(o, n uint8) { a.privM2S += stats.Hamming(uint64(o), uint64(n)) })
+	bus.HBurst.Watch(func(o, n uint8) { a.privM2S += stats.Hamming(uint64(o), uint64(n)) })
+	bus.HRdata.Watch(func(o, n uint32) { a.privS2M += stats.Hamming32(o, n) })
+	bus.HResp.Watch(func(o, n uint8) { a.privS2M += stats.Hamming(uint64(o), uint64(n)) })
+	bus.HReady.Watch(func(o, n bool) { a.privS2M += stats.HammingBool(o, n) })
+	bus.SelIdx.Watch(func(o, n int) { a.privDec += stats.Hamming(a.encodeSel(o), a.encodeSel(n)) })
+	for m := range bus.Grant {
+		bus.Grant[m].Watch(func(o, n bool) { a.privArb += stats.HammingBool(o, n) })
+		bus.M[m].BusReq.Watch(func(o, n bool) { a.privArb += stats.HammingBool(o, n) })
+	}
+}
+
+// encodeSel maps a decoded slave index to the decoder-input binary code.
+func (a *Analyzer) encodeSel(idx int) uint64 {
+	if idx >= 0 {
+		return uint64(idx)
+	}
+	return uint64(a.sys.Bus.Cfg.NumSlaves) // default-slave code
+}
+
+// packCtrl packs the muxed control lines into one activity word.
+func packCtrl(ci ahb.CycleInfo) uint64 {
+	v := uint64(ci.Trans) & 3
+	if ci.Write {
+		v |= 1 << 2
+	}
+	v |= uint64(ci.Size&7) << 3
+	v |= uint64(ci.Burst&7) << 6
+	return v
+}
+
+// onCycle is the per-cycle analysis hook.
+func (a *Analyzer) onCycle(ci ahb.CycleInfo) {
+	bus := a.sys.Bus
+	state := a.classify(ci)
+
+	if a.cfg.Style == StyleLocal && !a.havePrev {
+		// Prime the per-port history so the first measured cycle does not
+		// count transitions from the zero state.
+		a.localFirst = true
+		a.localM2SInputHD()
+		a.localS2MInputHD()
+		a.localFirst = false
+	}
+
+	decIn := a.encodeSel(ci.SelIdx)
+	ctrl := packCtrl(ci)
+	s2mCtl := uint64(ci.Resp) & 3
+	if ci.Ready {
+		s2mCtl |= 4
+	}
+	m2sSel := uint64(ci.Master) | uint64(ci.DataMaster)<<4
+	s2mSel := a.encodeSel(ci.DataSlave) // -1 and -2 fold to the spare code
+	if ci.DataSlave == -1 {
+		s2mSel = uint64(bus.Cfg.NumSlaves)
+	}
+	grant := uint16(1) << ci.GrantIdx
+
+	if a.activity != nil {
+		a.activity.StoreActivity("HADDR", uint64(ci.Addr))
+		a.activity.StoreActivity("HWDATA", uint64(ci.Wdata))
+		a.activity.StoreActivity("HRDATA", uint64(ci.Rdata))
+		a.activity.StoreActivity("HTRANS", uint64(ci.Trans))
+		a.activity.StoreActivity("HMASTER", uint64(ci.Master))
+		a.activity.StoreActivity("HBUSREQ", uint64(ci.Requests))
+		a.activity.StoreActivity("HGRANT", uint64(grant))
+		a.activity.StoreActivity("HSEL", decIn)
+	}
+
+	var eDEC, eM2S, eS2M, eARB float64
+	if a.havePrev {
+		hdDec := stats.Hamming(a.prevDecIn, decIn)
+		hdAddr := stats.Hamming32(a.prevAddr, ci.Addr)
+		hdCtrl := stats.Hamming(a.prevCtrl, ctrl)
+		hdWdata := stats.Hamming32(a.prevWdata, ci.Wdata)
+		hdRdata := stats.Hamming32(a.prevRdata, ci.Rdata)
+		hdS2MCtl := stats.Hamming(a.prevS2MCtl, s2mCtl)
+		hdM2SSel := stats.Hamming(a.prevM2SSel, m2sSel)
+		hdS2MSel := stats.Hamming(a.prevS2MSel, s2mSel)
+		hdReq := stats.Hamming(uint64(a.prevReq), uint64(ci.Requests))
+		hdGrant := stats.Hamming(uint64(a.prevGrant), uint64(grant))
+
+		m2sOut := hdAddr + hdCtrl + hdWdata
+		s2mOut := hdRdata + hdS2MCtl
+
+		// Global-style input estimate: output activity stands in for input
+		// activity, except in re-steer cycles where output churn comes
+		// from the select change, not from the inputs.
+		m2sIn, s2mIn := m2sOut, s2mOut
+		if hdM2SSel > 0 {
+			m2sIn = 0
+		}
+		if hdS2MSel > 0 {
+			s2mIn = 0
+		}
+		switch a.cfg.Style {
+		case StyleLocal:
+			// The local monitor reads every master port: input activity is
+			// measured, not approximated from the muxed outputs.
+			m2sIn = a.localM2SInputHD()
+			s2mIn = a.localS2MInputHD()
+		case StylePrivate:
+			// Watchers counted every transition including glitches.
+			m2sIn, m2sOut = a.privM2S, a.privM2S
+			s2mIn, s2mOut = a.privS2M, a.privS2M
+			hdDec = a.privDec
+			hdReq = 0 // folded into privArb
+			hdGrant = a.privArb
+			a.privM2S, a.privS2M, a.privDec, a.privArb = 0, 0, 0, 0
+		}
+
+		eDEC = a.dec.Energy(hdDec)
+		eM2S = a.m2s.Energy(m2sIn, hdM2SSel, m2sOut) + a.m2s.ClockEnergy()
+		eS2M = a.s2m.Energy(s2mIn, hdS2MSel, s2mOut) + a.s2m.ClockEnergy()
+		eARB = a.arb.Energy(hdReq, hdGrant, ci.Handover, state == power.IdleHO)
+	}
+
+	a.prevDecIn = decIn
+	a.prevAddr = ci.Addr
+	a.prevCtrl = ctrl
+	a.prevWdata = ci.Wdata
+	a.prevRdata = ci.Rdata
+	a.prevS2MCtl = s2mCtl
+	a.prevM2SSel = m2sSel
+	a.prevS2MSel = s2mSel
+	a.prevReq = ci.Requests
+	a.prevGrant = grant
+	a.havePrev = true
+
+	total := eDEC + eM2S + eS2M + eARB
+	a.bd.Add(power.BlockDEC, eDEC)
+	a.bd.Add(power.BlockM2S, eM2S)
+	a.bd.Add(power.BlockS2M, eS2M)
+	a.bd.Add(power.BlockARB, eARB)
+
+	a.fsm.Step(state, total)
+	if a.dpm != nil {
+		// Only the clock-tree component is gateable; see DPMConfig.
+		a.dpm.observe(state, a.m2s.ClockEnergy()+a.s2m.ClockEnergy())
+	}
+
+	if a.tTotal != nil {
+		t := ci.Time.Seconds()
+		a.tTotal.Deposit(t, total)
+		a.tM2S.Deposit(t, eM2S)
+		a.tDEC.Deposit(t, eDEC)
+		a.tARB.Deposit(t, eARB)
+		a.tS2M.Deposit(t, eS2M)
+	}
+}
+
+// localHD updates one slot of the per-port history and returns the
+// Hamming distance to the previous sample.
+func (a *Analyzer) localHD(slot int, v uint64) int {
+	hd := 0
+	if !a.localFirst {
+		hd = stats.Hamming(a.localPrev[slot], v)
+	}
+	a.localPrev[slot] = v
+	return hd
+}
+
+// localM2SInputHD measures per-master input activity (local style): the
+// monitor FSM inside the bus module reads every master port directly
+// instead of approximating input activity from the muxed outputs.
+func (a *Analyzer) localM2SInputHD() int {
+	bus := a.sys.Bus
+	hd := 0
+	for m := range bus.M {
+		p := &bus.M[m]
+		base := 3 * m
+		hd += a.localHD(base, uint64(p.Addr.Read()))
+		hd += a.localHD(base+1, uint64(p.Wdata.Read()))
+		hd += a.localHD(base+2, uint64(p.Trans.Read()))
+	}
+	return hd
+}
+
+// localS2MInputHD measures per-slave output activity (local style).
+func (a *Analyzer) localS2MInputHD() int {
+	bus := a.sys.Bus
+	hd := 0
+	off := 3 * len(bus.M)
+	for s := range bus.S {
+		p := &bus.S[s]
+		base := off + 2*s
+		hd += a.localHD(base, uint64(p.Rdata.Read()))
+		hd += a.localHD(base+1, uint64(p.Resp.Read()))
+	}
+	return hd
+}
+
+// classify maps a settled bus cycle to one of the paper's four activity
+// modes. BUSY cycles count as idle datapath cycles. An idle cycle belongs
+// to IDLE_HO — "IDLE with bus handover" — when the bus is inside an
+// arbitration window: the last master that actually transferred data has
+// released its request (so ownership is being handed over), or ownership
+// changed in this very cycle. An idle cycle while the transferring master
+// still holds the bus (e.g. BUSY or an idle op with the request kept) is
+// plain IDLE.
+func (a *Analyzer) classify(ci ahb.CycleInfo) power.State {
+	if ci.Trans == ahb.TransNonseq || ci.Trans == ahb.TransSeq {
+		a.lastActiveMaster = ci.Master
+		a.haveActive = true
+		if ci.Write {
+			return power.Write
+		}
+		return power.Read
+	}
+	if !a.haveActive {
+		return power.Idle
+	}
+	released := ci.Requests&(1<<a.lastActiveMaster) == 0
+	if ci.Handover || released || ci.Master != a.lastActiveMaster {
+		return power.IdleHO
+	}
+	return power.Idle
+}
+
+// FSM exposes the instruction statistics.
+func (a *Analyzer) FSM() *power.FSM { return a.fsm }
+
+// Breakdown exposes the per-block energy accumulation.
+func (a *Analyzer) Breakdown() *power.Breakdown { return &a.bd }
+
+// Activity exposes the per-signal switching store (nil unless enabled).
+func (a *Analyzer) Activity() *power.Activity { return a.activity }
+
+// DPM returns the dynamic-power-management estimate, or nil when the
+// estimator was not enabled.
+func (a *Analyzer) DPM() *DPMEstimate {
+	if a.dpm == nil {
+		return nil
+	}
+	est := a.dpm.estimate()
+	return &est
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"ahbpower/internal/amba/ahb"
+	"ahbpower/internal/power"
+)
+
+// newClassifier builds an analyzer wired to a minimal system, for direct
+// classification testing.
+func newClassifier(t *testing.T) *Analyzer {
+	t.Helper()
+	sys, err := NewSystem(PaperSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := Attach(sys, AnalyzerConfig{Style: StyleGlobal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return an
+}
+
+func ci(trans uint8, write bool, master uint8, requests uint16, handover bool) ahb.CycleInfo {
+	return ahb.CycleInfo{Trans: trans, Write: write, Master: master, Requests: requests, Handover: handover}
+}
+
+func TestClassifyActiveTransfers(t *testing.T) {
+	a := newClassifier(t)
+	if got := a.classify(ci(ahb.TransNonseq, true, 0, 1, false)); got != power.Write {
+		t.Errorf("NONSEQ write -> %v, want WRITE", got)
+	}
+	if got := a.classify(ci(ahb.TransSeq, false, 0, 1, false)); got != power.Read {
+		t.Errorf("SEQ read -> %v, want READ", got)
+	}
+}
+
+func TestClassifyIdleBeforeAnyTransfer(t *testing.T) {
+	a := newClassifier(t)
+	// No transfer observed yet: idle cycles are plain IDLE even with
+	// handovers (start-up arbitration noise).
+	if got := a.classify(ci(ahb.TransIdle, false, 2, 0, true)); got != power.Idle {
+		t.Errorf("startup idle -> %v, want IDLE", got)
+	}
+}
+
+func TestClassifyIdleWhileOwnerHoldsBus(t *testing.T) {
+	a := newClassifier(t)
+	a.classify(ci(ahb.TransNonseq, true, 1, 1<<1, false)) // master 1 transfers
+	// Master 1 idles but keeps requesting: plain IDLE.
+	if got := a.classify(ci(ahb.TransIdle, false, 1, 1<<1, false)); got != power.Idle {
+		t.Errorf("idle-with-request -> %v, want IDLE", got)
+	}
+	// BUSY counts as an idle datapath cycle too.
+	if got := a.classify(ci(ahb.TransBusy, false, 1, 1<<1, false)); got != power.Idle {
+		t.Errorf("BUSY -> %v, want IDLE", got)
+	}
+}
+
+func TestClassifyIdleHOWhenOwnerReleases(t *testing.T) {
+	a := newClassifier(t)
+	a.classify(ci(ahb.TransNonseq, false, 1, 1<<1, false))
+	// Master 1 released its request: the bus enters the handover window
+	// even before HMASTER moves.
+	if got := a.classify(ci(ahb.TransIdle, false, 1, 0, false)); got != power.IdleHO {
+		t.Errorf("released idle -> %v, want IDLE_HO", got)
+	}
+	// Ownership moved to the default master: still handover idle.
+	if got := a.classify(ci(ahb.TransIdle, false, 2, 0, false)); got != power.IdleHO {
+		t.Errorf("parked idle -> %v, want IDLE_HO", got)
+	}
+}
+
+func TestClassifyHandoverCycleIsIdleHO(t *testing.T) {
+	a := newClassifier(t)
+	a.classify(ci(ahb.TransNonseq, true, 0, 1, false))
+	if got := a.classify(ci(ahb.TransIdle, false, 0, 1, true)); got != power.IdleHO {
+		t.Errorf("handover cycle -> %v, want IDLE_HO", got)
+	}
+}
+
+func TestClassifyNewOwnerTransferEndsHandover(t *testing.T) {
+	a := newClassifier(t)
+	a.classify(ci(ahb.TransNonseq, true, 0, 1, false))
+	a.classify(ci(ahb.TransIdle, false, 0, 0, false)) // IDLE_HO
+	a.classify(ci(ahb.TransIdle, false, 2, 2, true))  // IDLE_HO (moving)
+	got := a.classify(ci(ahb.TransNonseq, true, 1, 2, true))
+	if got != power.Write {
+		t.Errorf("first transfer of new owner -> %v, want WRITE", got)
+	}
+	// Subsequent idle under the new owner with request held: plain IDLE.
+	if got := a.classify(ci(ahb.TransIdle, false, 1, 2, false)); got != power.Idle {
+		t.Errorf("post-takeover idle -> %v, want IDLE", got)
+	}
+}

@@ -1,0 +1,163 @@
+// Package core is the executable form of the paper's methodology: it
+// builds the instrumented AHB system (the testbench of §5 — two masters, a
+// simple default master and three slaves), runs system-level simulations,
+// and produces the paper's outputs: the per-instruction energy table
+// (Table 1), per-sub-block power traces (Figs. 3-5) and the sub-block
+// contribution breakdown (Fig. 6).
+package core
+
+import (
+	"fmt"
+
+	"ahbpower/internal/amba/ahb"
+	"ahbpower/internal/power"
+	"ahbpower/internal/sim"
+	"ahbpower/internal/workload"
+)
+
+// SystemConfig describes an AHB system under power analysis.
+type SystemConfig struct {
+	// NumActiveMasters is the number of workload-driven masters.
+	NumActiveMasters int
+	// WithDefaultMaster adds the paper's "simple default master": an extra
+	// port that never requests and drives IDLE whenever granted.
+	WithDefaultMaster bool
+	NumSlaves         int
+	SlaveWaits        int
+	ClockPeriod       sim.Time
+	DataWidth         int
+	Policy            ahb.ArbPolicy
+	SlaveRegionSize   uint32 // bytes per slave region (default 4 KB)
+}
+
+// PaperSystem returns the configuration of the paper's testbench: two
+// masters, a simple default master and three slaves on a 100 MHz AHB.
+func PaperSystem() SystemConfig {
+	return SystemConfig{
+		NumActiveMasters:  2,
+		WithDefaultMaster: true,
+		NumSlaves:         3,
+		SlaveWaits:        0,
+		ClockPeriod:       10 * sim.Nanosecond, // 100 MHz
+		DataWidth:         32,
+		Policy:            ahb.PolicySticky,
+	}
+}
+
+// System is a fully built simulation: kernel, bus, masters and slaves.
+type System struct {
+	Cfg     SystemConfig
+	K       *sim.Kernel
+	Bus     *ahb.Bus
+	Masters []*ahb.Master // active masters only
+	Default *ahb.Master   // the default master, if configured
+	Slaves  []*ahb.MemorySlave
+	Monitor *ahb.Monitor
+}
+
+// NewSystem builds a system from the configuration. Each slave owns a
+// contiguous region of SlaveRegionSize bytes starting at slave*size.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	if cfg.NumActiveMasters < 1 {
+		return nil, fmt.Errorf("core: NumActiveMasters=%d, want >=1", cfg.NumActiveMasters)
+	}
+	if cfg.SlaveRegionSize == 0 {
+		cfg.SlaveRegionSize = 0x1000
+	}
+	nm := cfg.NumActiveMasters
+	if cfg.WithDefaultMaster {
+		nm++
+	}
+	var regions []ahb.Region
+	for s := 0; s < cfg.NumSlaves; s++ {
+		regions = append(regions, ahb.Region{
+			Start: uint32(s) * cfg.SlaveRegionSize,
+			Size:  cfg.SlaveRegionSize,
+			Slave: s,
+		})
+	}
+	k := sim.NewKernel()
+	bus, err := ahb.New(k, ahb.Config{
+		NumMasters:    nm,
+		NumSlaves:     cfg.NumSlaves,
+		Regions:       regions,
+		ClockPeriod:   cfg.ClockPeriod,
+		DataWidth:     cfg.DataWidth,
+		Policy:        cfg.Policy,
+		DefaultMaster: nm - 1, // the default master sits on the last port
+	})
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{Cfg: cfg, K: k, Bus: bus, Monitor: ahb.NewMonitor(bus)}
+	for m := 0; m < cfg.NumActiveMasters; m++ {
+		mm, err := ahb.NewMaster(bus, m)
+		if err != nil {
+			return nil, err
+		}
+		sys.Masters = append(sys.Masters, mm)
+	}
+	if cfg.WithDefaultMaster {
+		dm, err := ahb.NewMaster(bus, nm-1)
+		if err != nil {
+			return nil, err
+		}
+		sys.Default = dm // empty script: drives IDLE forever
+	}
+	for s := 0; s < cfg.NumSlaves; s++ {
+		sl, err := ahb.NewMemorySlave(bus, s, cfg.SlaveWaits)
+		if err != nil {
+			return nil, err
+		}
+		sys.Slaves = append(sys.Slaves, sl)
+	}
+	return sys, nil
+}
+
+// LoadPaperWorkload loads every active master with the paper's testbench
+// traffic sized to roughly the requested total cycle count.
+func (s *System) LoadPaperWorkload(targetCycles uint64) error {
+	// Each sequence occupies ~50 transfer cycles plus tens of idle cycles;
+	// size the sequence count so the masters stay busy for the whole run.
+	perMaster := int(targetCycles)/100 + 2
+	for m, mm := range s.Masters {
+		cfg := workload.PaperTestbench(m, perMaster)
+		cfg.AddrSize = uint32(s.Cfg.NumSlaves) * s.Cfg.SlaveRegionSize
+		seqs, err := workload.Generate(cfg)
+		if err != nil {
+			return err
+		}
+		mm.Enqueue(seqs...)
+	}
+	return nil
+}
+
+// LoadWorkload generates traffic from one configuration per active master
+// (missing entries reuse the last configuration with a shifted seed).
+func (s *System) LoadWorkload(cfgs ...workload.Config) error {
+	if len(cfgs) == 0 {
+		return fmt.Errorf("core: no workload configurations")
+	}
+	for m, mm := range s.Masters {
+		cfg := cfgs[len(cfgs)-1]
+		if m < len(cfgs) {
+			cfg = cfgs[m]
+		} else {
+			cfg.Seed += int64(m) * 104729
+		}
+		seqs, err := workload.Generate(cfg)
+		if err != nil {
+			return err
+		}
+		mm.Enqueue(seqs...)
+	}
+	return nil
+}
+
+// Run advances the simulation by n bus clock cycles.
+func (s *System) Run(n uint64) error {
+	return s.K.RunCycles(s.Bus.Clk, n)
+}
+
+// Tech is re-exported for convenience.
+type Tech = power.Tech

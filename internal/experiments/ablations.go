@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"ahbpower/internal/core"
+	"ahbpower/internal/power"
+	"ahbpower/internal/workload"
+)
+
+// GranularityResult is the §3 ablation: instruction-set granularity versus
+// prediction accuracy. A coarse model (energy per activity mode, 4
+// "instructions") and the paper's fine model (energy per transition, 10
+// instructions) are characterized on one workload and used to predict the
+// energy of a different workload from instruction counts alone.
+type GranularityResult struct {
+	MeasuredJ float64
+	CoarsePct float64 // prediction error of the per-state model
+	FinePct   float64 // prediction error of the per-transition model
+	Text      string
+}
+
+// Granularity runs the granularity ablation: characterize on seed A's
+// traffic, predict seed B's measured energy.
+func Granularity(cycles uint64) (*GranularityResult, error) {
+	runWith := func(seedOffset int64) (*core.Analyzer, error) {
+		sys, err := core.NewSystem(core.PaperSystem())
+		if err != nil {
+			return nil, err
+		}
+		for m, mm := range sys.Masters {
+			cfg := workload.PaperTestbench(m, int(cycles)/100+2)
+			cfg.Seed += seedOffset
+			seqs, err := workload.Generate(cfg)
+			if err != nil {
+				return nil, err
+			}
+			mm.Enqueue(seqs...)
+		}
+		an, err := core.Attach(sys, core.AnalyzerConfig{Style: core.StyleGlobal})
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.Run(cycles); err != nil {
+			return nil, err
+		}
+		return an, nil
+	}
+
+	train, err := runWith(0)
+	if err != nil {
+		return nil, err
+	}
+	test, err := runWith(0x1000)
+	if err != nil {
+		return nil, err
+	}
+
+	// Characterize on the training run.
+	fineAvg := map[power.Instruction]float64{}
+	coarseEnergy := map[power.State]float64{}
+	coarseCount := map[power.State]uint64{}
+	for _, st := range train.FSM().Stats() {
+		fineAvg[st.Instruction] = st.AverageEnergy()
+		coarseEnergy[st.Instruction.To] += st.Energy
+		coarseCount[st.Instruction.To] += st.Count
+	}
+	coarseAvg := map[power.State]float64{}
+	for s, e := range coarseEnergy {
+		if coarseCount[s] > 0 {
+			coarseAvg[s] = e / float64(coarseCount[s])
+		}
+	}
+
+	// Predict the test run from its instruction counts.
+	measured := test.FSM().TotalEnergy()
+	var finePred, coarsePred float64
+	for _, st := range test.FSM().Stats() {
+		if avg, ok := fineAvg[st.Instruction]; ok {
+			finePred += avg * float64(st.Count)
+		} else {
+			// Unseen instruction: fall back to the coarse estimate.
+			finePred += coarseAvg[st.Instruction.To] * float64(st.Count)
+		}
+		coarsePred += coarseAvg[st.Instruction.To] * float64(st.Count)
+	}
+	res := &GranularityResult{
+		MeasuredJ: measured,
+		CoarsePct: 100 * math.Abs(coarsePred-measured) / measured,
+		FinePct:   100 * math.Abs(finePred-measured) / measured,
+	}
+	var b strings.Builder
+	b.WriteString("Instruction-set granularity ablation (characterize on A, predict B)\n")
+	fmt.Fprintf(&b, "  measured            %s\n", core.FormatEnergy(measured))
+	fmt.Fprintf(&b, "  coarse (4 states)   %s  err %.2f%%\n", core.FormatEnergy(coarsePred), res.CoarsePct)
+	fmt.Fprintf(&b, "  fine (transitions)  %s  err %.2f%%\n", core.FormatEnergy(finePred), res.FinePct)
+	res.Text = b.String()
+	return res, nil
+}
+
+// StyleResult is the Fig. 1 ablation: the three power-model integration
+// styles compared on total energy and relative disagreement.
+type StyleResult struct {
+	EnergyJ map[string]float64
+	Text    string
+}
+
+// ModelStyles runs the same simulation under each integration style.
+func ModelStyles(cycles uint64) (*StyleResult, error) {
+	res := &StyleResult{EnergyJ: map[string]float64{}}
+	var b strings.Builder
+	b.WriteString("Power-model style ablation (identical workload)\n")
+	var ref float64
+	for _, style := range []core.Style{core.StyleGlobal, core.StyleLocal, core.StylePrivate} {
+		_, an, err := runPaper(cycles, core.AnalyzerConfig{Style: style})
+		if err != nil {
+			return nil, err
+		}
+		e := an.Report().TotalEnergy
+		res.EnergyJ[style.String()] = e
+		if style == core.StyleGlobal {
+			ref = e
+		}
+		fmt.Fprintf(&b, "  %-8s %s (%.1f%% vs global)\n", style, core.FormatEnergy(e), 100*(e/ref-1))
+	}
+	res.Text = b.String()
+	return res, nil
+}
+
+// ParametricResult is the A3 sweep: macromodel energy versus the number of
+// slaves (decoder) and datapath width (mux), demonstrating that the models
+// are parametric as §5.1 requires.
+type ParametricResult struct {
+	DecoderPJ map[int]float64 // per HD_IN=1 transition
+	MuxPJ     map[int]float64 // per 1-bit select toggle
+	Text      string
+}
+
+// Parametric evaluates the closed-form models over parameter sweeps.
+func Parametric() (*ParametricResult, error) {
+	tech := power.DefaultTech()
+	res := &ParametricResult{DecoderPJ: map[int]float64{}, MuxPJ: map[int]float64{}}
+	var b strings.Builder
+	b.WriteString("Parametric macromodels\n  decoder E(HD_IN=1) by n_O:\n")
+	for _, nO := range []int{2, 3, 4, 8, 16} {
+		m, err := power.NewDecoderModel(nO, tech)
+		if err != nil {
+			return nil, err
+		}
+		pj := m.Energy(1) * 1e12
+		res.DecoderPJ[nO] = pj
+		fmt.Fprintf(&b, "    n_O=%-3d %7.2f pJ\n", nO, pj)
+	}
+	b.WriteString("  mux E(HD_SEL=1) by width (n=3):\n")
+	for _, w := range []int{8, 16, 32, 64} {
+		m, err := power.NewMuxModel(w, 3, tech)
+		if err != nil {
+			return nil, err
+		}
+		pj := m.Energy(0, 1, 0) * 1e12
+		res.MuxPJ[w] = pj
+		fmt.Fprintf(&b, "    w=%-4d %7.2f pJ\n", w, pj)
+	}
+	res.Text = b.String()
+	return res, nil
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import "testing"
+
+func TestBurstAblationAmortizes(t *testing.T) {
+	res, err := BurstAblation(6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows=%d", len(res.Rows))
+	}
+	single, burst16 := res.Rows[0], res.Rows[3]
+	if single.Beats != 1 || burst16.Beats != 16 {
+		t.Fatalf("unexpected row order: %+v", res.Rows)
+	}
+	if single.DataBeats == 0 || burst16.DataBeats == 0 {
+		t.Fatal("no data moved")
+	}
+	// Long bursts amortize the address/control churn of the M2S datapath:
+	// with correlated payloads its per-beat energy must drop visibly from
+	// single transfers to 16-beat bursts. (The total per-beat number also
+	// carries idle-gap and arbitration energy, which track workload duty
+	// cycle, not burst length — so it is reported but not asserted.)
+	if burst16.M2SPJPerBeat >= single.M2SPJPerBeat*0.9 {
+		t.Errorf("16-beat bursts %.2f M2S pJ/beat must be well below singles %.2f",
+			burst16.M2SPJPerBeat, single.M2SPJPerBeat)
+	}
+	if burst16.PJPerBeat > single.PJPerBeat*1.1 {
+		t.Errorf("total per-beat energy should not grow with bursts: %.2f vs %.2f",
+			burst16.PJPerBeat, single.PJPerBeat)
+	}
+}
+
+func TestPatternAblationTracksActivity(t *testing.T) {
+	res, err := PatternAblation(6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]PatternRow{}
+	for _, r := range res.Rows {
+		byName[r.Pattern] = r
+	}
+	rnd := byName["random"]
+	low := byName["low-activity"]
+	cnt := byName["counter"]
+	if rnd.PJPerBeat == 0 || low.PJPerBeat == 0 || cnt.PJPerBeat == 0 {
+		t.Fatalf("missing rows: %+v", res.Rows)
+	}
+	// Hamming-distance-driven models: random (HD~16) must cost clearly
+	// more per beat than correlated data (HD~2).
+	if low.PJPerBeat >= rnd.PJPerBeat*0.85 {
+		t.Errorf("low-activity %.2f pJ/beat must be well below random %.2f", low.PJPerBeat, rnd.PJPerBeat)
+	}
+	if cnt.PJPerBeat >= rnd.PJPerBeat*0.85 {
+		t.Errorf("counter %.2f pJ/beat must be well below random %.2f", cnt.PJPerBeat, rnd.PJPerBeat)
+	}
+}
+
+func TestDPMSweepShape(t *testing.T) {
+	res, err := DPMSweep(8000, 5e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows=%d", len(res.Rows))
+	}
+	// Invariants: a later gate can never save more gross energy or wake
+	// more often; net savings depend on the wake cost and need not be
+	// monotone. At least one setting must save net energy on the
+	// gap-heavy paper workload.
+	anyPositive := false
+	for i, r := range res.Rows {
+		if i > 0 && r.GrossJ > res.Rows[i-1].GrossJ+1e-15 {
+			t.Errorf("threshold %d gross-saves more than threshold %d", r.Threshold, res.Rows[i-1].Threshold)
+		}
+		if i > 0 && r.Wakeups > res.Rows[i-1].Wakeups {
+			t.Errorf("threshold %d wakes more than threshold %d", r.Threshold, res.Rows[i-1].Threshold)
+		}
+		if r.NetSavedJ > 0 {
+			anyPositive = true
+		}
+		if r.SavingsPct > 30 {
+			t.Errorf("threshold %d: implausible savings %.1f%%", r.Threshold, r.SavingsPct)
+		}
+	}
+	if !anyPositive {
+		t.Error("no threshold saves energy on a gap-heavy workload")
+	}
+}
+
+func TestDPMHighWakeCostCanGoNegative(t *testing.T) {
+	// With an absurd wake cost, eager gating must lose energy — the
+	// estimator must report that honestly.
+	res, err := DPMSweep(4000, 5e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0].NetSavedJ >= 0 {
+		t.Errorf("threshold 1 with 5 nJ wake cost should lose energy, saved %g", res.Rows[0].NetSavedJ)
+	}
+}
+
+func TestCoSimDecoderFittedBeatsPaperFormula(t *testing.T) {
+	res, err := CoSimDecoder(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GateJ <= 0 {
+		t.Fatal("gate-level truth must be positive")
+	}
+	// The characterized model must track real traffic far better than the
+	// a-priori closed form — the reason the methodology has a
+	// characterization stage.
+	if res.FittedErrPct >= res.PaperErrPct {
+		t.Errorf("fitted err %.1f%% must beat paper-formula err %.1f%%",
+			res.FittedErrPct, res.PaperErrPct)
+	}
+	if res.FittedErrPct > 20 {
+		t.Errorf("fitted model err %.1f%%, want <20%% on real traffic", res.FittedErrPct)
+	}
+}
+
+func TestImplAblation(t *testing.T) {
+	res, err := ImplAblation(8, 2000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows=%d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.PJPerHD <= 0 || r.Gates == 0 {
+			t.Errorf("variant %q: gates=%d pJ/HD=%v", r.Variant, r.Gates, r.PJPerHD)
+		}
+	}
+	// The naive NAND mapping inflates the netlist; optimization must
+	// recover some of it.
+	if res.Rows[1].Gates <= res.Rows[0].Gates {
+		t.Error("NAND mapping must use more gates than the NOT/AND structure")
+	}
+	if res.Rows[2].Gates >= res.Rows[1].Gates {
+		t.Error("optimization must shrink the mapped netlist")
+	}
+	// Implementation choice must visibly shift the energy coefficient —
+	// the effect the experiment exists to demonstrate.
+	if res.Rows[1].PJPerHD <= res.Rows[0].PJPerHD {
+		t.Error("the larger NAND netlist must switch more capacitance per HD")
+	}
+}
+
+func TestCompareBusesShape(t *testing.T) {
+	res, err := CompareBuses(8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows=%d", len(res.Rows))
+	}
+	a, s := res.Rows[0], res.Rows[1]
+	if a.Bus != "AHB" || s.Bus != "ASB" {
+		t.Fatalf("row order: %+v", res.Rows)
+	}
+	if a.Beats == 0 || s.Beats == 0 {
+		t.Fatal("both buses must move data")
+	}
+	// Both buses carry the same traffic at zero wait states, so the beat
+	// counts must be close.
+	ratio := float64(a.Beats) / float64(s.Beats)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("beat counts diverge: AHB %d vs ASB %d", a.Beats, s.Beats)
+	}
+	// Energies must be the same order of magnitude: the architectures
+	// trade mux steering (AHB) against shared-rail loading (ASB).
+	eratio := a.PJPerBeat / s.PJPerBeat
+	if eratio < 0.3 || eratio > 3.5 {
+		t.Errorf("per-beat energies diverge beyond plausibility: AHB %.1f vs ASB %.1f pJ/beat",
+			a.PJPerBeat, s.PJPerBeat)
+	}
+}

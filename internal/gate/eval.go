@@ -1,0 +1,238 @@
+package gate
+
+import "fmt"
+
+// Tech bundles the technology constants used for energy accounting.
+// Following the paper's decoder macromodel, the dynamic energy charged per
+// node transition is E = (VDD²/4)·C_node. CPD is the "equivalent
+// capacitance of one node" for internal nets; COut the capacitance of
+// primary-output nets (C_O in the paper).
+type Tech struct {
+	VDD  float64 // supply voltage, volts
+	CPD  float64 // internal node capacitance, farads
+	COut float64 // primary-output node capacitance, farads
+}
+
+// EnergyPerTransition returns (VDD²/4)·c, the paper's per-transition energy
+// convention for a node of capacitance c.
+func (t Tech) EnergyPerTransition(c float64) float64 {
+	return t.VDD * t.VDD / 4 * c
+}
+
+// ApplyFanoutCaps replaces the uniform per-node capacitance with a
+// fanout-aware model: each net carries a base wire capacitance plus one
+// input-load capacitance per gate input it drives, and primary outputs
+// additionally carry cOut. This refines the paper's single C_PD
+// "equivalent capacitance of one node" for netlists where fanout varies
+// widely (e.g. the select lines of a wide multiplexer).
+func (n *Netlist) ApplyFanoutCaps(cWire, cInPerLoad, cOut float64) {
+	fanout := make([]int, len(n.nets))
+	for _, g := range n.gates {
+		for _, in := range g.In {
+			fanout[in]++
+		}
+	}
+	isOut := make([]bool, len(n.nets))
+	for _, o := range n.outputs {
+		isOut[o] = true
+	}
+	for i := range n.nets {
+		c := cWire + cInPerLoad*float64(fanout[i])
+		if isOut[i] {
+			c += cOut
+		}
+		n.nets[i].cap = c
+	}
+}
+
+// Eval is a zero-delay cycle-accurate evaluator of a Netlist with per-net
+// toggle counting. The evaluation model matches the macromodel convention:
+// each net value change in a settle pass counts as one transition of that
+// net's capacitance, with no glitch modeling.
+type Eval struct {
+	nl    *Netlist
+	tech  Tech
+	order []int // levelized combinational gate indices
+
+	val     []bool
+	toggles []uint64
+
+	totalToggles uint64
+	switchedCap  float64 // Σ C_net per transition, farads
+	caps         []float64
+	cycles       uint64
+}
+
+// NewEval validates the netlist and creates an evaluator. All nets start at
+// logic 0 with no transition charged.
+func NewEval(nl *Netlist, tech Tech) (*Eval, error) {
+	order, err := nl.Validate()
+	if err != nil {
+		return nil, err
+	}
+	e := &Eval{
+		nl:      nl,
+		tech:    tech,
+		order:   order,
+		val:     make([]bool, len(nl.nets)),
+		toggles: make([]uint64, len(nl.nets)),
+		caps:    make([]float64, len(nl.nets)),
+	}
+	isOut := make([]bool, len(nl.nets))
+	for _, o := range nl.outputs {
+		isOut[o] = true
+	}
+	for i, nt := range nl.nets {
+		switch {
+		case nt.cap >= 0:
+			e.caps[i] = nt.cap
+		case isOut[i]:
+			e.caps[i] = tech.COut
+		default:
+			e.caps[i] = tech.CPD
+		}
+	}
+	return e, nil
+}
+
+// setNet assigns a net value, charging a transition if it changes.
+func (e *Eval) setNet(id NetID, v bool) {
+	if e.val[id] == v {
+		return
+	}
+	e.val[id] = v
+	e.toggles[id]++
+	e.totalToggles++
+	e.switchedCap += e.caps[id]
+}
+
+// SetInput assigns a primary input. Call Settle afterwards to propagate.
+func (e *Eval) SetInput(id NetID, v bool) {
+	e.setNet(id, v)
+}
+
+// SetInputs assigns the value's low bits to the primary inputs in creation
+// order (bit 0 to the first input).
+func (e *Eval) SetInputs(v uint64) {
+	for i, id := range e.nl.inputs {
+		e.SetInput(id, v&(1<<uint(i)) != 0)
+	}
+}
+
+func (e *Eval) evalGate(g *Gate) bool {
+	switch g.Kind {
+	case Buf:
+		return e.val[g.In[0]]
+	case Not:
+		return !e.val[g.In[0]]
+	case And, Nand:
+		v := true
+		for _, in := range g.In {
+			v = v && e.val[in]
+		}
+		if g.Kind == Nand {
+			return !v
+		}
+		return v
+	case Or, Nor:
+		v := false
+		for _, in := range g.In {
+			v = v || e.val[in]
+		}
+		if g.Kind == Nor {
+			return !v
+		}
+		return v
+	case Xor:
+		return e.val[g.In[0]] != e.val[g.In[1]]
+	case Xnor:
+		return e.val[g.In[0]] == e.val[g.In[1]]
+	case Mux2:
+		if e.val[g.In[2]] {
+			return e.val[g.In[1]]
+		}
+		return e.val[g.In[0]]
+	}
+	panic(fmt.Sprintf("gate: evalGate on %v", g.Kind))
+}
+
+// Settle propagates the combinational logic to a fixpoint (a single
+// levelized pass, since the netlist is acyclic).
+func (e *Eval) Settle() {
+	for _, gi := range e.order {
+		g := &e.nl.gates[gi]
+		e.setNet(g.Out, e.evalGate(g))
+	}
+}
+
+// ClockTick captures every DFF's D input into its Q output simultaneously,
+// then settles the combinational logic. It models one rising clock edge.
+func (e *Eval) ClockTick() {
+	type upd struct {
+		out NetID
+		v   bool
+	}
+	var ups []upd
+	for i := range e.nl.gates {
+		g := &e.nl.gates[i]
+		if g.Kind == Dff {
+			ups = append(ups, upd{g.Out, e.val[g.In[0]]})
+		}
+	}
+	for _, u := range ups {
+		e.setNet(u.out, u.v)
+	}
+	e.Settle()
+	e.cycles++
+}
+
+// Cycle applies an input vector, settles, and ticks the clock: the
+// standard per-clock-cycle stimulus step used during characterization.
+func (e *Eval) Cycle(inputs uint64) {
+	e.SetInputs(inputs)
+	e.Settle()
+	e.ClockTick()
+}
+
+// Output reads the settled value of a net.
+func (e *Eval) Output(id NetID) bool { return e.val[id] }
+
+// OutputBits packs the primary outputs into a uint64 (first output at bit 0).
+func (e *Eval) OutputBits() uint64 {
+	var v uint64
+	for i, id := range e.nl.outputs {
+		if e.val[id] {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// Toggles returns the transition count of one net.
+func (e *Eval) Toggles(id NetID) uint64 { return e.toggles[id] }
+
+// TotalToggles returns the total transitions across all nets.
+func (e *Eval) TotalToggles() uint64 { return e.totalToggles }
+
+// SwitchedCap returns the accumulated switched capacitance in farads.
+func (e *Eval) SwitchedCap() float64 { return e.switchedCap }
+
+// Energy returns the accumulated dynamic energy in joules under the
+// paper's E = (VDD²/4)·C-per-transition convention.
+func (e *Eval) Energy() float64 {
+	return e.tech.EnergyPerTransition(e.switchedCap)
+}
+
+// Cycles returns the number of ClockTicks executed.
+func (e *Eval) Cycles() uint64 { return e.cycles }
+
+// ResetCounters zeroes the energy/toggle accounting without touching the
+// logic state; used to discard warm-up transients during characterization.
+func (e *Eval) ResetCounters() {
+	for i := range e.toggles {
+		e.toggles[i] = 0
+	}
+	e.totalToggles = 0
+	e.switchedCap = 0
+	e.cycles = 0
+}

@@ -1,0 +1,362 @@
+package gate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var testTech = Tech{VDD: 1.8, CPD: 20e-15, COut: 50e-15}
+
+// buildComb constructs a netlist computing one gate over two inputs.
+func buildComb(t *testing.T, k Kind) (*Netlist, *Eval) {
+	t.Helper()
+	nl := NewNetlist("comb")
+	a := nl.AddInput("a")
+	b := nl.AddInput("b")
+	y := nl.MustGate(k, "y", a, b)
+	nl.MarkOutput(y)
+	e, err := NewEval(nl, testTech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl, e
+}
+
+func TestGateTruthTables(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		tt   [4]bool // outputs for ab = 00,01,10,11 (a is bit0)
+	}{
+		{And, [4]bool{false, false, false, true}},
+		{Or, [4]bool{false, true, true, true}},
+		{Nand, [4]bool{true, true, true, false}},
+		{Nor, [4]bool{true, false, false, false}},
+		{Xor, [4]bool{false, true, true, false}},
+		{Xnor, [4]bool{true, false, false, true}},
+	}
+	for _, c := range cases {
+		_, e := buildComb(t, c.kind)
+		for v := uint64(0); v < 4; v++ {
+			e.SetInputs(v)
+			e.Settle()
+			want := c.tt[v]
+			if got := e.OutputBits() == 1; got != want {
+				t.Errorf("%v(%02b) = %v, want %v", c.kind, v, got, want)
+			}
+		}
+	}
+}
+
+func TestNotBufMux(t *testing.T) {
+	nl := NewNetlist("t")
+	a := nl.AddInput("a")
+	b := nl.AddInput("b")
+	s := nl.AddInput("s")
+	nb := nl.MustGate(Not, "nb", a)
+	bf := nl.MustGate(Buf, "bf", a)
+	mx := nl.MustGate(Mux2, "mx", a, b, s)
+	nl.MarkOutput(nb)
+	nl.MarkOutput(bf)
+	nl.MarkOutput(mx)
+	e, err := NewEval(nl, testTech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(0); v < 8; v++ {
+		e.SetInputs(v)
+		e.Settle()
+		av := v&1 != 0
+		bv := v&2 != 0
+		sv := v&4 != 0
+		if e.Output(nb) != !av {
+			t.Errorf("NOT wrong at %03b", v)
+		}
+		if e.Output(bf) != av {
+			t.Errorf("BUF wrong at %03b", v)
+		}
+		want := av
+		if sv {
+			want = bv
+		}
+		if e.Output(mx) != want {
+			t.Errorf("MUX2 wrong at %03b", v)
+		}
+	}
+}
+
+func TestWideAnd(t *testing.T) {
+	nl := NewNetlist("t")
+	var ins []NetID
+	for i := 0; i < 5; i++ {
+		ins = append(ins, nl.AddInput("i"))
+	}
+	y := nl.MustGate(And, "y", ins...)
+	nl.MarkOutput(y)
+	e, err := NewEval(nl, testTech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetInputs(0x1F)
+	e.Settle()
+	if !e.Output(y) {
+		t.Error("AND of all-ones must be 1")
+	}
+	e.SetInputs(0x1D)
+	e.Settle()
+	if e.Output(y) {
+		t.Error("AND with a zero input must be 0")
+	}
+}
+
+func TestToggleCounting(t *testing.T) {
+	nl := NewNetlist("t")
+	a := nl.AddInput("a")
+	y := nl.MustGate(Not, "y", a)
+	nl.MarkOutput(y)
+	e, err := NewEval(nl, testTech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Settle() // y rises to 1: one toggle on y
+	if e.Toggles(y) != 1 || e.Toggles(a) != 0 {
+		t.Fatalf("after init: toggles(y)=%d toggles(a)=%d", e.Toggles(y), e.Toggles(a))
+	}
+	e.SetInputs(1)
+	e.Settle() // a rises, y falls
+	if e.Toggles(a) != 1 || e.Toggles(y) != 2 {
+		t.Errorf("toggles a=%d y=%d, want 1 2", e.Toggles(a), e.Toggles(y))
+	}
+	if e.TotalToggles() != 3 {
+		t.Errorf("TotalToggles=%d, want 3", e.TotalToggles())
+	}
+}
+
+func TestEnergyConvention(t *testing.T) {
+	nl := NewNetlist("t")
+	a := nl.AddInput("a")
+	y := nl.MustGate(Buf, "y", a)
+	nl.MarkOutput(y)
+	e, err := NewEval(nl, testTech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetInputs(1)
+	e.Settle()
+	// a toggled once (CPD, input default), y toggled once (COut).
+	wantCap := testTech.CPD + testTech.COut
+	if math.Abs(e.SwitchedCap()-wantCap) > 1e-21 {
+		t.Errorf("SwitchedCap=%g, want %g", e.SwitchedCap(), wantCap)
+	}
+	wantE := testTech.VDD * testTech.VDD / 4 * wantCap
+	if math.Abs(e.Energy()-wantE) > 1e-21 {
+		t.Errorf("Energy=%g, want %g", e.Energy(), wantE)
+	}
+}
+
+func TestSetCapOverride(t *testing.T) {
+	nl := NewNetlist("t")
+	a := nl.AddInput("a")
+	y := nl.MustGate(Buf, "y", a)
+	nl.MarkOutput(y)
+	nl.SetCap(a, 0) // free input transitions
+	nl.SetCap(y, 1e-12)
+	e, err := NewEval(nl, testTech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetInputs(1)
+	e.Settle()
+	if math.Abs(e.SwitchedCap()-1e-12) > 1e-21 {
+		t.Errorf("SwitchedCap=%g, want 1e-12", e.SwitchedCap())
+	}
+}
+
+func TestDffCapturesOnTick(t *testing.T) {
+	nl := NewNetlist("t")
+	d := nl.AddInput("d")
+	q := nl.AddNet("q")
+	if err := nl.Drive(Dff, q, d); err != nil {
+		t.Fatal(err)
+	}
+	nl.MarkOutput(q)
+	e, err := NewEval(nl, testTech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetInputs(1)
+	e.Settle()
+	if e.Output(q) {
+		t.Error("DFF must not propagate before the clock edge")
+	}
+	e.ClockTick()
+	if !e.Output(q) {
+		t.Error("DFF must capture D on the clock edge")
+	}
+	if e.Cycles() != 1 {
+		t.Errorf("Cycles=%d, want 1", e.Cycles())
+	}
+}
+
+func TestDffToggleRegister(t *testing.T) {
+	// q' = NOT q through a DFF: divides the clock by two.
+	nl := NewNetlist("t")
+	q := nl.AddNet("q")
+	nq := nl.AddNet("nq")
+	if err := nl.Drive(Not, nq, q); err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.Drive(Dff, q, nq); err != nil {
+		t.Fatal(err)
+	}
+	nl.MarkOutput(q)
+	e, err := NewEval(nl, testTech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Settle()
+	vals := make([]bool, 0, 4)
+	for i := 0; i < 4; i++ {
+		e.ClockTick()
+		vals = append(vals, e.Output(q))
+	}
+	want := []bool{true, false, true, false}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("toggle sequence %v, want %v", vals, want)
+		}
+	}
+}
+
+func TestResetCounters(t *testing.T) {
+	_, e := buildComb(t, Xor)
+	e.Cycle(1)
+	e.Cycle(2)
+	if e.TotalToggles() == 0 {
+		t.Fatal("expected some toggles")
+	}
+	e.ResetCounters()
+	if e.TotalToggles() != 0 || e.SwitchedCap() != 0 || e.Cycles() != 0 {
+		t.Error("ResetCounters must zero all accounting")
+	}
+	// Logic state preserved: inputs still 10 -> XOR=1.
+	if e.OutputBits() != 1 {
+		t.Error("ResetCounters must not disturb logic state")
+	}
+}
+
+func TestXorChainParity(t *testing.T) {
+	// Property: a chain of XORs computes parity for random inputs.
+	nl := NewNetlist("parity")
+	const w = 8
+	var ins []NetID
+	for i := 0; i < w; i++ {
+		ins = append(ins, nl.AddInput("i"))
+	}
+	acc := ins[0]
+	for i := 1; i < w; i++ {
+		acc = nl.MustGate(Xor, "x", acc, ins[i])
+	}
+	nl.MarkOutput(acc)
+	e, err := NewEval(nl, testTech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(v uint8) bool {
+		e.SetInputs(uint64(v))
+		e.Settle()
+		parity := false
+		for b := 0; b < 8; b++ {
+			if v&(1<<uint(b)) != 0 {
+				parity = !parity
+			}
+		}
+		return e.Output(acc) == parity
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnergyMonotoneNondecreasing(t *testing.T) {
+	_, e := buildComb(t, Xor)
+	prev := 0.0
+	f := func(v uint8) bool {
+		e.Cycle(uint64(v % 4))
+		cur := e.Energy()
+		ok := cur >= prev
+		prev = cur
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyFanoutCaps(t *testing.T) {
+	nl := NewNetlist("fan")
+	a := nl.AddInput("a") // drives 3 gate inputs
+	b := nl.AddInput("b") // drives 1
+	x := nl.MustGate(And, "x", a, b)
+	y := nl.MustGate(Or, "y", a, x)
+	z := nl.MustGate(Not, "z", a)
+	nl.MarkOutput(y)
+	nl.MarkOutput(z)
+	nl.ApplyFanoutCaps(10e-15, 5e-15, 40e-15)
+	e, err := NewEval(nl, testTech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a: wire 10 + 3 loads x5 = 25 fF; toggle it and check switched cap.
+	e.SetInput(a, true)
+	if got, want := e.caps[a], 25e-15; math.Abs(got-want) > 1e-21 {
+		t.Errorf("cap(a)=%g, want %g", got, want)
+	}
+	// b: 10 + 5 = 15 fF.
+	if got, want := e.caps[b], 15e-15; math.Abs(got-want) > 1e-21 {
+		t.Errorf("cap(b)=%g, want %g", got, want)
+	}
+	// y: output, fanout 0: 10 + 0 + 40 = 50 fF.
+	if got, want := e.caps[y], 50e-15; math.Abs(got-want) > 1e-21 {
+		t.Errorf("cap(y)=%g, want %g", got, want)
+	}
+	_ = x
+	_ = z
+}
+
+func TestFanoutCapsChangeEnergyDistribution(t *testing.T) {
+	// Under fanout-aware caps, toggling a high-fanout select line must
+	// cost more than under uniform caps relative to a data line.
+	build := func() *Netlist {
+		nl := NewNetlist("m")
+		sel := nl.AddInput("sel")
+		var outs []NetID
+		for i := 0; i < 8; i++ {
+			d := nl.AddInput("d")
+			outs = append(outs, nl.MustGate(And, "o", d, sel))
+		}
+		for _, o := range outs {
+			nl.MarkOutput(o)
+		}
+		return nl
+	}
+	uniform := build()
+	eu, err := NewEval(uniform, testTech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fanout := build()
+	fanout.ApplyFanoutCaps(testTech.CPD, testTech.CPD/2, testTech.COut)
+	ef, err := NewEval(fanout, testTech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Toggle only the select input on both.
+	eu.SetInput(uniform.Inputs()[0], true)
+	ef.SetInput(fanout.Inputs()[0], true)
+	// Select drives 8 loads: fanout-aware must charge more for this toggle.
+	if ef.SwitchedCap() <= eu.SwitchedCap() {
+		t.Errorf("fanout-aware select toggle %g must exceed uniform %g",
+			ef.SwitchedCap(), eu.SwitchedCap())
+	}
+}

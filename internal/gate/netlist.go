@@ -1,0 +1,255 @@
+// Package gate provides a gate-level netlist representation and a
+// zero-delay cycle-accurate evaluator with per-net toggle counting and
+// switched-capacitance energy accounting.
+//
+// The paper characterizes each AHB sub-block "using a low-level
+// description" synthesized and validated with Berkeley SIS. This package,
+// together with internal/synth, is the from-scratch substitute: structural
+// netlists of the same blocks (a one-hot decoder built only from NOT and
+// AND gates, AND-OR multiplexers, a priority-arbiter FSM) are simulated
+// here to obtain reference dynamic energies against which the system-level
+// macromodels are fitted and validated.
+package gate
+
+import (
+	"fmt"
+)
+
+// NetID identifies a net within a Netlist.
+type NetID int
+
+// Kind enumerates the supported gate types.
+type Kind uint8
+
+// Supported gate kinds.
+const (
+	Buf Kind = iota
+	Not
+	And
+	Or
+	Nand
+	Nor
+	Xor
+	Xnor
+	Mux2 // inputs: a, b, sel; output: sel ? b : a
+	Dff  // input: d; output: q (updated on ClockTick)
+)
+
+var kindNames = [...]string{"BUF", "NOT", "AND", "OR", "NAND", "NOR", "XOR", "XNOR", "MUX2", "DFF"}
+
+// String returns the conventional gate name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("KIND(%d)", uint8(k))
+}
+
+// arity returns the required input count, or -1 for variadic (>=2).
+func (k Kind) arity() int {
+	switch k {
+	case Buf, Not, Dff:
+		return 1
+	case Mux2:
+		return 3
+	case And, Or, Nand, Nor:
+		return -1
+	case Xor, Xnor:
+		return 2
+	}
+	return 0
+}
+
+// Gate is a single logic gate instance.
+type Gate struct {
+	Kind Kind
+	In   []NetID
+	Out  NetID
+}
+
+type net struct {
+	name   string
+	cap    float64 // node capacitance in farads; <0 means "use default"
+	driver int     // index of driving gate, -1 if primary input / undriven
+}
+
+// Netlist is a mutable gate-level circuit description. Build it with the
+// Add* methods, then create an Eval to simulate it.
+type Netlist struct {
+	Name    string
+	nets    []net
+	gates   []Gate
+	inputs  []NetID
+	outputs []NetID
+}
+
+// NewNetlist creates an empty netlist.
+func NewNetlist(name string) *Netlist {
+	return &Netlist{Name: name}
+}
+
+// AddNet creates an internal net with default capacitance and returns its id.
+func (n *Netlist) AddNet(name string) NetID {
+	n.nets = append(n.nets, net{name: name, cap: -1, driver: -1})
+	return NetID(len(n.nets) - 1)
+}
+
+// AddInput creates a primary-input net.
+func (n *Netlist) AddInput(name string) NetID {
+	id := n.AddNet(name)
+	n.inputs = append(n.inputs, id)
+	return id
+}
+
+// MarkOutput declares an existing net to be a primary output. Output nets
+// carry the (typically larger) output capacitance C_O unless overridden.
+func (n *Netlist) MarkOutput(id NetID) {
+	n.outputs = append(n.outputs, id)
+}
+
+// SetCap overrides the node capacitance of a net, in farads.
+func (n *Netlist) SetCap(id NetID, c float64) {
+	n.nets[id].cap = c
+}
+
+// NetName returns the diagnostic name of a net.
+func (n *Netlist) NetName(id NetID) string { return n.nets[id].name }
+
+// Inputs returns the primary-input nets in creation order.
+func (n *Netlist) Inputs() []NetID { return n.inputs }
+
+// Outputs returns the primary-output nets in declaration order.
+func (n *Netlist) Outputs() []NetID { return n.outputs }
+
+// NumGates returns the gate count.
+func (n *Netlist) NumGates() int { return len(n.gates) }
+
+// NumNets returns the net count.
+func (n *Netlist) NumNets() int { return len(n.nets) }
+
+// Gates returns the gate list (shared slice; do not mutate).
+func (n *Netlist) Gates() []Gate { return n.gates }
+
+// CountKind returns how many gates of the given kind the netlist contains.
+func (n *Netlist) CountKind(k Kind) int {
+	c := 0
+	for _, g := range n.gates {
+		if g.Kind == k {
+			c++
+		}
+	}
+	return c
+}
+
+// AddGate creates a gate driving a fresh net and returns the output net id.
+func (n *Netlist) AddGate(kind Kind, name string, in ...NetID) (NetID, error) {
+	out := n.AddNet(name)
+	if err := n.Drive(kind, out, in...); err != nil {
+		return 0, err
+	}
+	return out, nil
+}
+
+// MustGate is AddGate that panics on structural errors; intended for
+// generator code whose structure is correct by construction.
+func (n *Netlist) MustGate(kind Kind, name string, in ...NetID) NetID {
+	id, err := n.AddGate(kind, name, in...)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Drive attaches a gate to an existing output net.
+func (n *Netlist) Drive(kind Kind, out NetID, in ...NetID) error {
+	if int(out) >= len(n.nets) || out < 0 {
+		return fmt.Errorf("gate: net %d out of range", out)
+	}
+	if n.nets[out].driver >= 0 {
+		return fmt.Errorf("gate: net %q has multiple drivers", n.nets[out].name)
+	}
+	want := kind.arity()
+	if want == -1 {
+		if len(in) < 2 {
+			return fmt.Errorf("gate: %s requires at least 2 inputs, got %d", kind, len(in))
+		}
+	} else if len(in) != want {
+		return fmt.Errorf("gate: %s requires %d inputs, got %d", kind, want, len(in))
+	}
+	for _, i := range in {
+		if int(i) >= len(n.nets) || i < 0 {
+			return fmt.Errorf("gate: input net %d out of range", i)
+		}
+	}
+	n.gates = append(n.gates, Gate{Kind: kind, In: append([]NetID(nil), in...), Out: out})
+	n.nets[out].driver = len(n.gates) - 1
+	return nil
+}
+
+// Validate checks structural integrity: every non-input net has exactly one
+// driver and the combinational part is acyclic. It returns the levelized
+// combinational gate order used by the evaluator.
+func (n *Netlist) Validate() ([]int, error) {
+	isInput := make([]bool, len(n.nets))
+	for _, id := range n.inputs {
+		isInput[id] = true
+	}
+	for id, nt := range n.nets {
+		if nt.driver < 0 && !isInput[id] {
+			return nil, fmt.Errorf("gate: net %q is undriven and not a primary input", nt.name)
+		}
+		if nt.driver >= 0 && isInput[id] {
+			return nil, fmt.Errorf("gate: primary input %q is driven by a gate", nt.name)
+		}
+	}
+	// Kahn levelization over combinational gates. DFF outputs are sources.
+	indeg := make([]int, len(n.gates))
+	dependents := make([][]int, len(n.nets)) // net -> comb gates reading it
+	for gi, g := range n.gates {
+		if g.Kind == Dff {
+			continue
+		}
+		for _, in := range g.In {
+			dependents[in] = append(dependents[in], gi)
+		}
+	}
+	for gi, g := range n.gates {
+		if g.Kind == Dff {
+			continue
+		}
+		for _, in := range g.In {
+			d := n.nets[in].driver
+			if d >= 0 && n.gates[d].Kind != Dff {
+				indeg[gi]++
+			}
+		}
+	}
+	var queue []int
+	for gi, g := range n.gates {
+		if g.Kind != Dff && indeg[gi] == 0 {
+			queue = append(queue, gi)
+		}
+	}
+	var order []int
+	for len(queue) > 0 {
+		gi := queue[0]
+		queue = queue[1:]
+		order = append(order, gi)
+		for _, dep := range dependents[n.gates[gi].Out] {
+			indeg[dep]--
+			if indeg[dep] == 0 {
+				queue = append(queue, dep)
+			}
+		}
+	}
+	comb := 0
+	for _, g := range n.gates {
+		if g.Kind != Dff {
+			comb++
+		}
+	}
+	if len(order) != comb {
+		return nil, fmt.Errorf("gate: combinational cycle detected (%d of %d gates levelized)", len(order), comb)
+	}
+	return order, nil
+}

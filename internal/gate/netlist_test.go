@@ -1,0 +1,139 @@
+package gate
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	if Not.String() != "NOT" || And.String() != "AND" || Dff.String() != "DFF" {
+		t.Error("kind names wrong")
+	}
+	if !strings.HasPrefix(Kind(200).String(), "KIND(") {
+		t.Error("unknown kind must format numerically")
+	}
+}
+
+func TestNetlistConstruction(t *testing.T) {
+	nl := NewNetlist("t")
+	a := nl.AddInput("a")
+	b := nl.AddInput("b")
+	y := nl.MustGate(And, "y", a, b)
+	nl.MarkOutput(y)
+	if nl.NumGates() != 1 || nl.NumNets() != 3 {
+		t.Errorf("gates=%d nets=%d", nl.NumGates(), nl.NumNets())
+	}
+	if len(nl.Inputs()) != 2 || len(nl.Outputs()) != 1 {
+		t.Error("inputs/outputs wrong")
+	}
+	if nl.NetName(y) != "y" {
+		t.Errorf("NetName=%q", nl.NetName(y))
+	}
+	if nl.CountKind(And) != 1 || nl.CountKind(Or) != 0 {
+		t.Error("CountKind wrong")
+	}
+}
+
+func TestNetlistArityErrors(t *testing.T) {
+	nl := NewNetlist("t")
+	a := nl.AddInput("a")
+	b := nl.AddInput("b")
+	if _, err := nl.AddGate(Not, "n", a, b); err == nil {
+		t.Error("NOT with 2 inputs must fail")
+	}
+	if _, err := nl.AddGate(And, "n", a); err == nil {
+		t.Error("AND with 1 input must fail")
+	}
+	if _, err := nl.AddGate(Mux2, "n", a, b); err == nil {
+		t.Error("MUX2 with 2 inputs must fail")
+	}
+	if _, err := nl.AddGate(Xor, "n", a, b, a); err == nil {
+		t.Error("XOR with 3 inputs must fail")
+	}
+}
+
+func TestNetlistMultipleDriverError(t *testing.T) {
+	nl := NewNetlist("t")
+	a := nl.AddInput("a")
+	y := nl.MustGate(Buf, "y", a)
+	if err := nl.Drive(Buf, y, a); err == nil {
+		t.Error("double drive must fail")
+	}
+}
+
+func TestNetlistDriveInputError(t *testing.T) {
+	nl := NewNetlist("t")
+	a := nl.AddInput("a")
+	b := nl.AddInput("b")
+	if err := nl.Drive(Buf, b, a); err != nil {
+		t.Fatal(err) // Drive itself allows it; Validate must reject.
+	}
+	if _, err := nl.Validate(); err == nil {
+		t.Error("driven primary input must fail validation")
+	}
+}
+
+func TestNetlistUndrivenNetError(t *testing.T) {
+	nl := NewNetlist("t")
+	a := nl.AddInput("a")
+	float := nl.AddNet("float")
+	nl.MustGate(And, "y", a, float)
+	if _, err := nl.Validate(); err == nil {
+		t.Error("undriven internal net must fail validation")
+	}
+}
+
+func TestNetlistCycleDetection(t *testing.T) {
+	nl := NewNetlist("t")
+	a := nl.AddInput("a")
+	x := nl.AddNet("x")
+	y := nl.AddNet("y")
+	if err := nl.Drive(And, x, a, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.Drive(Buf, y, x); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.Validate(); err == nil {
+		t.Error("combinational cycle must fail validation")
+	}
+}
+
+func TestNetlistDffBreaksCycle(t *testing.T) {
+	// x = a XOR q; q = DFF(x): a classic toggle register; must validate.
+	nl := NewNetlist("t")
+	a := nl.AddInput("a")
+	x := nl.AddNet("x")
+	q := nl.AddNet("q")
+	if err := nl.Drive(Xor, x, a, q); err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.Drive(Dff, q, x); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.Validate(); err != nil {
+		t.Errorf("DFF cycle must validate: %v", err)
+	}
+}
+
+func TestNetlistBadNetIDs(t *testing.T) {
+	nl := NewNetlist("t")
+	a := nl.AddInput("a")
+	if _, err := nl.AddGate(Buf, "y", NetID(99)); err == nil {
+		t.Error("out-of-range input must fail")
+	}
+	if err := nl.Drive(Buf, NetID(99), a); err == nil {
+		t.Error("out-of-range output must fail")
+	}
+}
+
+func TestMustGatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGate must panic on error")
+		}
+	}()
+	nl := NewNetlist("t")
+	a := nl.AddInput("a")
+	nl.MustGate(And, "y", a)
+}

@@ -1,0 +1,99 @@
+package power
+
+import (
+	"fmt"
+	"sort"
+
+	"ahbpower/internal/stats"
+)
+
+// Activity is the instrumentation object the paper adds during the
+// "preliminary instrumentation" phase: it monitors the value of every bus
+// signal at every bus event and updates per-signal switching statistics
+// via bit_change_count / store_activity.
+type Activity struct {
+	signals map[string]*stats.BitActivity
+	order   []string
+}
+
+// NewActivity creates an empty activity store.
+func NewActivity() *Activity {
+	return &Activity{signals: map[string]*stats.BitActivity{}}
+}
+
+// Declare registers a signal with its width. Declaring twice is an error.
+func (a *Activity) Declare(name string, width int) error {
+	if _, ok := a.signals[name]; ok {
+		return fmt.Errorf("power: signal %q already declared", name)
+	}
+	a.signals[name] = stats.NewBitActivity(width)
+	a.order = append(a.order, name)
+	return nil
+}
+
+// StoreActivity records a new observation of a signal and returns the
+// Hamming distance to the previous one (the paper's store_activity +
+// bit_change_count). Unknown signals are auto-declared with 64-bit width.
+func (a *Activity) StoreActivity(name string, value uint64) int {
+	ba, ok := a.signals[name]
+	if !ok {
+		ba = stats.NewBitActivity(64)
+		a.signals[name] = ba
+		a.order = append(a.order, name)
+	}
+	return ba.Store(value)
+}
+
+// BitChangeCount returns the accumulated bit changes of a signal.
+func (a *Activity) BitChangeCount(name string) uint64 {
+	if ba, ok := a.signals[name]; ok {
+		return ba.BitChanges
+	}
+	return 0
+}
+
+// Last returns the most recent stored value of a signal.
+func (a *Activity) Last(name string) (uint64, bool) {
+	if ba, ok := a.signals[name]; ok {
+		return ba.Last()
+	}
+	return 0, false
+}
+
+// SwitchingActivity returns the mean bit changes per observation of a
+// signal.
+func (a *Activity) SwitchingActivity(name string) float64 {
+	if ba, ok := a.signals[name]; ok {
+		return ba.SwitchingActivity()
+	}
+	return 0
+}
+
+// Signals returns the declared signal names in declaration order.
+func (a *Activity) Signals() []string {
+	return append([]string(nil), a.order...)
+}
+
+// Report returns one line per signal: name, samples, total bit changes and
+// mean switching activity, sorted by name for stable output.
+func (a *Activity) Report() []ActivityLine {
+	lines := make([]ActivityLine, 0, len(a.signals))
+	for name, ba := range a.signals {
+		lines = append(lines, ActivityLine{
+			Signal:     name,
+			Samples:    ba.Samples,
+			BitChanges: ba.BitChanges,
+			Activity:   ba.SwitchingActivity(),
+		})
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i].Signal < lines[j].Signal })
+	return lines
+}
+
+// ActivityLine is one row of an Activity report.
+type ActivityLine struct {
+	Signal     string
+	Samples    uint64
+	BitChanges uint64
+	Activity   float64
+}

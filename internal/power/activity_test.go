@@ -1,0 +1,118 @@
+package power
+
+import "testing"
+
+func TestActivityDeclareAndStore(t *testing.T) {
+	a := NewActivity()
+	if err := a.Declare("HADDR", 32); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Declare("HADDR", 32); err == nil {
+		t.Error("duplicate declare must fail")
+	}
+	if hd := a.StoreActivity("HADDR", 0); hd != 0 {
+		t.Errorf("first store hd=%d", hd)
+	}
+	if hd := a.StoreActivity("HADDR", 0xFF); hd != 8 {
+		t.Errorf("hd=%d, want 8", hd)
+	}
+	if a.BitChangeCount("HADDR") != 8 {
+		t.Errorf("BitChangeCount=%d, want 8", a.BitChangeCount("HADDR"))
+	}
+}
+
+func TestActivityAutoDeclare(t *testing.T) {
+	a := NewActivity()
+	a.StoreActivity("HTRANS", 2)
+	if v, ok := a.Last("HTRANS"); !ok || v != 2 {
+		t.Errorf("Last=(%d,%v)", v, ok)
+	}
+	if len(a.Signals()) != 1 {
+		t.Errorf("Signals=%v", a.Signals())
+	}
+}
+
+func TestActivityUnknownSignalQueries(t *testing.T) {
+	a := NewActivity()
+	if a.BitChangeCount("nope") != 0 {
+		t.Error("unknown signal count must be 0")
+	}
+	if _, ok := a.Last("nope"); ok {
+		t.Error("unknown signal Last must be absent")
+	}
+	if a.SwitchingActivity("nope") != 0 {
+		t.Error("unknown signal activity must be 0")
+	}
+}
+
+func TestActivityReportSortedAndComplete(t *testing.T) {
+	a := NewActivity()
+	a.StoreActivity("b_sig", 1)
+	a.StoreActivity("a_sig", 1)
+	a.StoreActivity("a_sig", 2)
+	lines := a.Report()
+	if len(lines) != 2 {
+		t.Fatalf("lines=%d, want 2", len(lines))
+	}
+	if lines[0].Signal != "a_sig" || lines[1].Signal != "b_sig" {
+		t.Errorf("report not sorted: %v", lines)
+	}
+	if lines[0].Samples != 2 || lines[0].BitChanges != 2 {
+		t.Errorf("a_sig line = %+v", lines[0])
+	}
+}
+
+func TestActivityDeclaredWidthMasks(t *testing.T) {
+	a := NewActivity()
+	if err := a.Declare("HTRANS", 2); err != nil {
+		t.Fatal(err)
+	}
+	a.StoreActivity("HTRANS", 0)
+	if hd := a.StoreActivity("HTRANS", 0xF); hd != 2 {
+		t.Errorf("hd=%d, want 2 (width-masked)", hd)
+	}
+}
+
+func TestBlockBreakdown(t *testing.T) {
+	var bd Breakdown
+	bd.Add(BlockM2S, 6)
+	bd.Add(BlockDEC, 1)
+	bd.Add(BlockARB, 1)
+	bd.Add(BlockS2M, 2)
+	if bd.Total() != 10 {
+		t.Errorf("Total=%v, want 10", bd.Total())
+	}
+	if bd.Share(BlockM2S) != 0.6 {
+		t.Errorf("Share(M2S)=%v, want 0.6", bd.Share(BlockM2S))
+	}
+	if bd.Energy(BlockS2M) != 2 {
+		t.Errorf("Energy(S2M)=%v, want 2", bd.Energy(BlockS2M))
+	}
+	if len(Blocks()) != int(NumBlocks) {
+		t.Error("Blocks() incomplete")
+	}
+}
+
+func TestBlockBreakdownEmptyAndBogus(t *testing.T) {
+	var bd Breakdown
+	if bd.Share(BlockARB) != 0 {
+		t.Error("empty breakdown share must be 0")
+	}
+	bd.Add(Block(99), 5) // ignored
+	if bd.Total() != 0 {
+		t.Error("out-of-range block must be ignored")
+	}
+	if bd.Energy(Block(99)) != 0 || bd.Share(Block(99)) != 0 {
+		t.Error("out-of-range queries must be 0")
+	}
+}
+
+func TestBlockNames(t *testing.T) {
+	if BlockM2S.String() != "M2S" || BlockDEC.String() != "DEC" ||
+		BlockARB.String() != "ARB" || BlockS2M.String() != "S2M" {
+		t.Error("block names must match Fig. 6")
+	}
+	if Block(42).String() != "BLOCK(42)" {
+		t.Error("unknown block formatting")
+	}
+}

@@ -1,0 +1,73 @@
+package power
+
+import "fmt"
+
+// Block identifies one of the AHB sub-blocks of the paper's structural
+// decomposition (Fig. 2 / Fig. 6): the masters-to-slaves data/control
+// multiplexer, the address decoder, the arbiter, and the slaves-to-masters
+// data/control multiplexer.
+type Block uint8
+
+// The AHB sub-blocks, in the order of the paper's Fig. 6.
+const (
+	BlockM2S Block = iota // masters-to-slaves mux (address/control/write data)
+	BlockDEC              // address decoder
+	BlockARB              // arbiter
+	BlockS2M              // slaves-to-masters mux (read data/response)
+	NumBlocks
+)
+
+var blockNames = [...]string{"M2S", "DEC", "ARB", "S2M"}
+
+// String returns the paper's abbreviation for the block.
+func (b Block) String() string {
+	if int(b) < len(blockNames) {
+		return blockNames[b]
+	}
+	return fmt.Sprintf("BLOCK(%d)", uint8(b))
+}
+
+// Breakdown accumulates energy per sub-block; it backs the paper's Fig. 6
+// (sub-block power contribution) and Figs. 4-5 (per-block power traces).
+type Breakdown struct {
+	energy [NumBlocks]float64
+}
+
+// Add attributes energy (joules) to a block.
+func (bd *Breakdown) Add(b Block, e float64) {
+	if b < NumBlocks {
+		bd.energy[b] += e
+	}
+}
+
+// Energy returns the accumulated energy of one block, joules.
+func (bd *Breakdown) Energy(b Block) float64 {
+	if b < NumBlocks {
+		return bd.energy[b]
+	}
+	return 0
+}
+
+// Total returns the energy across all blocks, joules.
+func (bd *Breakdown) Total() float64 {
+	t := 0.0
+	for _, e := range bd.energy {
+		t += e
+	}
+	return t
+}
+
+// Share returns the fraction of total energy attributed to a block, in
+// [0,1]; 0 when nothing has been accumulated.
+func (bd *Breakdown) Share(b Block) float64 {
+	t := bd.Total()
+	if t == 0 || b >= NumBlocks {
+		return 0
+	}
+	return bd.energy[b] / t
+}
+
+// Blocks lists all sub-blocks in display order.
+func Blocks() []Block {
+	return []Block{BlockM2S, BlockDEC, BlockARB, BlockS2M}
+}

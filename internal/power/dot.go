@@ -1,0 +1,48 @@
+package power
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteDOT renders the power FSM in Graphviz DOT form: one node per
+// activity mode, one edge per observed instruction annotated with its
+// execution count and average energy — the executable equivalent of the
+// paper's power_fsm sketch in §5.4.
+func (f *FSM) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("digraph power_fsm {\n")
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=ellipse, fontname=\"Helvetica\"];\n")
+	states := []State{Idle, IdleHO, Read, Write}
+	seen := map[State]bool{}
+	for _, st := range f.Stats() {
+		seen[st.Instruction.From] = true
+		seen[st.Instruction.To] = true
+	}
+	for _, s := range states {
+		attr := ""
+		if !seen[s] && f.cycles > 0 {
+			attr = " [style=dashed]" // never visited in this run
+		}
+		fmt.Fprintf(&b, "  %s%s;\n", dotName(s), attr)
+	}
+	stats := f.Stats()
+	sort.Slice(stats, func(i, j int) bool {
+		return stats[i].Instruction.String() < stats[j].Instruction.String()
+	})
+	for _, st := range stats {
+		fmt.Fprintf(&b, "  %s -> %s [label=\"%d x %.3g pJ\"];\n",
+			dotName(st.Instruction.From), dotName(st.Instruction.To),
+			st.Count, st.AverageEnergy()*1e12)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func dotName(s State) string {
+	return strings.ReplaceAll(s.String(), "-", "_")
+}

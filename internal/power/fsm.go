@@ -1,0 +1,144 @@
+package power
+
+import (
+	"fmt"
+	"sort"
+)
+
+// State is one of the four main activity modes identified in the paper's
+// behavioral decomposition of the AHB (§5.2): IDLE, READ, WRITE, and IDLE
+// with bus handover.
+type State uint8
+
+// The four activity modes.
+const (
+	Idle State = iota
+	IdleHO
+	Read
+	Write
+)
+
+var stateNames = [...]string{"IDLE", "IDLE_HO", "READ", "WRITE"}
+
+// String returns the paper's name for the state.
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("STATE(%d)", uint8(s))
+}
+
+// Instruction is one element of the paper's instruction set: a permissible
+// transition between two activity modes. The instruction executed in a
+// cycle is (previous state, current state).
+type Instruction struct {
+	From, To State
+}
+
+// String formats the instruction in the paper's naming convention, e.g.
+// "WRITE_READ" or "IDLE_HO_IDLE_HO".
+func (i Instruction) String() string {
+	return i.From.String() + "_" + i.To.String()
+}
+
+// InstructionStat accumulates the executions of one instruction.
+type InstructionStat struct {
+	Instruction Instruction
+	Count       uint64
+	Energy      float64 // joules
+}
+
+// AverageEnergy returns energy per execution, or 0 when never executed.
+func (s InstructionStat) AverageEnergy() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Energy / float64(s.Count)
+}
+
+// FSM is the paper's power_fsm: it tracks the current activity mode,
+// classifies each simulated bus cycle into an instruction, and accumulates
+// the energy attributed to that cycle against the instruction.
+type FSM struct {
+	cur     State
+	started bool
+	stats   map[Instruction]*InstructionStat
+	total   float64
+	cycles  uint64
+}
+
+// NewFSM creates a power FSM; the first observed cycle sets the initial
+// state without executing an instruction.
+func NewFSM() *FSM {
+	return &FSM{stats: map[Instruction]*InstructionStat{}}
+}
+
+// Step observes the activity mode of the cycle that just completed,
+// attributes energy (joules) to the corresponding instruction, and returns
+// that instruction. The first call only establishes the initial state and
+// returns ok=false.
+func (f *FSM) Step(next State, energy float64) (Instruction, bool) {
+	f.cycles++
+	if !f.started {
+		f.started = true
+		f.cur = next
+		f.total += energy
+		return Instruction{}, false
+	}
+	in := Instruction{From: f.cur, To: next}
+	st, ok := f.stats[in]
+	if !ok {
+		st = &InstructionStat{Instruction: in}
+		f.stats[in] = st
+	}
+	st.Count++
+	st.Energy += energy
+	f.total += energy
+	f.cur = next
+	return in, true
+}
+
+// Current returns the present activity mode.
+func (f *FSM) Current() State { return f.cur }
+
+// TotalEnergy returns the energy accumulated across all cycles, joules.
+func (f *FSM) TotalEnergy() float64 { return f.total }
+
+// Cycles returns the number of observed cycles.
+func (f *FSM) Cycles() uint64 { return f.cycles }
+
+// Stats returns the per-instruction statistics sorted by descending total
+// energy (the layout of the paper's Table 1).
+func (f *FSM) Stats() []InstructionStat {
+	out := make([]InstructionStat, 0, len(f.stats))
+	for _, s := range f.stats {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Energy != out[j].Energy {
+			return out[i].Energy > out[j].Energy
+		}
+		return out[i].Instruction.String() < out[j].Instruction.String()
+	})
+	return out
+}
+
+// Stat returns the statistics of one instruction.
+func (f *FSM) Stat(in Instruction) InstructionStat {
+	if s, ok := f.stats[in]; ok {
+		return *s
+	}
+	return InstructionStat{Instruction: in}
+}
+
+// PermissibleInstructions lists the transitions the paper's power_fsm
+// enumerates in §5.4. Transitions into and out of plain IDLE exist in the
+// FSM even though the published Table 1 run never exercised some of them.
+func PermissibleInstructions() []Instruction {
+	return []Instruction{
+		{Idle, Idle}, {Idle, IdleHO}, {Idle, Write},
+		{IdleHO, IdleHO}, {IdleHO, Idle}, {IdleHO, Write},
+		{Read, Write}, {Read, Idle}, {Read, IdleHO},
+		{Write, Read},
+	}
+}

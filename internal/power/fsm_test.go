@@ -1,0 +1,209 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStateNames(t *testing.T) {
+	if Idle.String() != "IDLE" || IdleHO.String() != "IDLE_HO" ||
+		Read.String() != "READ" || Write.String() != "WRITE" {
+		t.Error("state names must match the paper")
+	}
+	if State(9).String() != "STATE(9)" {
+		t.Error("unknown state formatting")
+	}
+}
+
+func TestInstructionNames(t *testing.T) {
+	cases := []struct {
+		in   Instruction
+		want string
+	}{
+		{Instruction{Write, Read}, "WRITE_READ"},
+		{Instruction{Read, Write}, "READ_WRITE"},
+		{Instruction{IdleHO, IdleHO}, "IDLE_HO_IDLE_HO"},
+		{Instruction{Read, IdleHO}, "READ_IDLE_HO"},
+		{Instruction{IdleHO, Write}, "IDLE_HO_WRITE"},
+		{Instruction{Idle, Idle}, "IDLE_IDLE"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("instruction = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestFSMFirstStepEstablishesState(t *testing.T) {
+	f := NewFSM()
+	_, ok := f.Step(Write, 1e-12)
+	if ok {
+		t.Error("first step must not execute an instruction")
+	}
+	if f.Current() != Write {
+		t.Errorf("Current=%v, want WRITE", f.Current())
+	}
+	if f.TotalEnergy() != 1e-12 {
+		t.Error("first-cycle energy still counts toward the total")
+	}
+}
+
+func TestFSMClassifiesTransitions(t *testing.T) {
+	f := NewFSM()
+	f.Step(Write, 0)
+	in, ok := f.Step(Read, 2e-12)
+	if !ok || in.String() != "WRITE_READ" {
+		t.Fatalf("got %v ok=%v", in, ok)
+	}
+	in, _ = f.Step(Write, 3e-12)
+	if in.String() != "READ_WRITE" {
+		t.Fatalf("got %v", in)
+	}
+	st := f.Stat(Instruction{Write, Read})
+	if st.Count != 1 || st.Energy != 2e-12 {
+		t.Errorf("WRITE_READ stat = %+v", st)
+	}
+	if f.Cycles() != 3 {
+		t.Errorf("Cycles=%d, want 3", f.Cycles())
+	}
+}
+
+func TestFSMAverageEnergy(t *testing.T) {
+	f := NewFSM()
+	f.Step(Write, 0)
+	f.Step(Read, 2e-12)
+	f.Step(Write, 0)
+	f.Step(Read, 4e-12)
+	st := f.Stat(Instruction{Write, Read})
+	if st.Count != 2 {
+		t.Fatalf("Count=%d, want 2", st.Count)
+	}
+	if math.Abs(st.AverageEnergy()-3e-12) > 1e-24 {
+		t.Errorf("AverageEnergy=%g, want 3e-12", st.AverageEnergy())
+	}
+	var zero InstructionStat
+	if zero.AverageEnergy() != 0 {
+		t.Error("zero-count average must be 0")
+	}
+}
+
+func TestFSMEnergyConservation(t *testing.T) {
+	// Property: total energy equals the sum over instructions plus the
+	// first establishing cycle.
+	f := func(seq []uint8) bool {
+		fsm := NewFSM()
+		first := 0.0
+		sum := 0.0
+		for i, v := range seq {
+			st := State(v % 4)
+			e := float64(v) * 1e-13
+			if i == 0 {
+				first = e
+			} else {
+				sum += e
+			}
+			fsm.Step(st, e)
+		}
+		var agg float64
+		for _, s := range fsm.Stats() {
+			agg += s.Energy
+		}
+		return math.Abs(fsm.TotalEnergy()-(first+sum)) < 1e-18 &&
+			math.Abs(agg-sum) < 1e-18
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFSMCountConservation(t *testing.T) {
+	// Property: instruction executions = cycles - 1.
+	f := func(seq []uint8) bool {
+		if len(seq) == 0 {
+			return true
+		}
+		fsm := NewFSM()
+		for _, v := range seq {
+			fsm.Step(State(v%4), 0)
+		}
+		var n uint64
+		for _, s := range fsm.Stats() {
+			n += s.Count
+		}
+		return n == fsm.Cycles()-1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFSMStatsSortedByEnergy(t *testing.T) {
+	f := NewFSM()
+	f.Step(Idle, 0)
+	f.Step(Write, 1e-12)
+	f.Step(Read, 9e-12)
+	f.Step(Write, 4e-12)
+	st := f.Stats()
+	for i := 1; i < len(st); i++ {
+		if st[i].Energy > st[i-1].Energy {
+			t.Errorf("stats not sorted: %v", st)
+		}
+	}
+}
+
+func TestPermissibleInstructionsMatchPaper(t *testing.T) {
+	ins := PermissibleInstructions()
+	if len(ins) != 10 {
+		t.Fatalf("len=%d, want 10", len(ins))
+	}
+	want := map[string]bool{
+		"IDLE_IDLE": true, "IDLE_IDLE_HO": true, "IDLE_WRITE": true,
+		"IDLE_HO_IDLE_HO": true, "IDLE_HO_IDLE": true, "IDLE_HO_WRITE": true,
+		"READ_WRITE": true, "READ_IDLE": true, "READ_IDLE_HO": true,
+		"WRITE_READ": true,
+	}
+	for _, in := range ins {
+		if !want[in.String()] {
+			t.Errorf("unexpected instruction %v", in)
+		}
+		delete(want, in.String())
+	}
+	if len(want) != 0 {
+		t.Errorf("missing instructions: %v", want)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	f := NewFSM()
+	f.Step(Write, 0)
+	f.Step(Read, 2e-12)
+	f.Step(Write, 3e-12)
+	var sb strings.Builder
+	if err := f.WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"digraph power_fsm",
+		"WRITE -> READ",
+		"READ -> WRITE",
+		"IDLE [style=dashed]",
+		"1 x 2 pJ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTEmptyFSM(t *testing.T) {
+	var sb strings.Builder
+	if err := NewFSM().WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "digraph") {
+		t.Error("empty FSM must still render")
+	}
+}

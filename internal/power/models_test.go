@@ -1,0 +1,91 @@
+package power
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultModelsShape(t *testing.T) {
+	m, err := DefaultModels(3, 3, 32, testTech())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.M2S.W != 32+8+32 || m.M2S.N != 3 {
+		t.Errorf("M2S shape w=%d n=%d", m.M2S.W, m.M2S.N)
+	}
+	if m.S2M.W != 35 || m.S2M.N != 3 {
+		t.Errorf("S2M shape w=%d n=%d", m.S2M.W, m.S2M.N)
+	}
+	if m.Dec.NO != 3 || m.Arb.N != 3 {
+		t.Errorf("dec NO=%d arb N=%d", m.Dec.NO, m.Arb.N)
+	}
+}
+
+func TestDefaultModelsClampsSmallSystems(t *testing.T) {
+	m, err := DefaultModels(1, 1, 32, testTech())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.M2S.N < 2 || m.Dec.NO < 2 {
+		t.Error("single-device systems must clamp model dimensions to 2")
+	}
+}
+
+func TestModelsSaveLoadRoundTrip(t *testing.T) {
+	m, err := DefaultModels(3, 3, 32, testTech())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Dec.CHD = 123e-15
+	m.Dec.CEvent = 45e-15
+	m.M2S.CIn = 999e-15
+	var sb strings.Builder
+	if err := SaveModels(&sb, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModels(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Dec.CHD != m.Dec.CHD || loaded.Dec.CEvent != m.Dec.CEvent {
+		t.Error("fitted decoder coefficients lost")
+	}
+	if loaded.M2S.CIn != m.M2S.CIn || loaded.M2S.W != m.M2S.W {
+		t.Error("mux coefficients lost")
+	}
+	if loaded.Arb.CActive != m.Arb.CActive {
+		t.Error("arbiter coefficients lost")
+	}
+	// Energies computed from the loaded models must match exactly.
+	if loaded.Dec.Energy(2) != m.Dec.Energy(2) {
+		t.Error("decoder energy differs after round trip")
+	}
+	if loaded.M2S.Energy(3, 1, 2) != m.M2S.Energy(3, 1, 2) {
+		t.Error("mux energy differs after round trip")
+	}
+}
+
+func TestLoadModelsRejectsGarbage(t *testing.T) {
+	if _, err := LoadModels(strings.NewReader("not json")); err == nil {
+		t.Error("garbage must fail")
+	}
+	if _, err := LoadModels(strings.NewReader(`{"format":99,"models":{}}`)); err == nil {
+		t.Error("unknown format must fail")
+	}
+	if _, err := LoadModels(strings.NewReader(`{"format":1}`)); err == nil {
+		t.Error("missing models must fail")
+	}
+	if _, err := LoadModels(strings.NewReader(`{"format":1,"models":{}}`)); err == nil {
+		t.Error("incomplete models must fail")
+	}
+}
+
+func TestSaveModelsValidates(t *testing.T) {
+	var sb strings.Builder
+	if err := SaveModels(&sb, &Models{}); err == nil {
+		t.Error("incomplete model set must not serialize")
+	}
+}

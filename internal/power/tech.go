@@ -1,0 +1,37 @@
+// Package power implements the paper's system-level power-analysis
+// methodology: parametric dynamic-energy macromodels for the AHB
+// sub-blocks (decoder, multiplexers, arbiter), the Activity instrumentation
+// class that probes bus signals, and the power finite-state machine whose
+// state transitions form the instruction set characterized in Table 1.
+//
+// Energy convention: following the paper's decoder macromodel, the dynamic
+// energy charged per node transition is E = (VDD²/4)·C_node.
+package power
+
+// Tech holds the technology constants shared by all macromodels.
+//
+// The paper does not disclose its capacitance values; DefaultTech is
+// calibrated (see EXPERIMENTS.md) so that the per-instruction energies of
+// the paper's testbench land in the published 14-23 pJ band at 100 MHz
+// with a 32-bit bus and 3 slaves. On-chip bus nets are long wires, so the
+// per-node equivalent capacitances are dominated by interconnect.
+type Tech struct {
+	VDD float64 // supply voltage, volts
+	CPD float64 // equivalent capacitance of one internal node, farads
+	CO  float64 // capacitance of an output/bus node, farads
+}
+
+// DefaultTech returns constants representative of a 0.18 µm process with
+// long on-chip bus wires (the paper's 2003-era context): VDD = 1.8 V,
+// C_PD = 320 fF, C_O = 530 fF. The values are calibrated so the paper's
+// testbench yields per-instruction energies in Table 1's 14-23 pJ band
+// (see EXPERIMENTS.md).
+func DefaultTech() Tech {
+	return Tech{VDD: 1.8, CPD: 320e-15, CO: 530e-15}
+}
+
+// EnergyPerCap returns (VDD²/4)·c — the energy charged for switching a
+// total capacitance c once under the paper's convention.
+func (t Tech) EnergyPerCap(c float64) float64 {
+	return t.VDD * t.VDD / 4 * c
+}

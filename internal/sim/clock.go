@@ -1,0 +1,54 @@
+package sim
+
+// Clock drives a boolean signal with a fixed period. The signal starts low
+// at time zero; the first rising edge occurs after half a period, so that
+// combinational logic initialized at time zero has settled before the first
+// active edge.
+type Clock struct {
+	sig    *Signal[bool]
+	period Time
+	cycles uint64
+}
+
+// NewClock creates a clock with the given period and starts it.
+func NewClock(k *Kernel, name string, period Time) *Clock {
+	if period < 2 {
+		period = 2
+	}
+	c := &Clock{
+		sig:    NewBool(k, name, false),
+		period: period,
+	}
+	half := period / 2
+	var toggle func()
+	toggle = func() {
+		v := !c.sig.Read()
+		c.sig.Write(v)
+		if v {
+			c.cycles++
+		}
+		k.Schedule(half, toggle)
+	}
+	k.Schedule(half, toggle)
+	return c
+}
+
+// Signal returns the clock's boolean signal, for use in sensitivity lists.
+func (c *Clock) Signal() *Signal[bool] { return c.sig }
+
+// Period returns the clock period.
+func (c *Clock) Period() Time { return c.period }
+
+// FrequencyHz returns the clock frequency in hertz.
+func (c *Clock) FrequencyHz() float64 {
+	return 1.0 / c.period.Seconds()
+}
+
+// Cycles returns the number of rising edges produced so far.
+func (c *Clock) Cycles() uint64 { return c.cycles }
+
+// Posedge returns a trigger for the clock's rising edge.
+func (c *Clock) Posedge() Trigger { return Posedge(c.sig) }
+
+// Negedge returns a trigger for the clock's falling edge.
+func (c *Clock) Negedge() Trigger { return Negedge(c.sig) }

@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// maxDeltasPerTimestep bounds the number of delta cycles executed at a
+// single simulated time before the kernel declares a combinational loop.
+const maxDeltasPerTimestep = 100000
+
+// timedEvent is a callback scheduled at an absolute simulated time.
+type timedEvent struct {
+	at  Time
+	seq uint64 // tie-break for determinism
+	fn  func()
+}
+
+type eventHeap []timedEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(timedEvent)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// updater is the non-generic handle the kernel keeps for signals with a
+// pending write; apply performs the update phase for one signal.
+type updater interface {
+	apply(k *Kernel)
+}
+
+// Kernel is a single-threaded deterministic discrete-event simulator.
+// Create one with NewKernel, build modules (signals + processes) against
+// it, then call Run.
+type Kernel struct {
+	now        Time
+	deltaCount uint64
+	seq        uint64
+
+	queue    eventHeap
+	procs    []*Process
+	runnable []*Process
+	pending  []updater
+
+	initialized bool
+	stopped     bool
+
+	// endOfTimestep callbacks run once per simulated timestep after all
+	// delta cycles at that time have settled; used by monitors that want a
+	// settled view of all signals.
+	endOfTimestep []func(Time)
+	probedAny     bool
+	probedAt      Time
+}
+
+// NewKernel returns an empty kernel at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// DeltaCycles returns the total number of delta cycles executed so far; it
+// is a measure of simulation work, used by the instrumentation-overhead
+// experiment.
+func (k *Kernel) DeltaCycles() uint64 { return k.deltaCount }
+
+// Stop requests that Run return as soon as the current delta completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (k *Kernel) Stopped() bool { return k.stopped }
+
+// Schedule runs fn after the given delay. A zero delay runs the callback in
+// the next timestep processing at the current time (before further delta
+// cycles at a later time).
+func (k *Kernel) Schedule(delay Time, fn func()) {
+	k.seq++
+	heap.Push(&k.queue, timedEvent{at: k.now + delay, seq: k.seq, fn: fn})
+}
+
+// AtEndOfTimestep registers a callback invoked once per simulated timestep
+// after all delta cycles at that time have settled. This is the natural
+// probing point for cycle-level power monitors.
+func (k *Kernel) AtEndOfTimestep(fn func(Time)) {
+	k.endOfTimestep = append(k.endOfTimestep, fn)
+}
+
+func (k *Kernel) markRunnable(p *Process) {
+	if p.queued {
+		return
+	}
+	p.queued = true
+	k.runnable = append(k.runnable, p)
+}
+
+func (k *Kernel) addPending(u updater) {
+	k.pending = append(k.pending, u)
+}
+
+// runDeltas executes delta cycles until the current time settles.
+func (k *Kernel) runDeltas() error {
+	deltas := 0
+	for len(k.runnable) > 0 || len(k.pending) > 0 {
+		deltas++
+		if deltas > maxDeltasPerTimestep {
+			return fmt.Errorf("sim: combinational loop detected at %v (%d delta cycles without settling)", k.now, deltas)
+		}
+		k.deltaCount++
+
+		// Evaluate phase: run all runnable processes in registration order.
+		run := k.runnable
+		k.runnable = nil
+		sort.Slice(run, func(i, j int) bool { return run[i].id < run[j].id })
+		for _, p := range run {
+			p.queued = false
+			p.fn()
+		}
+
+		// Update phase: apply pending signal writes; changed signals mark
+		// their sensitive processes runnable for the next delta.
+		pend := k.pending
+		k.pending = nil
+		for _, u := range pend {
+			u.apply(k)
+		}
+	}
+	return nil
+}
+
+// initialize runs every registered process once at time zero, as SystemC
+// does for SC_METHOD processes, then settles the resulting deltas.
+func (k *Kernel) initialize() error {
+	if k.initialized {
+		return nil
+	}
+	k.initialized = true
+	for _, p := range k.procs {
+		if !p.noInit {
+			k.markRunnable(p)
+		}
+	}
+	return k.runDeltas()
+}
+
+// Run advances simulation until the given absolute time (inclusive of
+// events scheduled exactly at it), until no events remain, or until Stop is
+// called. It may be called repeatedly to advance further.
+func (k *Kernel) Run(until Time) error {
+	if err := k.initialize(); err != nil {
+		return err
+	}
+	if err := k.runDeltas(); err != nil {
+		return err
+	}
+	for !k.stopped && len(k.queue) > 0 && k.queue[0].at <= until {
+		t := k.queue[0].at
+		if t > k.now {
+			// The previous timestep fully settled.
+			k.probe()
+			k.now = t
+		}
+		for len(k.queue) > 0 && k.queue[0].at == t {
+			ev := heap.Pop(&k.queue).(timedEvent)
+			ev.fn()
+		}
+		if err := k.runDeltas(); err != nil {
+			return err
+		}
+	}
+	if !k.stopped {
+		k.probe()
+		if until > k.now {
+			k.now = until
+		}
+	}
+	return nil
+}
+
+// probe fires the end-of-timestep callbacks for the current time, at most
+// once per distinct simulated time.
+func (k *Kernel) probe() {
+	if k.probedAny && k.probedAt == k.now {
+		return
+	}
+	k.probedAny = true
+	k.probedAt = k.now
+	for _, fn := range k.endOfTimestep {
+		fn(k.now)
+	}
+}
+
+// RunCycles is a convenience wrapper advancing the simulation by the given
+// number of periods of the supplied clock.
+func (k *Kernel) RunCycles(c *Clock, n uint64) error {
+	return k.Run(k.now + Time(n)*c.Period())
+}

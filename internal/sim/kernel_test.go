@@ -1,0 +1,364 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{0, "0s"},
+		{5 * Picosecond, "5ps"},
+		{3 * Nanosecond, "3ns"},
+		{7 * Microsecond, "7us"},
+		{2 * Millisecond, "2ms"},
+		{1 * Second, "1s"},
+		{1500 * Picosecond, "1500ps"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", uint64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTimeSecondsRoundTrip(t *testing.T) {
+	f := func(ps uint32) bool {
+		tt := Time(ps)
+		return FromSeconds(tt.Seconds()) == tt
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if FromSeconds(-1) != 0 {
+		t.Error("negative seconds must clamp to 0")
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	k.Schedule(30, func() { order = append(order, 3) })
+	k.Schedule(10, func() { order = append(order, 1) })
+	k.Schedule(20, func() { order = append(order, 2) })
+	k.Schedule(10, func() { order = append(order, 11) }) // same time: FIFO
+	if err := k.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 11, 2, 3}
+	if len(order) != len(want) {
+		t.Fatalf("order=%v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order=%v, want %v", order, want)
+		}
+	}
+	if k.Now() != 100 {
+		t.Errorf("Now=%v, want 100", k.Now())
+	}
+}
+
+func TestRunDoesNotExecuteEventsBeyondUntil(t *testing.T) {
+	k := NewKernel()
+	ran := false
+	k.Schedule(200, func() { ran = true })
+	if err := k.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Error("event at 200 must not run when Run(100)")
+	}
+	if err := k.Run(300); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("event must run on subsequent Run")
+	}
+}
+
+func TestSignalTwoPhaseSemantics(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k, "s", 0)
+	observed := -1
+	k.Schedule(10, func() {
+		s.Write(42)
+		observed = s.Read() // must still see the old value
+	})
+	if err := k.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	if observed != 0 {
+		t.Errorf("Read during evaluate = %d, want old value 0", observed)
+	}
+	if s.Read() != 42 {
+		t.Errorf("settled value = %d, want 42", s.Read())
+	}
+}
+
+func TestSignalLastWriteWins(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k, "s", 0)
+	k.Schedule(10, func() {
+		s.Write(1)
+		s.Write(2)
+		s.Write(3)
+	})
+	if err := k.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	if s.Read() != 3 {
+		t.Errorf("value=%d, want 3", s.Read())
+	}
+}
+
+func TestSignalNoEventOnSameValueWrite(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k, "s", 7)
+	changes := 0
+	s.Watch(func(old, new int) { changes++ })
+	k.Schedule(10, func() { s.Write(7) })
+	k.Schedule(20, func() { s.Write(8) })
+	if err := k.Run(30); err != nil {
+		t.Fatal(err)
+	}
+	if changes != 1 {
+		t.Errorf("changes=%d, want 1 (write of identical value is not an event)", changes)
+	}
+}
+
+func TestMethodSensitivityChain(t *testing.T) {
+	// b follows a through a combinational process; c follows b.
+	k := NewKernel()
+	a := NewSignal(k, "a", 0)
+	b := NewSignal(k, "b", 0)
+	c := NewSignal(k, "c", 0)
+	k.Method("pb", func() { b.Write(a.Read() + 1) }, a.Changed())
+	k.Method("pc", func() { c.Write(b.Read() * 2) }, b.Changed())
+	k.Schedule(10, func() { a.Write(5) })
+	if err := k.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	if b.Read() != 6 || c.Read() != 12 {
+		t.Errorf("b=%d c=%d, want 6 12", b.Read(), c.Read())
+	}
+}
+
+func TestMethodRunsAtInitialization(t *testing.T) {
+	k := NewKernel()
+	a := NewSignal(k, "a", 3)
+	b := NewSignal(k, "b", 0)
+	k.Method("p", func() { b.Write(a.Read() + 1) }, a.Changed())
+	if err := k.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if b.Read() != 4 {
+		t.Errorf("b=%d, want 4 (process must run at init)", b.Read())
+	}
+}
+
+func TestMethodNoInit(t *testing.T) {
+	k := NewKernel()
+	a := NewSignal(k, "a", 3)
+	runs := 0
+	k.MethodNoInit("p", func() { runs++ }, a.Changed())
+	if err := k.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 0 {
+		t.Errorf("no-init process ran %d times at init", runs)
+	}
+	k.Schedule(1, func() { a.Write(9) })
+	if err := k.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 1 {
+		t.Errorf("runs=%d, want 1", runs)
+	}
+}
+
+func TestCombinationalLoopDetected(t *testing.T) {
+	k := NewKernel()
+	a := NewSignal(k, "a", 0)
+	// A process that re-triggers itself forever: a <- a+1 sensitive to a.
+	k.Method("osc", func() { a.Write(a.Read() + 1) }, a.Changed())
+	err := k.Run(10)
+	if err == nil {
+		t.Fatal("expected combinational-loop error")
+	}
+}
+
+func TestStop(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	var again func()
+	again = func() {
+		count++
+		if count == 5 {
+			k.Stop()
+		}
+		k.Schedule(10, again)
+	}
+	k.Schedule(10, again)
+	if err := k.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Errorf("count=%d, want 5", count)
+	}
+	if !k.Stopped() {
+		t.Error("kernel must report stopped")
+	}
+}
+
+func TestDeterminismSameSeedSameTrace(t *testing.T) {
+	run := func() []int {
+		k := NewKernel()
+		a := NewSignal(k, "a", 0)
+		var trace []int
+		for i := 0; i < 5; i++ {
+			i := i
+			k.Method("p", func() { trace = append(trace, i*10+a.Read()) }, a.Changed())
+		}
+		k.Schedule(10, func() { a.Write(1) })
+		k.Schedule(20, func() { a.Write(2) })
+		if err := k.Run(30); err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	t1, t2 := run(), run()
+	if len(t1) != len(t2) {
+		t.Fatalf("nondeterministic lengths %d vs %d", len(t1), len(t2))
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, t1, t2)
+		}
+	}
+}
+
+func TestAtEndOfTimestepFiresOncePerTime(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k, "s", 0)
+	var times []Time
+	k.AtEndOfTimestep(func(tm Time) { times = append(times, tm) })
+	k.Schedule(10, func() { s.Write(1) })
+	k.Schedule(10, func() { s.Write(2) }) // same time, multiple deltas
+	k.Schedule(20, func() { s.Write(3) })
+	if err := k.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	// Expect probes at t=0 (init), t=10, t=20 — exactly once each.
+	seen := map[Time]int{}
+	for _, tm := range times {
+		seen[tm]++
+	}
+	for tm, n := range seen {
+		if n != 1 {
+			t.Errorf("timestep %v probed %d times", tm, n)
+		}
+	}
+	if seen[10] != 1 || seen[20] != 1 {
+		t.Errorf("missing probes: %v", times)
+	}
+}
+
+func TestLateMethodRegistrationRuns(t *testing.T) {
+	k := NewKernel()
+	if err := k.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	s := NewSignal(k, "s", 0)
+	k.Method("late", func() { ran = true }, s.Changed())
+	if err := k.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("late-registered method must run once")
+	}
+}
+
+func TestSignalSetInitDoesNotTrigger(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k, "s", 0)
+	fired := 0
+	s.Watch(func(_, _ int) { fired++ })
+	s.SetInit(42)
+	if err := k.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if s.Read() != 42 {
+		t.Errorf("value=%d, want 42", s.Read())
+	}
+	if fired != 0 {
+		t.Errorf("SetInit fired %d watch callbacks, want 0", fired)
+	}
+}
+
+func TestMultipleWatchersAllFire(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k, "s", 0)
+	var order []int
+	s.Watch(func(_, _ int) { order = append(order, 1) })
+	s.Watch(func(_, _ int) { order = append(order, 2) })
+	k.Schedule(5, func() { s.Write(7) })
+	if err := k.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Errorf("watcher order=%v, want [1 2]", order)
+	}
+}
+
+func TestScheduleFromWithinEvent(t *testing.T) {
+	k := NewKernel()
+	var times []Time
+	k.Schedule(10, func() {
+		times = append(times, k.Now())
+		k.Schedule(5, func() { times = append(times, k.Now()) })
+		k.Schedule(0, func() { times = append(times, k.Now()) })
+	})
+	if err := k.Run(30); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 3 {
+		t.Fatalf("times=%v", times)
+	}
+	if times[0] != 10 || times[1] != 10 || times[2] != 15 {
+		t.Errorf("times=%v, want [10 10 15]", times)
+	}
+}
+
+func TestNegedgeOnlyOnFall(t *testing.T) {
+	k := NewKernel()
+	b := NewBool(k, "b", false)
+	falls := 0
+	k.MethodNoInit("f", func() { falls++ }, Negedge(b))
+	k.Schedule(10, func() { b.Write(true) })
+	k.Schedule(20, func() { b.Write(false) })
+	k.Schedule(30, func() { b.Write(true) })
+	if err := k.Run(40); err != nil {
+		t.Fatal(err)
+	}
+	if falls != 1 {
+		t.Errorf("falls=%d, want 1", falls)
+	}
+}
+
+func TestKernelDeltaCountAdvances(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k, "s", 0)
+	k.Schedule(1, func() { s.Write(1) })
+	before := k.DeltaCycles()
+	if err := k.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if k.DeltaCycles() <= before {
+		t.Error("delta count must advance")
+	}
+}

@@ -1,0 +1,48 @@
+package sim
+
+// Process is a method process: a callback executed during the evaluate
+// phase whenever one of its sensitivity triggers fires. Processes have no
+// implicit state; modules keep state in their own structs and in signals.
+type Process struct {
+	id     int
+	name   string
+	fn     func()
+	queued bool
+	noInit bool
+}
+
+// Name returns the process's diagnostic name.
+func (p *Process) Name() string { return p.name }
+
+// Trigger is anything a process can be made sensitive to: a signal value
+// change, or a clock edge.
+type Trigger interface {
+	register(p *Process)
+}
+
+// Method registers a new process with the given static sensitivity list.
+// Like a SystemC SC_METHOD it also runs once during initialization.
+func (k *Kernel) Method(name string, fn func(), sens ...Trigger) *Process {
+	p := &Process{id: len(k.procs), name: name, fn: fn}
+	k.procs = append(k.procs, p)
+	for _, s := range sens {
+		s.register(p)
+	}
+	if k.initialized {
+		// Late registration after initialization: schedule a first run so
+		// the process still observes the current state.
+		k.markRunnable(p)
+	}
+	return p
+}
+
+// MethodNoInit registers a process that is NOT run during initialization;
+// it only runs when a sensitivity trigger fires (SystemC dont_initialize).
+func (k *Kernel) MethodNoInit(name string, fn func(), sens ...Trigger) *Process {
+	p := &Process{id: len(k.procs), name: name, fn: fn, noInit: true}
+	k.procs = append(k.procs, p)
+	for _, s := range sens {
+		s.register(p)
+	}
+	return p
+}

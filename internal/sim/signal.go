@@ -1,0 +1,130 @@
+package sim
+
+// Signal is a typed simulation signal with SystemC sc_signal semantics:
+// Read returns the current (settled) value; Write schedules a new value
+// that becomes visible in the next delta cycle. A write of the value the
+// signal already holds produces no value-change event.
+//
+// Signals are not safe for concurrent use; the kernel is single-threaded.
+type Signal[T comparable] struct {
+	k       *Kernel
+	name    string
+	cur     T
+	next    T
+	pending bool
+
+	onChange []*Process
+	onRise   []*Process // fires when the new value equals riseVal
+	onFall   []*Process
+	hasEdge  bool // edge semantics enabled (bool signals)
+	riseVal  T
+
+	watchers []func(old, new T)
+}
+
+// NewSignal creates a named signal with the given initial value.
+func NewSignal[T comparable](k *Kernel, name string, init T) *Signal[T] {
+	return &Signal[T]{k: k, name: name, cur: init, next: init}
+}
+
+// NewBool creates a boolean signal with edge (posedge/negedge) sensitivity
+// support.
+func NewBool(k *Kernel, name string, init bool) *Signal[bool] {
+	s := NewSignal(k, name, init)
+	s.hasEdge = true
+	s.riseVal = true
+	return s
+}
+
+// Name returns the signal's hierarchical name.
+func (s *Signal[T]) Name() string { return s.name }
+
+// Read returns the current settled value.
+func (s *Signal[T]) Read() T { return s.cur }
+
+// Write schedules v to become the signal's value in the next delta cycle.
+// The last write in an evaluate phase wins.
+func (s *Signal[T]) Write(v T) {
+	s.next = v
+	if !s.pending {
+		s.pending = true
+		s.k.addPending(s)
+	}
+}
+
+// SetInit forces the current value without generating events; it may only
+// be used during model construction, before the simulation starts.
+func (s *Signal[T]) SetInit(v T) {
+	s.cur = v
+	s.next = v
+}
+
+// Watch registers a callback invoked during the update phase whenever the
+// signal's value actually changes. Watchers must not write signals.
+func (s *Signal[T]) Watch(fn func(old, new T)) {
+	s.watchers = append(s.watchers, fn)
+}
+
+// apply implements the update phase for this signal.
+func (s *Signal[T]) apply(k *Kernel) {
+	s.pending = false
+	if s.next == s.cur {
+		return
+	}
+	old := s.cur
+	s.cur = s.next
+	for _, p := range s.onChange {
+		k.markRunnable(p)
+	}
+	if s.hasEdge {
+		if s.cur == s.riseVal {
+			for _, p := range s.onRise {
+				k.markRunnable(p)
+			}
+		} else {
+			for _, p := range s.onFall {
+				k.markRunnable(p)
+			}
+		}
+	}
+	for _, w := range s.watchers {
+		w(old, s.cur)
+	}
+}
+
+// changeTrigger makes the signal usable in sensitivity lists.
+type changeTrigger[T comparable] struct{ s *Signal[T] }
+
+func (t changeTrigger[T]) register(p *Process) {
+	t.s.onChange = append(t.s.onChange, p)
+}
+
+// Changed returns a trigger that fires on any value change of the signal.
+func (s *Signal[T]) Changed() Trigger { return changeTrigger[T]{s} }
+
+type edgeTrigger struct {
+	s    *Signal[bool]
+	rise bool
+}
+
+func (t edgeTrigger) register(p *Process) {
+	if t.rise {
+		t.s.onRise = append(t.s.onRise, p)
+	} else {
+		t.s.onFall = append(t.s.onFall, p)
+	}
+}
+
+// Posedge returns a trigger firing when the boolean signal rises to true.
+func Posedge(s *Signal[bool]) Trigger {
+	s.hasEdge = true
+	s.riseVal = true
+	return edgeTrigger{s: s, rise: true}
+}
+
+// Negedge returns a trigger firing when the boolean signal falls to false.
+func Negedge(s *Signal[bool]) Trigger {
+	s.hasEdge = true
+	s.riseVal = true
+	return edgeTrigger{s: s, rise: false}
+}

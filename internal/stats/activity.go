@@ -1,0 +1,97 @@
+package stats
+
+// BitActivity accumulates switching activity of a single multi-bit signal:
+// total bit changes, per-bit toggle counts, number of observations, and the
+// one-probability of each bit. It mirrors the bookkeeping performed by the
+// paper's Activity class (bit_change_count / store_activity).
+type BitActivity struct {
+	width    int
+	prev     uint64
+	havePrev bool
+
+	Samples    uint64   // number of stored observations
+	BitChanges uint64   // total Hamming distance accumulated
+	Toggles    []uint64 // per-bit toggle counts
+	Ones       []uint64 // per-bit count of observed 1 values
+}
+
+// NewBitActivity creates an accumulator for a signal of the given bit width
+// (1..64).
+func NewBitActivity(width int) *BitActivity {
+	if width < 1 {
+		width = 1
+	}
+	if width > 64 {
+		width = 64
+	}
+	return &BitActivity{
+		width:   width,
+		Toggles: make([]uint64, width),
+		Ones:    make([]uint64, width),
+	}
+}
+
+// Width returns the signal width in bits.
+func (a *BitActivity) Width() int { return a.width }
+
+// Store records a new observation of the signal value and returns the
+// Hamming distance to the previous observation (0 for the first).
+func (a *BitActivity) Store(v uint64) int {
+	v &= Mask(a.width)
+	hd := 0
+	if a.havePrev {
+		diff := a.prev ^ v
+		for b := 0; b < a.width; b++ {
+			bit := uint64(1) << uint(b)
+			if diff&bit != 0 {
+				a.Toggles[b]++
+				hd++
+			}
+		}
+	}
+	for b := 0; b < a.width; b++ {
+		if v&(uint64(1)<<uint(b)) != 0 {
+			a.Ones[b]++
+		}
+	}
+	a.prev = v
+	a.havePrev = true
+	a.Samples++
+	a.BitChanges += uint64(hd)
+	return hd
+}
+
+// Last returns the most recently stored value and whether one exists.
+func (a *BitActivity) Last() (uint64, bool) { return a.prev, a.havePrev }
+
+// SwitchingActivity returns the average number of bit changes per
+// observation interval (total bit changes divided by transitions observed).
+func (a *BitActivity) SwitchingActivity() float64 {
+	if a.Samples < 2 {
+		return 0
+	}
+	return float64(a.BitChanges) / float64(a.Samples-1)
+}
+
+// BitProbability returns the probability that bit b was 1 across all
+// observations, or 0 if nothing was stored.
+func (a *BitActivity) BitProbability(b int) float64 {
+	if a.Samples == 0 || b < 0 || b >= a.width {
+		return 0
+	}
+	return float64(a.Ones[b]) / float64(a.Samples)
+}
+
+// Reset clears all accumulated state.
+func (a *BitActivity) Reset() {
+	a.prev = 0
+	a.havePrev = false
+	a.Samples = 0
+	a.BitChanges = 0
+	for i := range a.Toggles {
+		a.Toggles[i] = 0
+	}
+	for i := range a.Ones {
+		a.Ones[i] = 0
+	}
+}

@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitActivityStore(t *testing.T) {
+	a := NewBitActivity(8)
+	if hd := a.Store(0x00); hd != 0 {
+		t.Errorf("first Store returned hd=%d, want 0", hd)
+	}
+	if hd := a.Store(0x0F); hd != 4 {
+		t.Errorf("Store(0x0F) hd=%d, want 4", hd)
+	}
+	if hd := a.Store(0xFF); hd != 4 {
+		t.Errorf("Store(0xFF) hd=%d, want 4", hd)
+	}
+	if a.Samples != 3 {
+		t.Errorf("Samples=%d, want 3", a.Samples)
+	}
+	if a.BitChanges != 8 {
+		t.Errorf("BitChanges=%d, want 8", a.BitChanges)
+	}
+}
+
+func TestBitActivityWidthMasking(t *testing.T) {
+	a := NewBitActivity(4)
+	a.Store(0)
+	if hd := a.Store(0xF0); hd != 0 {
+		t.Errorf("bits above width must be ignored, hd=%d", hd)
+	}
+	if hd := a.Store(0x0F); hd != 4 {
+		t.Errorf("hd=%d, want 4", hd)
+	}
+}
+
+func TestBitActivityWidthClamping(t *testing.T) {
+	if w := NewBitActivity(0).Width(); w != 1 {
+		t.Errorf("width 0 should clamp to 1, got %d", w)
+	}
+	if w := NewBitActivity(100).Width(); w != 64 {
+		t.Errorf("width 100 should clamp to 64, got %d", w)
+	}
+}
+
+func TestBitActivityPerBitToggles(t *testing.T) {
+	a := NewBitActivity(2)
+	a.Store(0b00)
+	a.Store(0b01)
+	a.Store(0b00)
+	a.Store(0b10)
+	// Transitions: 00->01 toggles bit0, 01->00 toggles bit0, 00->10 toggles bit1.
+	if a.Toggles[0] != 2 {
+		t.Errorf("bit0 toggles=%d, want 2", a.Toggles[0])
+	}
+	if a.Toggles[1] != 1 {
+		t.Errorf("bit1 toggles=%d, want 1", a.Toggles[1])
+	}
+}
+
+func TestBitActivityTogglesSumEqualsBitChanges(t *testing.T) {
+	f := func(vals []uint16) bool {
+		a := NewBitActivity(16)
+		for _, v := range vals {
+			a.Store(uint64(v))
+		}
+		var sum uint64
+		for _, c := range a.Toggles {
+			sum += c
+		}
+		return sum == a.BitChanges
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitActivityProbability(t *testing.T) {
+	a := NewBitActivity(1)
+	a.Store(1)
+	a.Store(1)
+	a.Store(0)
+	a.Store(1)
+	if p := a.BitProbability(0); p != 0.75 {
+		t.Errorf("BitProbability=%v, want 0.75", p)
+	}
+	if p := a.BitProbability(5); p != 0 {
+		t.Errorf("out-of-range bit probability=%v, want 0", p)
+	}
+}
+
+func TestBitActivitySwitchingActivity(t *testing.T) {
+	a := NewBitActivity(8)
+	if sa := a.SwitchingActivity(); sa != 0 {
+		t.Errorf("empty activity=%v, want 0", sa)
+	}
+	a.Store(0x00)
+	a.Store(0xFF)
+	a.Store(0x00)
+	if sa := a.SwitchingActivity(); sa != 8 {
+		t.Errorf("SwitchingActivity=%v, want 8", sa)
+	}
+}
+
+func TestBitActivityReset(t *testing.T) {
+	a := NewBitActivity(8)
+	a.Store(0xFF)
+	a.Store(0x00)
+	a.Reset()
+	if a.Samples != 0 || a.BitChanges != 0 {
+		t.Error("Reset must clear counters")
+	}
+	if _, ok := a.Last(); ok {
+		t.Error("Reset must clear the previous value")
+	}
+	if hd := a.Store(0xFF); hd != 0 {
+		t.Errorf("first store after reset hd=%d, want 0", hd)
+	}
+}
+
+func TestBitActivityLast(t *testing.T) {
+	a := NewBitActivity(8)
+	if _, ok := a.Last(); ok {
+		t.Error("Last must report absence before any Store")
+	}
+	a.Store(0x42)
+	if v, ok := a.Last(); !ok || v != 0x42 {
+		t.Errorf("Last=(%#x,%v), want (0x42,true)", v, ok)
+	}
+}

@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a least-squares system has no unique
+// solution (collinear features or too few observations).
+var ErrSingular = errors.New("stats: singular normal equations")
+
+// LeastSquares solves min ||X·beta - y||² by the normal equations with
+// partial-pivot Gaussian elimination. X has one row per observation and one
+// column per feature; the returned beta has one entry per feature.
+//
+// The characterization harness uses this to fit energy-macromodel
+// coefficients from gate-level measurements (the role the paper delegated
+// to SIS-based characterization).
+func LeastSquares(x [][]float64, y []float64) ([]float64, error) {
+	n := len(x)
+	if n == 0 || n != len(y) {
+		return nil, fmt.Errorf("stats: bad dimensions: %d rows, %d targets", n, len(y))
+	}
+	p := len(x[0])
+	if p == 0 {
+		return nil, errors.New("stats: no features")
+	}
+	for i, row := range x {
+		if len(row) != p {
+			return nil, fmt.Errorf("stats: row %d has %d features, want %d", i, len(row), p)
+		}
+	}
+	// Build the normal equations A = XᵀX, b = Xᵀy.
+	a := make([][]float64, p)
+	b := make([]float64, p)
+	for i := 0; i < p; i++ {
+		a[i] = make([]float64, p)
+	}
+	for r := 0; r < n; r++ {
+		for i := 0; i < p; i++ {
+			xi := x[r][i]
+			if xi == 0 {
+				continue
+			}
+			b[i] += xi * y[r]
+			for j := 0; j < p; j++ {
+				a[i][j] += xi * x[r][j]
+			}
+		}
+	}
+	return SolveLinear(a, b)
+}
+
+// SolveLinear solves the square system a·x = b in place using Gaussian
+// elimination with partial pivoting. a and b are modified.
+func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
+	p := len(a)
+	if p == 0 || len(b) != p {
+		return nil, errors.New("stats: bad linear system dimensions")
+	}
+	for col := 0; col < p; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(a[col][col])
+		for r := col + 1; r < p; r++ {
+			if v := math.Abs(a[r][col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, ErrSingular
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < p; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < p; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	sol := make([]float64, p)
+	for r := p - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < p; c++ {
+			s -= a[r][c] * sol[c]
+		}
+		sol[r] = s / a[r][r]
+	}
+	return sol, nil
+}
+
+// RSquared returns the coefficient of determination of predictions pred
+// against observations y: 1 - SS_res/SS_tot. A constant y yields 0.
+func RSquared(y, pred []float64) float64 {
+	if len(y) == 0 || len(y) != len(pred) {
+		return 0
+	}
+	mean := 0.0
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	ssRes, ssTot := 0.0, 0.0
+	for i := range y {
+		d := y[i] - pred[i]
+		ssRes += d * d
+		t := y[i] - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// MeanAbsPctError returns the mean absolute percentage error of pred vs y,
+// skipping observations where y is zero.
+func MeanAbsPctError(y, pred []float64) float64 {
+	if len(y) != len(pred) {
+		return math.NaN()
+	}
+	sum, n := 0.0, 0
+	for i := range y {
+		if y[i] == 0 {
+			continue
+		}
+		sum += math.Abs((pred[i] - y[i]) / y[i])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return 100 * sum / float64(n)
+}

@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLeastSquaresExact(t *testing.T) {
+	// y = 2*x0 + 3*x1, noiseless.
+	x := [][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 1}}
+	y := []float64{2, 3, 5, 7}
+	beta, err := LeastSquares(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(beta[0]-2) > 1e-9 || math.Abs(beta[1]-3) > 1e-9 {
+		t.Errorf("beta=%v, want [2 3]", beta)
+	}
+}
+
+func TestLeastSquaresRecoversRandomModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		p := 1 + rng.Intn(4)
+		truth := make([]float64, p)
+		for i := range truth {
+			truth[i] = rng.Float64()*10 - 5
+		}
+		n := p + 5 + rng.Intn(20)
+		x := make([][]float64, n)
+		y := make([]float64, n)
+		for r := 0; r < n; r++ {
+			x[r] = make([]float64, p)
+			for c := 0; c < p; c++ {
+				x[r][c] = rng.Float64()*4 - 2
+			}
+			for c := 0; c < p; c++ {
+				y[r] += truth[c] * x[r][c]
+			}
+		}
+		beta, err := LeastSquares(x, y)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for c := 0; c < p; c++ {
+			if math.Abs(beta[c]-truth[c]) > 1e-6 {
+				t.Fatalf("trial %d: beta=%v, want %v", trial, beta, truth)
+			}
+		}
+	}
+}
+
+func TestLeastSquaresSingular(t *testing.T) {
+	// Two identical columns: no unique solution.
+	x := [][]float64{{1, 1}, {2, 2}, {3, 3}}
+	y := []float64{1, 2, 3}
+	if _, err := LeastSquares(x, y); err == nil {
+		t.Error("expected singular-system error")
+	}
+}
+
+func TestLeastSquaresDimensionErrors(t *testing.T) {
+	if _, err := LeastSquares(nil, nil); err == nil {
+		t.Error("empty system must error")
+	}
+	if _, err := LeastSquares([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("row/target mismatch must error")
+	}
+	if _, err := LeastSquares([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Error("ragged rows must error")
+	}
+	if _, err := LeastSquares([][]float64{{}}, []float64{1}); err == nil {
+		t.Error("no features must error")
+	}
+}
+
+func TestSolveLinearPivoting(t *testing.T) {
+	// Requires pivoting: zero on the diagonal.
+	a := [][]float64{{0, 1}, {1, 0}}
+	b := []float64{3, 4}
+	sol, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol[0]-4) > 1e-12 || math.Abs(sol[1]-3) > 1e-12 {
+		t.Errorf("sol=%v, want [4 3]", sol)
+	}
+}
+
+func TestSolveLinearRandomRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 1 + rng.Intn(5)
+		a := make([][]float64, p)
+		x := make([]float64, p)
+		for i := range a {
+			a[i] = make([]float64, p)
+			for j := range a[i] {
+				a[i][j] = rng.Float64()*2 - 1
+			}
+			a[i][i] += float64(p) // diagonally dominant => nonsingular
+			x[i] = rng.Float64()*10 - 5
+		}
+		b := make([]float64, p)
+		for i := range b {
+			for j := range x {
+				b[i] += a[i][j] * x[j]
+			}
+		}
+		// SolveLinear mutates, so copy.
+		ac := make([][]float64, p)
+		for i := range a {
+			ac[i] = append([]float64(nil), a[i]...)
+		}
+		sol, err := SolveLinear(ac, append([]float64(nil), b...))
+		if err != nil {
+			return false
+		}
+		for i := range sol {
+			if math.Abs(sol[i]-x[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRSquared(t *testing.T) {
+	y := []float64{1, 2, 3}
+	if r := RSquared(y, y); r != 1 {
+		t.Errorf("perfect fit r2=%v, want 1", r)
+	}
+	if r := RSquared(y, []float64{2, 2, 2}); r != 0 {
+		t.Errorf("mean-only fit r2=%v, want 0", r)
+	}
+	if r := RSquared([]float64{5, 5}, []float64{5, 5}); r != 0 {
+		t.Errorf("constant target r2=%v, want 0 by convention", r)
+	}
+	if r := RSquared(y, []float64{1}); r != 0 {
+		t.Errorf("mismatched lengths r2=%v, want 0", r)
+	}
+}
+
+func TestMeanAbsPctError(t *testing.T) {
+	y := []float64{10, 20}
+	pred := []float64{11, 18}
+	got := MeanAbsPctError(y, pred)
+	want := 100 * (0.1 + 0.1) / 2
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("MAPE=%v, want %v", got, want)
+	}
+	if !math.IsNaN(MeanAbsPctError(y, []float64{1})) {
+		t.Error("length mismatch must return NaN")
+	}
+	if MeanAbsPctError([]float64{0, 0}, []float64{1, 2}) != 0 {
+		t.Error("all-zero targets are skipped, MAPE must be 0")
+	}
+}

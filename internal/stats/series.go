@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Point is a single sample of a time series. X is typically simulation time
+// in seconds; Y a power or energy value.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is an ordered sequence of samples, used for the paper's
+// power-versus-time figures (Figs. 3-5).
+type Series struct {
+	Name   string
+	XUnit  string
+	YUnit  string
+	Points []Point
+}
+
+// Add appends a sample to the series.
+func (s *Series) Add(x, y float64) {
+	s.Points = append(s.Points, Point{X: x, Y: y})
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Points) }
+
+// MaxY returns the maximum Y value, or 0 for an empty series.
+func (s *Series) MaxY() float64 {
+	m := 0.0
+	for i, p := range s.Points {
+		if i == 0 || p.Y > m {
+			m = p.Y
+		}
+	}
+	return m
+}
+
+// MeanY returns the arithmetic mean of Y, or 0 for an empty series.
+func (s *Series) MeanY() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range s.Points {
+		sum += p.Y
+	}
+	return sum / float64(len(s.Points))
+}
+
+// SumY returns the sum of all Y values.
+func (s *Series) SumY() float64 {
+	sum := 0.0
+	for _, p := range s.Points {
+		sum += p.Y
+	}
+	return sum
+}
+
+// WriteCSV emits the series as a two-column CSV with a header line.
+func (s *Series) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s,%s\n", nonEmpty(s.XUnit, "x"), nonEmpty(s.YUnit, "y")); err != nil {
+		return err
+	}
+	for _, p := range s.Points {
+		if _, err := fmt.Fprintf(w, "%g,%g\n", p.X, p.Y); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func nonEmpty(s, fallback string) string {
+	if s == "" {
+		return fallback
+	}
+	return s
+}
+
+// Windower converts a stream of (time, energy) increments into a windowed
+// power series: each window of the configured duration accumulates energy,
+// and P = E/window is emitted once per window. This is how the paper's
+// power plots are produced from per-cycle energy contributions.
+type Windower struct {
+	Window   float64 // window duration in seconds
+	series   *Series
+	start    float64 // start time of the current window
+	acc      float64 // energy accumulated in the current window
+	started  bool
+	finished bool
+}
+
+// NewWindower builds a windower emitting into a fresh series. window is the
+// window duration in seconds.
+func NewWindower(name string, window float64) *Windower {
+	return &Windower{
+		Window: window,
+		series: &Series{Name: name, XUnit: "time_s", YUnit: "power_W"},
+	}
+}
+
+// Deposit records an energy increment (joules) at the given time (seconds).
+// Deposits must arrive in nondecreasing time order.
+func (w *Windower) Deposit(t, energy float64) {
+	if !w.started {
+		w.start = math.Floor(t/w.Window) * w.Window
+		w.started = true
+	}
+	for t >= w.start+w.Window {
+		w.flush()
+	}
+	w.acc += energy
+}
+
+func (w *Windower) flush() {
+	w.series.Add(w.start+w.Window/2, w.acc/w.Window)
+	w.start += w.Window
+	w.acc = 0
+}
+
+// Series finalizes the in-progress window (even if empty, so that
+// parallel windowers fed at the same timestamps stay aligned) and returns
+// the accumulated series. Further deposits after Series are not supported.
+func (w *Windower) Series() *Series {
+	if w.started && !w.finished {
+		w.flush()
+		w.finished = true
+	}
+	return w.series
+}
+
+// Summary holds the usual descriptive statistics for a slice of values.
+type Summary struct {
+	N            int
+	Min, Max     float64
+	Mean, Stddev float64
+	Median       float64
+	Total        float64
+}
+
+// Summarize computes summary statistics for vs. It returns the zero value
+// for an empty slice.
+func Summarize(vs []float64) Summary {
+	var s Summary
+	s.N = len(vs)
+	if s.N == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[s.N-1]
+	if s.N%2 == 1 {
+		s.Median = sorted[s.N/2]
+	} else {
+		s.Median = (sorted[s.N/2-1] + sorted[s.N/2]) / 2
+	}
+	for _, v := range vs {
+		s.Total += v
+	}
+	s.Mean = s.Total / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, v := range vs {
+			d := v - s.Mean
+			ss += d * d
+		}
+		s.Stddev = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}

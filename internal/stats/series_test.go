@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	s.Add(0, 1)
+	s.Add(1, 3)
+	s.Add(2, 2)
+	if s.Len() != 3 {
+		t.Fatalf("Len=%d, want 3", s.Len())
+	}
+	if s.MaxY() != 3 {
+		t.Errorf("MaxY=%v, want 3", s.MaxY())
+	}
+	if s.MeanY() != 2 {
+		t.Errorf("MeanY=%v, want 2", s.MeanY())
+	}
+	if s.SumY() != 6 {
+		t.Errorf("SumY=%v, want 6", s.SumY())
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var s Series
+	if s.MaxY() != 0 || s.MeanY() != 0 || s.SumY() != 0 {
+		t.Error("empty series statistics must be zero")
+	}
+}
+
+func TestSeriesWriteCSV(t *testing.T) {
+	s := Series{XUnit: "t", YUnit: "p"}
+	s.Add(1, 2.5)
+	s.Add(2, 3.5)
+	var b strings.Builder
+	if err := s.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "t,p\n1,2.5\n2,3.5\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestSeriesWriteCSVDefaultHeader(t *testing.T) {
+	var s Series
+	var b strings.Builder
+	if err := s.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "x,y\n" {
+		t.Errorf("CSV = %q, want default header", b.String())
+	}
+}
+
+func TestWindowerPower(t *testing.T) {
+	w := NewWindower("p", 1.0)
+	// 2 J in window [0,1), 4 J in window [1,2).
+	w.Deposit(0.1, 1)
+	w.Deposit(0.9, 1)
+	w.Deposit(1.5, 4)
+	s := w.Series()
+	if s.Len() != 2 {
+		t.Fatalf("Len=%d, want 2", s.Len())
+	}
+	if s.Points[0].Y != 2 {
+		t.Errorf("window 0 power=%v, want 2", s.Points[0].Y)
+	}
+	if s.Points[1].Y != 4 {
+		t.Errorf("window 1 power=%v, want 4", s.Points[1].Y)
+	}
+	if s.Points[0].X != 0.5 || s.Points[1].X != 1.5 {
+		t.Errorf("window centers = %v,%v", s.Points[0].X, s.Points[1].X)
+	}
+}
+
+func TestWindowerGapEmitsEmptyWindows(t *testing.T) {
+	w := NewWindower("p", 1.0)
+	w.Deposit(0.5, 1)
+	w.Deposit(3.5, 1)
+	s := w.Series()
+	if s.Len() != 4 {
+		t.Fatalf("Len=%d, want 4 (two filled, two empty windows)", s.Len())
+	}
+	if s.Points[1].Y != 0 || s.Points[2].Y != 0 {
+		t.Error("gap windows must carry zero power")
+	}
+}
+
+func TestWindowerEnergyConservation(t *testing.T) {
+	// Total energy deposited equals the integral of the windowed power.
+	f := func(raw []uint8) bool {
+		w := NewWindower("p", 0.25)
+		total := 0.0
+		tcur := 0.0
+		for _, r := range raw {
+			tcur += float64(r%16) / 16.0
+			e := float64(r) / 255.0
+			w.Deposit(tcur, e)
+			total += e
+		}
+		s := w.Series()
+		integral := 0.0
+		for _, p := range s.Points {
+			integral += p.Y * w.Window
+		}
+		return math.Abs(integral-total) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("bad extremes: %+v", s)
+	}
+	if s.Mean != 2.5 || s.Median != 2.5 || s.Total != 10 {
+		t.Errorf("bad center: %+v", s)
+	}
+	sd := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if math.Abs(s.Stddev-sd) > 1e-12 {
+		t.Errorf("Stddev=%v, want %v", s.Stddev, sd)
+	}
+}
+
+func TestSummarizeOddMedian(t *testing.T) {
+	s := Summarize([]float64{9, 1, 5})
+	if s.Median != 5 {
+		t.Errorf("Median=%v, want 5", s.Median)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Error("empty summary must be zero")
+	}
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Stddev != 0 || s.Median != 7 {
+		t.Errorf("single-element summary wrong: %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("Summarize must not reorder its input")
+	}
+}

@@ -1,0 +1,209 @@
+// Package synth generates gate-level netlists for the AHB sub-blocks the
+// paper characterizes — a one-hot address decoder built only from NOT and
+// AND gates (exactly as in §5.1), a w-bit n:1 AND-OR multiplexer, and a
+// fixed-priority arbiter FSM — and provides a small logic-synthesis layer
+// (two-level SOP from truth tables plus netlist optimization passes).
+//
+// Together with internal/gate it plays the role Berkeley SIS plays in the
+// paper: producing "an easy synthesizable version" of each block whose
+// gate-level switched-capacitance energy grounds the system-level
+// macromodels.
+package synth
+
+import (
+	"fmt"
+
+	"ahbpower/internal/gate"
+	"ahbpower/internal/stats"
+)
+
+// Decoder describes a generated one-hot decoder netlist.
+type Decoder struct {
+	Netlist *gate.Netlist
+	In      []gate.NetID // binary-encoded input, LSB first (width n_I)
+	Out     []gate.NetID // one-hot outputs (n_O of them)
+	NI      int          // input width (the paper's n_I)
+	NO      int          // output count (the paper's n_O)
+}
+
+// BuildDecoder generates a one-hot decoder with nOut outputs using only NOT
+// and AND gates, matching the paper: "a simple one-hot decoding behavior
+// ... synthesized only with NOT and AND gates". Output j asserts when the
+// binary input equals j. The input width is the paper's n_I (the first
+// integer greater than log2(n_O−1)).
+func BuildDecoder(nOut int) (*Decoder, error) {
+	if nOut < 2 {
+		return nil, fmt.Errorf("synth: decoder needs at least 2 outputs, got %d", nOut)
+	}
+	nI := stats.PaperNI(nOut)
+	nl := gate.NewNetlist(fmt.Sprintf("decoder%d", nOut))
+	d := &Decoder{Netlist: nl, NI: nI, NO: nOut}
+	inv := make([]gate.NetID, nI)
+	for i := 0; i < nI; i++ {
+		in := nl.AddInput(fmt.Sprintf("a%d", i))
+		d.In = append(d.In, in)
+		inv[i] = nl.MustGate(gate.Not, fmt.Sprintf("na%d", i), in)
+	}
+	for j := 0; j < nOut; j++ {
+		lits := make([]gate.NetID, nI)
+		for b := 0; b < nI; b++ {
+			if j&(1<<uint(b)) != 0 {
+				lits[b] = d.In[b]
+			} else {
+				lits[b] = inv[b]
+			}
+		}
+		out := andTree(nl, fmt.Sprintf("sel%d", j), lits)
+		nl.MarkOutput(out)
+		d.Out = append(d.Out, out)
+	}
+	return d, nil
+}
+
+// andTree reduces literals with a balanced tree of 2-input AND gates. A
+// single literal is buffered so that every output has a dedicated driver.
+func andTree(nl *gate.Netlist, name string, lits []gate.NetID) gate.NetID {
+	if len(lits) == 1 {
+		return nl.MustGate(gate.Buf, name, lits[0])
+	}
+	for len(lits) > 2 {
+		var next []gate.NetID
+		for i := 0; i+1 < len(lits); i += 2 {
+			next = append(next, nl.MustGate(gate.And, name+"_t", lits[i], lits[i+1]))
+		}
+		if len(lits)%2 == 1 {
+			next = append(next, lits[len(lits)-1])
+		}
+		lits = next
+	}
+	return nl.MustGate(gate.And, name, lits[0], lits[1])
+}
+
+// orTree reduces nets with a balanced tree of 2-input OR gates.
+func orTree(nl *gate.Netlist, name string, ins []gate.NetID) gate.NetID {
+	if len(ins) == 1 {
+		return nl.MustGate(gate.Buf, name, ins[0])
+	}
+	for len(ins) > 2 {
+		var next []gate.NetID
+		for i := 0; i+1 < len(ins); i += 2 {
+			next = append(next, nl.MustGate(gate.Or, name+"_t", ins[i], ins[i+1]))
+		}
+		if len(ins)%2 == 1 {
+			next = append(next, ins[len(ins)-1])
+		}
+		ins = next
+	}
+	return nl.MustGate(gate.Or, name, ins[0], ins[1])
+}
+
+// Mux describes a generated w-bit n:1 AND-OR multiplexer netlist.
+type Mux struct {
+	Netlist *gate.Netlist
+	Sel     []gate.NetID   // binary select, LSB first (width ceil(log2 n))
+	Data    [][]gate.NetID // Data[i][b] = bit b of input word i
+	Out     []gate.NetID   // w output bits
+	W       int
+	N       int
+}
+
+// BuildMux generates a w-bit n-input multiplexer in AND-OR form: a one-hot
+// select decoder (NOT/AND), per-bit AND masking and an OR reduction tree.
+// This is the structure assumed by the paper's E_MUX = f(w, n, HD_IN,
+// HD_SEL) macromodel.
+func BuildMux(w, n int) (*Mux, error) {
+	if w < 1 || n < 2 {
+		return nil, fmt.Errorf("synth: mux needs w>=1 and n>=2, got w=%d n=%d", w, n)
+	}
+	nl := gate.NewNetlist(fmt.Sprintf("mux%dx%d", n, w))
+	m := &Mux{Netlist: nl, W: w, N: n}
+	s := stats.CeilLog2(n)
+	if s == 0 {
+		s = 1
+	}
+	for i := 0; i < s; i++ {
+		m.Sel = append(m.Sel, nl.AddInput(fmt.Sprintf("s%d", i)))
+	}
+	for i := 0; i < n; i++ {
+		word := make([]gate.NetID, w)
+		for b := 0; b < w; b++ {
+			word[b] = nl.AddInput(fmt.Sprintf("d%d_%d", i, b))
+		}
+		m.Data = append(m.Data, word)
+	}
+	// One-hot select decode from NOT/AND.
+	inv := make([]gate.NetID, s)
+	for i := 0; i < s; i++ {
+		inv[i] = nl.MustGate(gate.Not, fmt.Sprintf("ns%d", i), m.Sel[i])
+	}
+	onehot := make([]gate.NetID, n)
+	for i := 0; i < n; i++ {
+		lits := make([]gate.NetID, s)
+		for b := 0; b < s; b++ {
+			if i&(1<<uint(b)) != 0 {
+				lits[b] = m.Sel[b]
+			} else {
+				lits[b] = inv[b]
+			}
+		}
+		onehot[i] = andTree(nl, fmt.Sprintf("oh%d", i), lits)
+	}
+	// Per output bit: mask each word with its one-hot line, OR-reduce.
+	for b := 0; b < w; b++ {
+		masked := make([]gate.NetID, n)
+		for i := 0; i < n; i++ {
+			masked[i] = nl.MustGate(gate.And, fmt.Sprintf("m%d_%d", i, b), m.Data[i][b], onehot[i])
+		}
+		out := orTree(nl, fmt.Sprintf("y%d", b), masked)
+		nl.MarkOutput(out)
+		m.Out = append(m.Out, out)
+	}
+	return m, nil
+}
+
+// Arbiter describes a generated fixed-priority arbiter FSM netlist: the
+// simplified arbiter of the paper's §5.1, with registered one-hot grants
+// and master 0 as the default master (granted when nobody requests).
+type Arbiter struct {
+	Netlist *gate.Netlist
+	Req     []gate.NetID // request inputs
+	Grant   []gate.NetID // registered one-hot grant outputs
+	N       int
+}
+
+// BuildArbiter generates an n-master fixed-priority arbiter with a one-hot
+// grant register: grant_i <= req_i AND NOT(req_0..req_{i-1}); when no master
+// requests, the default master (index 0) is granted.
+func BuildArbiter(n int) (*Arbiter, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("synth: arbiter needs at least 2 masters, got %d", n)
+	}
+	nl := gate.NewNetlist(fmt.Sprintf("arbiter%d", n))
+	a := &Arbiter{Netlist: nl, N: n}
+	for i := 0; i < n; i++ {
+		a.Req = append(a.Req, nl.AddInput(fmt.Sprintf("req%d", i)))
+	}
+	// noneReq = NOT(OR of all requests)
+	anyReq := orTree(nl, "anyreq", a.Req)
+	noneReq := nl.MustGate(gate.Not, "nonereq", anyReq)
+	for i := 0; i < n; i++ {
+		var next gate.NetID
+		if i == 0 {
+			// Default master: granted on its own request or when idle.
+			next = nl.MustGate(gate.Or, "g0next", a.Req[0], noneReq)
+		} else {
+			lits := []gate.NetID{a.Req[i]}
+			for j := 0; j < i; j++ {
+				lits = append(lits, nl.MustGate(gate.Not, fmt.Sprintf("nr%d_%d", i, j), a.Req[j]))
+			}
+			next = andTree(nl, fmt.Sprintf("g%dnext", i), lits)
+		}
+		q := nl.AddNet(fmt.Sprintf("grant%d", i))
+		if err := nl.Drive(gate.Dff, q, next); err != nil {
+			return nil, err
+		}
+		nl.MarkOutput(q)
+		a.Grant = append(a.Grant, q)
+	}
+	return a, nil
+}

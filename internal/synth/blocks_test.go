@@ -1,0 +1,282 @@
+package synth
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"ahbpower/internal/gate"
+)
+
+var tech = gate.Tech{VDD: 1.8, CPD: 20e-15, COut: 50e-15}
+
+func TestBuildDecoderRejectsBadSizes(t *testing.T) {
+	if _, err := BuildDecoder(1); err == nil {
+		t.Error("decoder with 1 output must fail")
+	}
+	if _, err := BuildDecoder(0); err == nil {
+		t.Error("decoder with 0 outputs must fail")
+	}
+}
+
+func TestDecoderFunctional(t *testing.T) {
+	for _, nOut := range []int{2, 3, 4, 5, 8, 16} {
+		d, err := BuildDecoder(nOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := gate.NewEval(d.Netlist, tech)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < nOut; v++ {
+			e.SetInputs(uint64(v))
+			e.Settle()
+			got := e.OutputBits()
+			want := uint64(1) << uint(v)
+			if got != want {
+				t.Errorf("decoder%d(%d): outputs=%0*b, want %0*b", nOut, v, nOut, got, nOut, want)
+			}
+		}
+	}
+}
+
+func TestDecoderOneHotInvariant(t *testing.T) {
+	d, err := BuildDecoder(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := gate.NewEval(d.Netlist, tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(v uint8) bool {
+		e.SetInputs(uint64(v) & 7)
+		e.Settle()
+		return bits.OnesCount64(e.OutputBits()) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecoderUsesOnlyNotAndGates(t *testing.T) {
+	// The paper synthesizes the decoder "only with NOT and AND gates".
+	d, err := BuildDecoder(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range d.Netlist.Gates() {
+		if g.Kind != gate.Not && g.Kind != gate.And {
+			t.Errorf("decoder contains %v gate", g.Kind)
+		}
+	}
+}
+
+func TestDecoderNIMatchesPaper(t *testing.T) {
+	for _, c := range []struct{ nOut, nI int }{{2, 1}, {3, 2}, {4, 2}, {5, 3}, {9, 4}} {
+		d, err := BuildDecoder(c.nOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.NI != c.nI {
+			t.Errorf("decoder%d: NI=%d, want %d", c.nOut, d.NI, c.nI)
+		}
+		if len(d.In) != c.nI || len(d.Out) != c.nOut {
+			t.Errorf("decoder%d: ports %d/%d", c.nOut, len(d.In), len(d.Out))
+		}
+	}
+}
+
+func TestBuildMuxRejectsBadSizes(t *testing.T) {
+	if _, err := BuildMux(0, 2); err == nil {
+		t.Error("w=0 must fail")
+	}
+	if _, err := BuildMux(8, 1); err == nil {
+		t.Error("n=1 must fail")
+	}
+}
+
+func TestMuxFunctional(t *testing.T) {
+	for _, cfg := range []struct{ w, n int }{{1, 2}, {4, 2}, {8, 3}, {8, 4}, {16, 5}} {
+		m, err := BuildMux(cfg.w, cfg.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := gate.NewEval(m.Netlist, tech)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Load distinct data words, then select each in turn.
+		words := make([]uint64, cfg.n)
+		for i := range words {
+			words[i] = uint64(i*37+11) & ((1 << uint(cfg.w)) - 1)
+		}
+		apply := func(sel int) {
+			for i, word := range words {
+				for b := 0; b < cfg.w; b++ {
+					e.SetInput(m.Data[i][b], word&(1<<uint(b)) != 0)
+				}
+			}
+			for b := range m.Sel {
+				e.SetInput(m.Sel[b], sel&(1<<uint(b)) != 0)
+			}
+			e.Settle()
+		}
+		for sel := 0; sel < cfg.n; sel++ {
+			apply(sel)
+			got := uint64(0)
+			for b, o := range m.Out {
+				if e.Output(o) {
+					got |= 1 << uint(b)
+				}
+			}
+			if got != words[sel] {
+				t.Errorf("mux %dx%d sel=%d: got %#x, want %#x", cfg.n, cfg.w, sel, got, words[sel])
+			}
+		}
+	}
+}
+
+func TestMuxRandomProperty(t *testing.T) {
+	m, err := BuildMux(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := gate.NewEval(m.Netlist, tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(d0, d1, d2, d3 uint8, sel uint8) bool {
+		words := []uint8{d0, d1, d2, d3}
+		s := int(sel % 4)
+		for i, word := range words {
+			for b := 0; b < 8; b++ {
+				e.SetInput(m.Data[i][b], word&(1<<uint(b)) != 0)
+			}
+		}
+		for b := range m.Sel {
+			e.SetInput(m.Sel[b], s&(1<<uint(b)) != 0)
+		}
+		e.Settle()
+		got := uint8(0)
+		for b, o := range m.Out {
+			if e.Output(o) {
+				got |= 1 << uint(b)
+			}
+		}
+		return got == words[s]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArbiterRejectsBadSizes(t *testing.T) {
+	if _, err := BuildArbiter(1); err == nil {
+		t.Error("n=1 must fail")
+	}
+}
+
+func TestArbiterPriorityAndDefault(t *testing.T) {
+	a, err := BuildArbiter(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := gate.NewEval(a.Netlist, tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grants := func() uint64 {
+		var v uint64
+		for i, g := range a.Grant {
+			if e.Output(g) {
+				v |= 1 << uint(i)
+			}
+		}
+		return v
+	}
+	step := func(req uint64) {
+		for i, r := range a.Req {
+			e.SetInput(r, req&(1<<uint(i)) != 0)
+		}
+		e.Settle()
+		e.ClockTick()
+	}
+	step(0b000)
+	if grants() != 0b001 {
+		t.Errorf("idle grant=%03b, want default master 0", grants())
+	}
+	step(0b110)
+	if grants() != 0b010 {
+		t.Errorf("req={1,2} grant=%03b, want master 1 (priority)", grants())
+	}
+	step(0b100)
+	if grants() != 0b100 {
+		t.Errorf("req={2} grant=%03b, want master 2", grants())
+	}
+	step(0b111)
+	if grants() != 0b001 {
+		t.Errorf("req=all grant=%03b, want master 0 (highest priority)", grants())
+	}
+}
+
+func TestArbiterGrantAlwaysOneHot(t *testing.T) {
+	a, err := BuildArbiter(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := gate.NewEval(a.Netlist, tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(req uint8) bool {
+		for i, r := range a.Req {
+			e.SetInput(r, req&(1<<uint(i)) != 0)
+		}
+		e.Settle()
+		e.ClockTick()
+		var cnt int
+		for _, g := range a.Grant {
+			if e.Output(g) {
+				cnt++
+			}
+		}
+		return cnt == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecoderEnergyGrowsWithHammingDistance(t *testing.T) {
+	// Alternating between inputs at HD=2 must switch more capacitance than
+	// alternating between inputs at HD=1: the core of the macromodel.
+	energyFor := func(a, b uint64) float64 {
+		d, err := BuildDecoder(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := gate.NewEval(d.Netlist, tech)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.SetInputs(a)
+		e.Settle()
+		e.ResetCounters()
+		for i := 0; i < 100; i++ {
+			if i%2 == 0 {
+				e.SetInputs(b)
+			} else {
+				e.SetInputs(a)
+			}
+			e.Settle()
+		}
+		return e.Energy()
+	}
+	e1 := energyFor(0b000, 0b001) // HD 1
+	e3 := energyFor(0b000, 0b111) // HD 3
+	if e3 <= e1 {
+		t.Errorf("HD3 energy %g must exceed HD1 energy %g", e3, e1)
+	}
+}

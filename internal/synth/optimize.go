@@ -1,0 +1,176 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ahbpower/internal/gate"
+)
+
+// OptimizeStats reports what an optimization pass removed.
+type OptimizeStats struct {
+	GatesBefore int
+	GatesAfter  int
+	Removed     int // total gates removed (buffers, duplicates, dead logic)
+}
+
+// Optimize rebuilds a netlist applying three logic-synthesis cleanup
+// passes: buffer collapsing, common-subexpression sharing (structural
+// hashing) and dead-gate elimination. The result is functionally identical
+// — same primary inputs and outputs in the same order — with potentially
+// fewer gates. Primary-output nets always keep their own driver.
+func Optimize(nl *gate.Netlist) (*gate.Netlist, OptimizeStats, error) {
+	var st OptimizeStats
+	st.GatesBefore = nl.NumGates()
+
+	gates := nl.Gates()
+	numNets := nl.NumNets()
+
+	isOutput := make([]bool, numNets)
+	for _, o := range nl.Outputs() {
+		isOutput[o] = true
+	}
+
+	// alias[n] != n means net n has been replaced by an equivalent net.
+	alias := make([]gate.NetID, numNets)
+	for i := range alias {
+		alias[i] = gate.NetID(i)
+	}
+	var resolve func(n gate.NetID) gate.NetID
+	resolve = func(n gate.NetID) gate.NetID {
+		for alias[n] != n {
+			alias[n] = alias[alias[n]] // path compression
+			n = alias[n]
+		}
+		return n
+	}
+
+	// Buffer collapsing + structural hashing, iterated to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		seen := map[string]gate.NetID{}
+		for _, g := range gates {
+			if alias[g.Out] != g.Out {
+				continue // gate already merged away
+			}
+			ins := make([]gate.NetID, len(g.In))
+			for i, in := range g.In {
+				ins[i] = resolve(in)
+			}
+			if g.Kind == gate.Buf && !isOutput[g.Out] {
+				alias[g.Out] = ins[0]
+				changed = true
+				continue
+			}
+			key := hashKey(g.Kind, ins)
+			if prev, ok := seen[key]; ok && prev != g.Out {
+				if !isOutput[g.Out] {
+					alias[g.Out] = prev
+					changed = true
+				}
+				continue
+			}
+			seen[key] = g.Out
+		}
+	}
+
+	// canonical[n] = index of the surviving gate driving net n.
+	canonical := map[gate.NetID]int{}
+	for gi, g := range gates {
+		if alias[g.Out] == g.Out {
+			canonical[g.Out] = gi
+		}
+	}
+
+	// Dead-gate elimination: mark nets reachable from primary outputs.
+	live := make([]bool, numNets)
+	var stack []gate.NetID
+	for _, o := range nl.Outputs() {
+		r := resolve(o)
+		if !live[r] {
+			live[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		gi, ok := canonical[n]
+		if !ok {
+			continue // primary input or undriven
+		}
+		for _, in := range gates[gi].In {
+			r := resolve(in)
+			if !live[r] {
+				live[r] = true
+				stack = append(stack, r)
+			}
+		}
+	}
+
+	// Rebuild the netlist with only live canonical gates.
+	out := gate.NewNetlist(strings.TrimSuffix(nl.Name, "_opt") + "_opt")
+	newID := map[gate.NetID]gate.NetID{}
+	for _, in := range nl.Inputs() {
+		newID[in] = out.AddInput(nl.NetName(in))
+	}
+	var liveGates []int
+	for n, gi := range canonical {
+		if live[n] {
+			liveGates = append(liveGates, gi)
+		}
+	}
+	sort.Ints(liveGates)
+	for _, gi := range liveGates {
+		o := gates[gi].Out
+		if _, exists := newID[o]; !exists {
+			newID[o] = out.AddNet(nl.NetName(o))
+		}
+	}
+	for _, gi := range liveGates {
+		g := gates[gi]
+		ins := make([]gate.NetID, len(g.In))
+		for i, in := range g.In {
+			r := resolve(in)
+			id, ok := newID[r]
+			if !ok {
+				return nil, st, fmt.Errorf("synth: optimize lost net %q", nl.NetName(r))
+			}
+			ins[i] = id
+		}
+		if err := out.Drive(g.Kind, newID[g.Out], ins...); err != nil {
+			return nil, st, err
+		}
+	}
+	for _, o := range nl.Outputs() {
+		id, ok := newID[resolve(o)]
+		if !ok {
+			return nil, st, fmt.Errorf("synth: optimize lost output %q", nl.NetName(o))
+		}
+		out.MarkOutput(id)
+	}
+	if _, err := out.Validate(); err != nil {
+		return nil, st, err
+	}
+	st.GatesAfter = out.NumGates()
+	st.Removed = st.GatesBefore - st.GatesAfter
+	return out, st, nil
+}
+
+// hashKey produces a structural key for common-subexpression sharing;
+// commutative gates sort their inputs so a AND b matches b AND a.
+func hashKey(k gate.Kind, ins []gate.NetID) string {
+	sorted := ins
+	switch k {
+	case gate.And, gate.Or, gate.Nand, gate.Nor, gate.Xor, gate.Xnor:
+		sorted = append([]gate.NetID(nil), ins...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d:", k)
+	for _, in := range sorted {
+		fmt.Fprintf(&b, "%d,", in)
+	}
+	return b.String()
+}

@@ -1,0 +1,195 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"ahbpower/internal/gate"
+)
+
+// exhaustiveEquiv checks two netlists with identical input/output ports
+// compute the same function over all input assignments.
+func exhaustiveEquiv(t *testing.T, a, b *gate.Netlist) {
+	t.Helper()
+	nIn := len(a.Inputs())
+	if nIn != len(b.Inputs()) || len(a.Outputs()) != len(b.Outputs()) {
+		t.Fatalf("port mismatch: %d/%d inputs, %d/%d outputs",
+			nIn, len(b.Inputs()), len(a.Outputs()), len(b.Outputs()))
+	}
+	ea, err := gate.NewEval(a, tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := gate.NewEval(b, tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(0); v < 1<<uint(nIn); v++ {
+		ea.SetInputs(v)
+		ea.Settle()
+		eb.SetInputs(v)
+		eb.Settle()
+		if ea.OutputBits() != eb.OutputBits() {
+			t.Fatalf("mismatch at input %b: %b vs %b", v, ea.OutputBits(), eb.OutputBits())
+		}
+	}
+}
+
+func TestOptimizeMergesDuplicates(t *testing.T) {
+	nl := gate.NewNetlist("dup")
+	a := nl.AddInput("a")
+	b := nl.AddInput("b")
+	x1 := nl.MustGate(gate.And, "x1", a, b)
+	x2 := nl.MustGate(gate.And, "x2", b, a) // commutative duplicate
+	y := nl.MustGate(gate.Or, "y", x1, x2)
+	nl.MarkOutput(y)
+	opt, st, err := Optimize(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// OR(x,x) remains, but the duplicate AND must merge: 2 gates total.
+	if opt.NumGates() != 2 {
+		t.Errorf("gates=%d, want 2 (one AND merged)", opt.NumGates())
+	}
+	if st.Removed != 1 {
+		t.Errorf("Removed=%d, want 1", st.Removed)
+	}
+	exhaustiveEquiv(t, nl, opt)
+}
+
+func TestOptimizeRemovesDeadLogic(t *testing.T) {
+	nl := gate.NewNetlist("dead")
+	a := nl.AddInput("a")
+	b := nl.AddInput("b")
+	y := nl.MustGate(gate.And, "y", a, b)
+	nl.MustGate(gate.Or, "unused", a, b)
+	nl.MarkOutput(y)
+	opt, _, err := Optimize(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.NumGates() != 1 {
+		t.Errorf("gates=%d, want 1 (dead OR removed)", opt.NumGates())
+	}
+	exhaustiveEquiv(t, nl, opt)
+}
+
+func TestOptimizeCollapsesBuffers(t *testing.T) {
+	nl := gate.NewNetlist("bufs")
+	a := nl.AddInput("a")
+	b1 := nl.MustGate(gate.Buf, "b1", a)
+	b2 := nl.MustGate(gate.Buf, "b2", b1)
+	y := nl.MustGate(gate.Not, "y", b2)
+	nl.MarkOutput(y)
+	opt, _, err := Optimize(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.NumGates() != 1 {
+		t.Errorf("gates=%d, want 1 (buffer chain collapsed)", opt.NumGates())
+	}
+	exhaustiveEquiv(t, nl, opt)
+}
+
+func TestOptimizeKeepsOutputBuffer(t *testing.T) {
+	// A buffer driving a primary output must survive so the output net
+	// keeps a driver.
+	nl := gate.NewNetlist("outbuf")
+	a := nl.AddInput("a")
+	y := nl.MustGate(gate.Buf, "y", a)
+	nl.MarkOutput(y)
+	opt, _, err := Optimize(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.NumGates() != 1 {
+		t.Errorf("gates=%d, want 1", opt.NumGates())
+	}
+	exhaustiveEquiv(t, nl, opt)
+}
+
+func TestOptimizePreservesDffState(t *testing.T) {
+	// Toggle register with a redundant duplicated inverter.
+	nl := gate.NewNetlist("dff")
+	q := nl.AddNet("q")
+	n1 := nl.MustGate(gate.Not, "n1", q)
+	n2 := nl.MustGate(gate.Not, "n2", q) // duplicate
+	sum := nl.MustGate(gate.And, "sum", n1, n2)
+	if err := nl.Drive(gate.Dff, q, sum); err != nil {
+		t.Fatal(err)
+	}
+	nl.MarkOutput(q)
+	opt, _, err := Optimize(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := opt.CountKind(gate.Not); got != 1 {
+		t.Errorf("NOT count=%d, want 1 after CSE", got)
+	}
+	// Behavioral check over a few cycles.
+	eo, err := gate.NewEval(opt, tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, err := gate.NewEval(nl, tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eo.Settle()
+	en.Settle()
+	for i := 0; i < 6; i++ {
+		eo.ClockTick()
+		en.ClockTick()
+		if eo.OutputBits() != en.OutputBits() {
+			t.Fatalf("cycle %d: %b vs %b", i, eo.OutputBits(), en.OutputBits())
+		}
+	}
+}
+
+func TestOptimizeDecoderSharesInverters(t *testing.T) {
+	d, err := BuildDecoder(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, st, err := Optimize(d.Netlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.GatesAfter > st.GatesBefore {
+		t.Errorf("optimization grew the netlist: %d -> %d", st.GatesBefore, st.GatesAfter)
+	}
+	exhaustiveEquiv(t, d.Netlist, opt)
+}
+
+func TestOptimizeRandomSOPEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		nIn := 2 + rng.Intn(4)
+		nOut := 1 + rng.Intn(3)
+		table := make([]uint64, 1<<uint(nIn))
+		for i := range table {
+			table[i] = uint64(rng.Intn(1 << uint(nOut)))
+		}
+		s, err := SynthesizeSOP("rnd", nIn, nOut, func(v uint64) uint64 { return table[v] })
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, _, err := Optimize(s.Netlist)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		exhaustiveEquiv(t, s.Netlist, opt)
+	}
+}
+
+func TestOptimizeMuxEquivalent(t *testing.T) {
+	m, err := BuildMux(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _, err := Optimize(m.Netlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exhaustiveEquiv(t, m.Netlist, opt)
+}

@@ -1,0 +1,205 @@
+package synth
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"ahbpower/internal/gate"
+)
+
+// implicant is a cube over nIn variables: bit positions set in mask are
+// don't-cares; the remaining positions must match value.
+type implicant struct {
+	value uint64
+	mask  uint64
+}
+
+func (im implicant) covers(minterm uint64) bool {
+	return (minterm &^ im.mask) == (im.value &^ im.mask)
+}
+
+// SOP is a synthesized two-level sum-of-products netlist.
+type SOP struct {
+	Netlist *gate.Netlist
+	In      []gate.NetID
+	Out     []gate.NetID
+	// Cubes[o] holds the implicants chosen for output o (diagnostics).
+	Cubes [][]implicant
+}
+
+// SynthesizeSOP builds a NOT/AND/OR two-level implementation of the
+// boolean functions given by f: for every input assignment v in
+// [0, 2^nIn), output bit o of f(v) defines the truth table of output o.
+// Prime implicants are computed by iterative cube combining
+// (Quine-McCluskey) and a greedy cover is selected — the same class of
+// two-level minimization SIS performs for small blocks. nIn is limited to
+// 16 inputs.
+func SynthesizeSOP(name string, nIn, nOut int, f func(uint64) uint64) (*SOP, error) {
+	if nIn < 1 || nIn > 16 {
+		return nil, fmt.Errorf("synth: SOP supports 1..16 inputs, got %d", nIn)
+	}
+	if nOut < 1 || nOut > 64 {
+		return nil, fmt.Errorf("synth: SOP supports 1..64 outputs, got %d", nOut)
+	}
+	nl := gate.NewNetlist(name)
+	s := &SOP{Netlist: nl}
+	for i := 0; i < nIn; i++ {
+		s.In = append(s.In, nl.AddInput(fmt.Sprintf("x%d", i)))
+	}
+	inv := make([]gate.NetID, nIn)
+	invBuilt := make([]bool, nIn)
+	literal := func(bit int, positive bool) gate.NetID {
+		if positive {
+			return s.In[bit]
+		}
+		if !invBuilt[bit] {
+			inv[bit] = nl.MustGate(gate.Not, fmt.Sprintf("nx%d", bit), s.In[bit])
+			invBuilt[bit] = true
+		}
+		return inv[bit]
+	}
+	// Share identical product terms across outputs.
+	products := map[implicant]gate.NetID{}
+	productNet := func(im implicant) gate.NetID {
+		if net, ok := products[im]; ok {
+			return net
+		}
+		var lits []gate.NetID
+		for b := 0; b < nIn; b++ {
+			bit := uint64(1) << uint(b)
+			if im.mask&bit != 0 {
+				continue
+			}
+			lits = append(lits, literal(b, im.value&bit != 0))
+		}
+		var net gate.NetID
+		if len(lits) == 0 {
+			// Tautology cube: constant 1 = x0 OR NOT x0.
+			net = nl.MustGate(gate.Or, "const1", literal(0, true), literal(0, false))
+		} else {
+			net = andTree(nl, fmt.Sprintf("p%x_%x", im.value, im.mask), lits)
+		}
+		products[im] = net
+		return net
+	}
+
+	total := uint64(1) << uint(nIn)
+	for o := 0; o < nOut; o++ {
+		var minterms []uint64
+		for v := uint64(0); v < total; v++ {
+			if f(v)&(1<<uint(o)) != 0 {
+				minterms = append(minterms, v)
+			}
+		}
+		var outNet gate.NetID
+		switch {
+		case len(minterms) == 0:
+			// Constant 0 = x0 AND NOT x0.
+			outNet = nl.MustGate(gate.And, fmt.Sprintf("y%d", o), literal(0, true), literal(0, false))
+		default:
+			primes := primeImplicants(minterms, nIn)
+			cover := greedyCover(primes, minterms)
+			s.Cubes = append(s.Cubes, cover)
+			terms := make([]gate.NetID, len(cover))
+			for i, im := range cover {
+				terms[i] = productNet(im)
+			}
+			outNet = orTree(nl, fmt.Sprintf("y%d", o), terms)
+		}
+		nl.MarkOutput(outNet)
+		s.Out = append(s.Out, outNet)
+	}
+	return s, nil
+}
+
+// primeImplicants computes all prime implicants of the given minterms by
+// iterative pairwise combining.
+func primeImplicants(minterms []uint64, nIn int) []implicant {
+	cur := map[implicant]bool{}
+	for _, m := range minterms {
+		cur[implicant{value: m, mask: 0}] = true
+	}
+	var primes []implicant
+	for len(cur) > 0 {
+		next := map[implicant]bool{}
+		combined := map[implicant]bool{}
+		keys := make([]implicant, 0, len(cur))
+		for im := range cur {
+			keys = append(keys, im)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].mask != keys[j].mask {
+				return keys[i].mask < keys[j].mask
+			}
+			return keys[i].value < keys[j].value
+		})
+		for i := 0; i < len(keys); i++ {
+			for j := i + 1; j < len(keys); j++ {
+				a, b := keys[i], keys[j]
+				if a.mask != b.mask {
+					continue
+				}
+				diff := (a.value ^ b.value) &^ a.mask
+				if bits.OnesCount64(diff) != 1 {
+					continue
+				}
+				merged := implicant{value: a.value &^ diff, mask: a.mask | diff}
+				merged.value &^= merged.mask
+				next[merged] = true
+				combined[a] = true
+				combined[b] = true
+			}
+		}
+		for _, im := range keys {
+			if !combined[im] {
+				primes = append(primes, im)
+			}
+		}
+		cur = next
+	}
+	return primes
+}
+
+// greedyCover selects a subset of primes covering all minterms, repeatedly
+// taking the prime covering the most uncovered minterms.
+func greedyCover(primes []implicant, minterms []uint64) []implicant {
+	uncovered := map[uint64]bool{}
+	for _, m := range minterms {
+		uncovered[m] = true
+	}
+	var cover []implicant
+	for len(uncovered) > 0 {
+		bestIdx, bestCount := -1, 0
+		for i, p := range primes {
+			c := 0
+			for m := range uncovered {
+				if p.covers(m) {
+					c++
+				}
+			}
+			if c > bestCount || (c == bestCount && c > 0 && bestIdx >= 0 && lessImplicant(p, primes[bestIdx])) {
+				bestIdx, bestCount = i, c
+			}
+		}
+		if bestIdx < 0 {
+			break // cannot happen: primes cover all minterms by construction
+		}
+		p := primes[bestIdx]
+		cover = append(cover, p)
+		for m := range uncovered {
+			if p.covers(m) {
+				delete(uncovered, m)
+			}
+		}
+	}
+	sort.Slice(cover, func(i, j int) bool { return lessImplicant(cover[i], cover[j]) })
+	return cover
+}
+
+func lessImplicant(a, b implicant) bool {
+	if a.mask != b.mask {
+		return a.mask < b.mask
+	}
+	return a.value < b.value
+}

@@ -1,0 +1,133 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"ahbpower/internal/gate"
+)
+
+// checkEquivalent exhaustively compares a synthesized netlist against its
+// specification function over all input assignments.
+func checkEquivalent(t *testing.T, s *SOP, nIn int, f func(uint64) uint64) {
+	t.Helper()
+	e, err := gate.NewEval(s.Netlist, tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(0); v < 1<<uint(nIn); v++ {
+		e.SetInputs(v)
+		e.Settle()
+		want := f(v)
+		if got := e.OutputBits(); got != want {
+			t.Fatalf("%s(%b) = %b, want %b", s.Netlist.Name, v, got, want)
+		}
+	}
+}
+
+func TestSOPXor(t *testing.T) {
+	f := func(v uint64) uint64 {
+		if (v&1 != 0) != (v&2 != 0) {
+			return 1
+		}
+		return 0
+	}
+	s, err := SynthesizeSOP("xor", 2, 1, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalent(t, s, 2, f)
+}
+
+func TestSOPConstants(t *testing.T) {
+	zero := func(uint64) uint64 { return 0 }
+	one := func(uint64) uint64 { return 1 }
+	s0, err := SynthesizeSOP("zero", 2, 1, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalent(t, s0, 2, zero)
+	s1, err := SynthesizeSOP("one", 2, 1, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalent(t, s1, 2, one)
+}
+
+func TestSOPMultiOutput(t *testing.T) {
+	// A 2-bit adder: out = a + b where a = bits 0-1, b = bits 2-3.
+	f := func(v uint64) uint64 {
+		a := v & 3
+		b := (v >> 2) & 3
+		return (a + b) & 7
+	}
+	s, err := SynthesizeSOP("add2", 4, 3, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalent(t, s, 4, f)
+}
+
+func TestSOPMinimizesFullCube(t *testing.T) {
+	// f = x0 regardless of x1,x2: QM must collapse to a single literal.
+	f := func(v uint64) uint64 { return v & 1 }
+	s, err := SynthesizeSOP("lit", 3, 1, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalent(t, s, 3, f)
+	if len(s.Cubes) != 1 || len(s.Cubes[0]) != 1 {
+		t.Fatalf("expected a single cube, got %v", s.Cubes)
+	}
+	if s.Cubes[0][0].mask != 0b110 {
+		t.Errorf("cube mask=%03b, want 110 (x1,x2 don't-care)", s.Cubes[0][0].mask)
+	}
+}
+
+func TestSOPRandomFunctionsEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		nIn := 1 + rng.Intn(5)
+		nOut := 1 + rng.Intn(3)
+		table := make([]uint64, 1<<uint(nIn))
+		for i := range table {
+			table[i] = uint64(rng.Intn(1 << uint(nOut)))
+		}
+		f := func(v uint64) uint64 { return table[v] }
+		s, err := SynthesizeSOP("rnd", nIn, nOut, f)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		checkEquivalent(t, s, nIn, f)
+	}
+}
+
+func TestSOPInvalidSizes(t *testing.T) {
+	f := func(uint64) uint64 { return 0 }
+	if _, err := SynthesizeSOP("x", 0, 1, f); err == nil {
+		t.Error("nIn=0 must fail")
+	}
+	if _, err := SynthesizeSOP("x", 17, 1, f); err == nil {
+		t.Error("nIn=17 must fail")
+	}
+	if _, err := SynthesizeSOP("x", 2, 0, f); err == nil {
+		t.Error("nOut=0 must fail")
+	}
+	if _, err := SynthesizeSOP("x", 2, 65, f); err == nil {
+		t.Error("nOut=65 must fail")
+	}
+}
+
+func TestImplicantCovers(t *testing.T) {
+	im := implicant{value: 0b0100, mask: 0b0011}
+	for _, m := range []uint64{0b0100, 0b0101, 0b0110, 0b0111} {
+		if !im.covers(m) {
+			t.Errorf("cube must cover %04b", m)
+		}
+	}
+	for _, m := range []uint64{0b0000, 0b1100, 0b1000} {
+		if im.covers(m) {
+			t.Errorf("cube must not cover %04b", m)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package synth
+
+import (
+	"fmt"
+
+	"ahbpower/internal/gate"
+)
+
+// TechMapNAND rewrites a netlist into the classic NAND2+NOT target
+// library: every AND, OR, NAND, NOR, XOR, XNOR, BUF and MUX2 is expressed
+// with 2-input NAND gates and inverters; DFFs pass through. The result is
+// functionally identical and lets the characterization flow compare the
+// energy of different gate-level implementations of the same block — the
+// kind of implementation sensitivity the paper's macromodels must absorb.
+func TechMapNAND(nl *gate.Netlist) (*gate.Netlist, error) {
+	out := gate.NewNetlist(nl.Name + "_nand")
+	newID := map[gate.NetID]gate.NetID{}
+	for _, in := range nl.Inputs() {
+		newID[in] = out.AddInput(nl.NetName(in))
+	}
+	// Pre-create the output nets of every gate so forward references
+	// (DFF loops) resolve.
+	for _, g := range nl.Gates() {
+		if _, ok := newID[g.Out]; !ok {
+			newID[g.Out] = out.AddNet(nl.NetName(g.Out))
+		}
+	}
+	nand := func(a, b gate.NetID) gate.NetID {
+		return out.MustGate(gate.Nand, "tm", a, b)
+	}
+	inv := func(a gate.NetID) gate.NetID {
+		return nand(a, a)
+	}
+	// driveAs produces the value of net v onto pre-created net dst via a
+	// final gate (the mapped cone's root must drive exactly dst).
+	for _, g := range nl.Gates() {
+		dst := newID[g.Out]
+		ins := make([]gate.NetID, len(g.In))
+		for i, in := range g.In {
+			ins[i] = newID[in]
+		}
+		var err error
+		switch g.Kind {
+		case gate.Dff:
+			err = out.Drive(gate.Dff, dst, ins[0])
+		case gate.Buf:
+			// BUF = NOT(NOT(a)) — two inverters keep the library pure.
+			na := inv(ins[0])
+			err = out.Drive(gate.Nand, dst, na, na)
+		case gate.Not:
+			err = out.Drive(gate.Nand, dst, ins[0], ins[0])
+		case gate.And:
+			err = mapAnd(out, dst, ins, nand, inv)
+		case gate.Nand:
+			err = mapNand(out, dst, ins, nand, inv)
+		case gate.Or:
+			err = mapOr(out, dst, ins, nand, inv)
+		case gate.Nor:
+			// NOR = NOT(OR): OR(ins) then invert at dst.
+			t := orNand(out, ins, nand, inv)
+			err = out.Drive(gate.Nand, dst, t, t)
+		case gate.Xor:
+			// XOR(a,b) = NAND(NAND(a,nb), NAND(na,b)) with shared inverters.
+			na, nb := inv(ins[0]), inv(ins[1])
+			t1 := nand(ins[0], nb)
+			t2 := nand(na, ins[1])
+			err = out.Drive(gate.Nand, dst, t1, t2)
+		case gate.Xnor:
+			na, nb := inv(ins[0]), inv(ins[1])
+			t1 := nand(ins[0], ins[1])
+			t2 := nand(na, nb)
+			err = out.Drive(gate.Nand, dst, t1, t2)
+		case gate.Mux2:
+			// MUX(a,b,s) = NAND(NAND(a,ns), NAND(b,s)).
+			ns := inv(ins[2])
+			t1 := nand(ins[0], ns)
+			t2 := nand(ins[1], ins[2])
+			err = out.Drive(gate.Nand, dst, t1, t2)
+		default:
+			err = fmt.Errorf("synth: cannot tech-map %v", g.Kind)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range nl.Outputs() {
+		out.MarkOutput(newID[o])
+	}
+	if _, err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// mapAnd drives dst = AND(ins) with NAND2+INV.
+func mapAnd(out *gate.Netlist, dst gate.NetID, ins []gate.NetID,
+	nand func(a, b gate.NetID) gate.NetID, inv func(a gate.NetID) gate.NetID) error {
+	t := andNand(out, ins, nand, inv)
+	// dst = BUF(t) in pure NAND: double inversion.
+	return out.Drive(gate.Nand, dst, inv(t), inv(t))
+}
+
+// mapNand drives dst = NAND(ins).
+func mapNand(out *gate.Netlist, dst gate.NetID, ins []gate.NetID,
+	nand func(a, b gate.NetID) gate.NetID, inv func(a gate.NetID) gate.NetID) error {
+	if len(ins) == 2 {
+		return out.Drive(gate.Nand, dst, ins[0], ins[1])
+	}
+	t := andNand(out, ins, nand, inv)
+	return out.Drive(gate.Nand, dst, t, t)
+}
+
+// mapOr drives dst = OR(ins).
+func mapOr(out *gate.Netlist, dst gate.NetID, ins []gate.NetID,
+	nand func(a, b gate.NetID) gate.NetID, inv func(a gate.NetID) gate.NetID) error {
+	t := orNand(out, ins, nand, inv)
+	return out.Drive(gate.Nand, dst, inv(t), inv(t))
+}
+
+// andNand returns a net computing AND(ins) using NAND2+INV.
+func andNand(out *gate.Netlist, ins []gate.NetID,
+	nand func(a, b gate.NetID) gate.NetID, inv func(a gate.NetID) gate.NetID) gate.NetID {
+	acc := ins[0]
+	for i := 1; i < len(ins); i++ {
+		acc = inv(nand(acc, ins[i]))
+	}
+	return acc
+}
+
+// orNand returns a net computing OR(ins): OR(a,b) = NAND(na, nb).
+func orNand(out *gate.Netlist, ins []gate.NetID,
+	nand func(a, b gate.NetID) gate.NetID, inv func(a gate.NetID) gate.NetID) gate.NetID {
+	acc := ins[0]
+	for i := 1; i < len(ins); i++ {
+		acc = nand(inv(acc), inv(ins[i]))
+	}
+	return acc
+}

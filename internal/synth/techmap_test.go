@@ -1,0 +1,149 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"ahbpower/internal/gate"
+)
+
+// onlyNandAndDff asserts the mapped netlist uses the target library only.
+func onlyNandAndDff(t *testing.T, nl *gate.Netlist) {
+	t.Helper()
+	for _, g := range nl.Gates() {
+		if g.Kind != gate.Nand && g.Kind != gate.Dff {
+			t.Fatalf("tech-mapped netlist contains %v", g.Kind)
+		}
+	}
+}
+
+func TestTechMapEveryKind(t *testing.T) {
+	nl := gate.NewNetlist("all")
+	a := nl.AddInput("a")
+	b := nl.AddInput("b")
+	s := nl.AddInput("s")
+	outs := []gate.NetID{
+		nl.MustGate(gate.Buf, "o0", a),
+		nl.MustGate(gate.Not, "o1", a),
+		nl.MustGate(gate.And, "o2", a, b, s),
+		nl.MustGate(gate.Or, "o3", a, b, s),
+		nl.MustGate(gate.Nand, "o4", a, b),
+		nl.MustGate(gate.Nor, "o5", a, b),
+		nl.MustGate(gate.Xor, "o6", a, b),
+		nl.MustGate(gate.Xnor, "o7", a, b),
+		nl.MustGate(gate.Mux2, "o8", a, b, s),
+	}
+	for _, o := range outs {
+		nl.MarkOutput(o)
+	}
+	mapped, err := TechMapNAND(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onlyNandAndDff(t, mapped)
+	exhaustiveEquiv(t, nl, mapped)
+}
+
+func TestTechMapDecoder(t *testing.T) {
+	d, err := BuildDecoder(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := TechMapNAND(d.Netlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onlyNandAndDff(t, mapped)
+	exhaustiveEquiv(t, d.Netlist, mapped)
+}
+
+func TestTechMapMux(t *testing.T) {
+	m, err := BuildMux(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := TechMapNAND(m.Netlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onlyNandAndDff(t, mapped)
+	exhaustiveEquiv(t, m.Netlist, mapped)
+}
+
+func TestTechMapArbiterSequential(t *testing.T) {
+	a, err := BuildArbiter(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := TechMapNAND(a.Netlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onlyNandAndDff(t, mapped)
+	// Behavioral comparison over random request sequences.
+	eo, err := gate.NewEval(a.Netlist, tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := gate.NewEval(mapped, tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		req := uint64(rng.Intn(8))
+		eo.SetInputs(req)
+		eo.Settle()
+		eo.ClockTick()
+		em.SetInputs(req)
+		em.Settle()
+		em.ClockTick()
+		if eo.OutputBits() != em.OutputBits() {
+			t.Fatalf("step %d req=%03b: %03b vs %03b", i, req, eo.OutputBits(), em.OutputBits())
+		}
+	}
+}
+
+func TestTechMapRandomSOP(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		nIn := 2 + rng.Intn(3)
+		table := make([]uint64, 1<<uint(nIn))
+		for i := range table {
+			table[i] = uint64(rng.Intn(4))
+		}
+		s, err := SynthesizeSOP("rnd", nIn, 2, func(v uint64) uint64 { return table[v] })
+		if err != nil {
+			t.Fatal(err)
+		}
+		mapped, err := TechMapNAND(s.Netlist)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		onlyNandAndDff(t, mapped)
+		exhaustiveEquiv(t, s.Netlist, mapped)
+	}
+}
+
+func TestTechMapThenOptimize(t *testing.T) {
+	// The optimizer must be able to clean up a tech-mapped netlist
+	// (duplicate inverters from the naive mapping) without changing its
+	// function.
+	d, err := BuildDecoder(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := TechMapNAND(d.Netlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, st, err := Optimize(mapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Removed == 0 {
+		t.Error("naive mapping must leave something for CSE to merge")
+	}
+	exhaustiveEquiv(t, d.Netlist, opt)
+	onlyNandAndDff(t, opt)
+}

@@ -1,0 +1,168 @@
+package vcd
+
+import (
+	"strings"
+	"testing"
+
+	"ahbpower/internal/sim"
+)
+
+func TestIDFor(t *testing.T) {
+	if idFor(0) != "!" {
+		t.Errorf("idFor(0)=%q", idFor(0))
+	}
+	if idFor(93) != "~" {
+		t.Errorf("idFor(93)=%q", idFor(93))
+	}
+	if len(idFor(94)) != 2 {
+		t.Errorf("idFor(94)=%q, want two chars", idFor(94))
+	}
+	// All ids must be unique over a reasonable range.
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		id := idFor(i)
+		if seen[id] {
+			t.Fatalf("duplicate id %q at %d", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestVCDBasicDump(t *testing.T) {
+	k := sim.NewKernel()
+	clk := sim.NewClock(k, "top.clk", 10*sim.Nanosecond)
+	data := sim.NewSignal[uint32](k, "top.data", 0)
+	count := uint32(0)
+	k.MethodNoInit("drv", func() {
+		count++
+		data.Write(count)
+	}, clk.Posedge())
+
+	var sb strings.Builder
+	w := NewWriter(&sb, k)
+	w.AddBool("top.clk", clk.Signal())
+	w.AddU32("top.data", data, 32)
+	if err := w.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(50 * sim.Nanosecond); err != nil {
+		t.Fatal(err)
+	}
+	if w.Err() != nil {
+		t.Fatal(w.Err())
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"$timescale 1ps $end",
+		"$scope module top $end",
+		"$var wire 1 ! clk $end",
+		"$var wire 32 \" data $end",
+		"$enddefinitions $end",
+		"$dumpvars",
+		"#5000\n1!", // first clock rise at 5 ns = 5000 ps
+		"b1 \"",     // first data value
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestVCDStartTwiceFails(t *testing.T) {
+	k := sim.NewKernel()
+	var sb strings.Builder
+	w := NewWriter(&sb, k)
+	if err := w.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Start(); err == nil {
+		t.Error("second Start must fail")
+	}
+}
+
+func TestVCDTimestampsMonotone(t *testing.T) {
+	k := sim.NewKernel()
+	s := sim.NewSignal(k, "top.x", 0)
+	var sb strings.Builder
+	w := NewWriter(&sb, k)
+	w.add("top.x", 8, func() uint64 { return uint64(s.Read()) }, func(emit func(uint64)) {
+		s.Watch(func(_, now int) { emit(uint64(now)) })
+	})
+	if err := w.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		i := i
+		k.Schedule(sim.Time(i)*10, func() { s.Write(i) })
+	}
+	if err := k.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	last := int64(-1)
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if strings.HasPrefix(line, "#") {
+			var ts int64
+			if _, err := fmtSscan(line[1:], &ts); err != nil {
+				t.Fatalf("bad timestamp line %q", line)
+			}
+			if ts <= last {
+				t.Fatalf("timestamps not increasing: %d after %d", ts, last)
+			}
+			last = ts
+		}
+	}
+	if last < 0 {
+		t.Fatal("no timestamps emitted")
+	}
+}
+
+// fmtSscan avoids importing fmt in multiple spots of the test.
+func fmtSscan(s string, v *int64) (int, error) {
+	var n int64
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			break
+		}
+		n = n*10 + int64(r-'0')
+	}
+	*v = n
+	return 1, nil
+}
+
+func TestVCDBoolEncoding(t *testing.T) {
+	k := sim.NewKernel()
+	b := sim.NewBool(k, "top.b", false)
+	var sb strings.Builder
+	w := NewWriter(&sb, k)
+	w.AddBool("top.b", b)
+	if err := w.Start(); err != nil {
+		t.Fatal(err)
+	}
+	k.Schedule(10, func() { b.Write(true) })
+	k.Schedule(20, func() { b.Write(false) })
+	if err := k.Run(30); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "#10\n1!") || !strings.Contains(out, "#20\n0!") {
+		t.Errorf("bool transitions missing:\n%s", out)
+	}
+}
+
+func TestVCDScopeGrouping(t *testing.T) {
+	k := sim.NewKernel()
+	a := sim.NewBool(k, "ahb.m0.req", false)
+	b := sim.NewBool(k, "ahb.m1.req", false)
+	var sb strings.Builder
+	w := NewWriter(&sb, k)
+	w.AddBool("ahb.m0.req", a)
+	w.AddBool("ahb.m1.req", b)
+	if err := w.Start(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "$scope module ahb.m0 $end") ||
+		!strings.Contains(out, "$scope module ahb.m1 $end") {
+		t.Errorf("scopes missing:\n%s", out)
+	}
+}

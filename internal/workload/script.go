@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ahbpower/internal/amba/ahb"
+)
+
+// SaveScript serializes a master script to a plain-text trace so generated
+// workloads can be recorded once and replayed deterministically (or
+// hand-edited). Format, one record per line:
+//
+//	SEQ <idleAfter>          starts a sequence
+//	W <addr> <data> [...]    write burst (hex addr, hex data beats)
+//	R <addr> <beats>         read burst
+//	I <cycles>               idle op
+func SaveScript(w io.Writer, seqs []ahb.Sequence) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range seqs {
+		if _, err := fmt.Fprintf(bw, "SEQ %d\n", s.IdleAfter); err != nil {
+			return err
+		}
+		for _, op := range s.Ops {
+			switch op.Kind {
+			case ahb.OpWrite:
+				if _, err := fmt.Fprintf(bw, "W %#x", op.Addr); err != nil {
+					return err
+				}
+				for _, d := range op.Data {
+					if _, err := fmt.Fprintf(bw, " %#x", d); err != nil {
+						return err
+					}
+				}
+				if _, err := fmt.Fprintln(bw); err != nil {
+					return err
+				}
+			case ahb.OpRead:
+				beats := op.Beats
+				if beats <= 0 {
+					beats = 1
+				}
+				if _, err := fmt.Fprintf(bw, "R %#x %d\n", op.Addr, beats); err != nil {
+					return err
+				}
+			case ahb.OpIdle:
+				if _, err := fmt.Fprintf(bw, "I %d\n", op.IdleCycles); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("workload: cannot serialize op kind %d", op.Kind)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadScript parses a trace written by SaveScript. Blank lines and lines
+// starting with '#' are ignored.
+func LoadScript(r io.Reader) ([]ahb.Sequence, error) {
+	var seqs []ahb.Sequence
+	var cur *ahb.Sequence
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		fail := func(msg string) error {
+			return fmt.Errorf("workload: line %d: %s: %q", lineNo, msg, line)
+		}
+		switch fields[0] {
+		case "SEQ":
+			if len(fields) != 2 {
+				return nil, fail("SEQ wants one argument")
+			}
+			idle, err := strconv.Atoi(fields[1])
+			if err != nil || idle < 0 {
+				return nil, fail("bad idle count")
+			}
+			seqs = append(seqs, ahb.Sequence{IdleAfter: idle})
+			cur = &seqs[len(seqs)-1]
+		case "W":
+			if cur == nil {
+				return nil, fail("op before SEQ")
+			}
+			if len(fields) < 3 {
+				return nil, fail("W wants addr and at least one beat")
+			}
+			addr, err := parseHex32(fields[1])
+			if err != nil {
+				return nil, fail("bad address")
+			}
+			var data []uint32
+			for _, f := range fields[2:] {
+				d, err := parseHex32(f)
+				if err != nil {
+					return nil, fail("bad data")
+				}
+				data = append(data, d)
+			}
+			cur.Ops = append(cur.Ops, ahb.Op{Kind: ahb.OpWrite, Addr: addr, Data: data, Size: ahb.Size32})
+		case "R":
+			if cur == nil {
+				return nil, fail("op before SEQ")
+			}
+			if len(fields) != 3 {
+				return nil, fail("R wants addr and beats")
+			}
+			addr, err := parseHex32(fields[1])
+			if err != nil {
+				return nil, fail("bad address")
+			}
+			beats, err := strconv.Atoi(fields[2])
+			if err != nil || beats < 1 {
+				return nil, fail("bad beat count")
+			}
+			cur.Ops = append(cur.Ops, ahb.Op{Kind: ahb.OpRead, Addr: addr, Beats: beats, Size: ahb.Size32})
+		case "I":
+			if cur == nil {
+				return nil, fail("op before SEQ")
+			}
+			if len(fields) != 2 {
+				return nil, fail("I wants a cycle count")
+			}
+			cycles, err := strconv.Atoi(fields[1])
+			if err != nil || cycles < 0 {
+				return nil, fail("bad cycle count")
+			}
+			cur.Ops = append(cur.Ops, ahb.Op{Kind: ahb.OpIdle, IdleCycles: cycles})
+		default:
+			return nil, fail("unknown record")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return seqs, nil
+}
+
+func parseHex32(s string) (uint32, error) {
+	v, err := strconv.ParseUint(strings.TrimPrefix(s, "0x"), 16, 32)
+	return uint32(v), err
+}

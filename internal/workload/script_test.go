@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"ahbpower/internal/amba/ahb"
+)
+
+func TestScriptRoundTrip(t *testing.T) {
+	seqs, err := Generate(validCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := SaveScript(&sb, seqs); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadScript(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(seqs) {
+		t.Fatalf("sequences %d != %d", len(loaded), len(seqs))
+	}
+	for i := range seqs {
+		if loaded[i].IdleAfter != seqs[i].IdleAfter {
+			t.Fatalf("seq %d idle differs", i)
+		}
+		if len(loaded[i].Ops) != len(seqs[i].Ops) {
+			t.Fatalf("seq %d op count differs", i)
+		}
+		for j := range seqs[i].Ops {
+			a, b := seqs[i].Ops[j], loaded[i].Ops[j]
+			if a.Kind != b.Kind || a.Addr != b.Addr {
+				t.Fatalf("seq %d op %d differs: %+v vs %+v", i, j, a, b)
+			}
+			if a.Kind == ahb.OpWrite {
+				for k := range a.Data {
+					if a.Data[k] != b.Data[k] {
+						t.Fatalf("write data differs at %d.%d.%d", i, j, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestScriptRoundTripWithBurstsAndIdle(t *testing.T) {
+	seqs := []ahb.Sequence{{
+		Ops: []ahb.Op{
+			{Kind: ahb.OpWrite, Addr: 0x40, Data: []uint32{1, 2, 3, 4}},
+			{Kind: ahb.OpIdle, IdleCycles: 7},
+			{Kind: ahb.OpRead, Addr: 0x40, Beats: 4},
+		},
+		IdleAfter: 3,
+	}}
+	var sb strings.Builder
+	if err := SaveScript(&sb, seqs); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadScript(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 1 || len(loaded[0].Ops) != 3 {
+		t.Fatalf("loaded %+v", loaded)
+	}
+	if loaded[0].Ops[1].Kind != ahb.OpIdle || loaded[0].Ops[1].IdleCycles != 7 {
+		t.Error("idle op lost")
+	}
+	if loaded[0].Ops[2].Beats != 4 {
+		t.Error("read beats lost")
+	}
+}
+
+func TestLoadScriptCommentsAndBlanks(t *testing.T) {
+	src := `
+# a comment
+SEQ 5
+
+W 0x100 0xdeadbeef
+# another
+R 0x100 1
+`
+	seqs, err := LoadScript(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 1 || len(seqs[0].Ops) != 2 || seqs[0].IdleAfter != 5 {
+		t.Fatalf("parsed %+v", seqs)
+	}
+	if seqs[0].Ops[0].Data[0] != 0xdeadbeef {
+		t.Errorf("data=%#x", seqs[0].Ops[0].Data[0])
+	}
+}
+
+func TestLoadScriptErrors(t *testing.T) {
+	bad := []string{
+		"W 0x10 0x1",       // op before SEQ
+		"SEQ x",            // bad idle
+		"SEQ 1\nW 0x10",    // missing data
+		"SEQ 1\nW zz 0x1",  // bad addr
+		"SEQ 1\nR 0x10",    // missing beats
+		"SEQ 1\nR 0x10 0",  // zero beats
+		"SEQ 1\nI",         // missing cycles
+		"SEQ 1\nQ 1",       // unknown record
+		"SEQ 1\nW 0x10 gg", // bad data
+	}
+	for i, src := range bad {
+		if _, err := LoadScript(strings.NewReader(src)); err == nil {
+			t.Errorf("bad script %d accepted: %q", i, src)
+		}
+	}
+}
+
+func TestSaveScriptRejectsUnknownKind(t *testing.T) {
+	seqs := []ahb.Sequence{{Ops: []ahb.Op{{Kind: ahb.OpKind(9)}}}}
+	var sb strings.Builder
+	if err := SaveScript(&sb, seqs); err == nil {
+		t.Error("unknown kind must fail")
+	}
+}
