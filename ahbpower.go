@@ -107,6 +107,12 @@ func Attach(sys *System, cfg AnalyzerConfig) (*Analyzer, error) { return core.At
 // DefaultTech returns the calibrated default technology constants.
 func DefaultTech() Tech { return power.DefaultTech() }
 
+// FormatEnergy renders an energy in joules with a sensible SI prefix.
+func FormatEnergy(j float64) string { return core.FormatEnergy(j) }
+
+// FormatPower renders a power in watts with a sensible SI prefix.
+func FormatPower(w float64) string { return core.FormatPower(w) }
+
 // GenerateWorkload produces a master script from a workload configuration.
 func GenerateWorkload(cfg WorkloadConfig) ([]Sequence, error) { return workload.Generate(cfg) }
 

@@ -10,6 +10,7 @@
 package ahbpower_test
 
 import (
+	"context"
 	"testing"
 
 	"ahbpower"
@@ -344,3 +345,40 @@ func BenchmarkCharacterizeMux(b *testing.B) {
 		}
 	}
 }
+
+// sweepScenarios is the batch both sweep benchmarks run: a 12-point
+// design-space grid (the paper's §4 use case) at 2000 cycles per point.
+func sweepScenarios() []ahbpower.Scenario {
+	g := ahbpower.Grid{
+		Base:     ahbpower.PaperSystem(),
+		Analyzer: ahbpower.AnalyzerConfig{Style: ahbpower.StyleGlobal},
+		Cycles:   2000,
+		Slaves:   []int{2, 3, 8},
+		Widths:   []int{16, 32},
+		Waits:    []int{0, 1},
+	}
+	return g.Scenarios()
+}
+
+// benchSweep executes the reference grid with the given worker-pool size.
+// Comparing BenchmarkSweepSerial to BenchmarkSweepParallel on a
+// multi-core host shows the engine's sweep speedup (results stay
+// byte-identical; see internal/engine's determinism test).
+func benchSweep(b *testing.B, workers int) {
+	b.Helper()
+	scs := sweepScenarios()
+	runner := ahbpower.NewRunner(workers)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := runner.Run(context.Background(), scs)
+		if err := ahbpower.FirstError(results); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepSerial runs the sweep one scenario at a time.
+func BenchmarkSweepSerial(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkSweepParallel runs the same sweep on four workers.
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 4) }

@@ -5,11 +5,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"ahbpower/internal/core"
+	"ahbpower/internal/engine"
 	"ahbpower/internal/experiments"
 	"ahbpower/internal/power"
 )
@@ -47,13 +49,6 @@ func main() {
 	cfg.NumActiveMasters = *masters
 	cfg.NumSlaves = *slaves
 	cfg.SlaveWaits = *waits
-	sys, err := core.NewSystem(cfg)
-	if err != nil {
-		fatal(err)
-	}
-	if err := sys.LoadPaperWorkload(*cycles); err != nil {
-		fatal(err)
-	}
 	acfg := core.AnalyzerConfig{Style: st}
 	if *modelFile != "" {
 		f, err := os.Open(*modelFile)
@@ -67,18 +62,20 @@ func main() {
 		}
 		acfg.Models = models
 	}
-	an, err := core.Attach(sys, acfg)
-	if err != nil {
-		fatal(err)
+	res := engine.RunOne(context.Background(), engine.Scenario{
+		Name:     "ahbsim",
+		System:   cfg,
+		Analyzer: acfg,
+		Cycles:   *cycles,
+	})
+	if res.Err != nil {
+		fatal(res.Err)
 	}
-	if err := sys.Run(*cycles); err != nil {
-		fatal(err)
-	}
-	if errs := sys.Monitor.Errors(); len(errs) > 0 {
-		fmt.Fprintf(os.Stderr, "protocol violations: %d (first: %v)\n", len(errs), errs[0])
+	if len(res.Violations) > 0 {
+		fmt.Fprintf(os.Stderr, "protocol violations: %d (first: %v)\n", len(res.Violations), res.Violations[0])
 	}
 
-	r := an.Report()
+	r := res.Report
 	fmt.Println("== Instruction energy analysis (paper Table 1) ==")
 	fmt.Print(r.FormatTable())
 	fmt.Println()

@@ -2,17 +2,24 @@
 // configurations and architectures" evaluation the paper's §4 motivates —
 // over slave count, data width, slave wait states and arbitration policy,
 // and emits one CSV row per configuration with energy, power, per-beat
-// energy and the energy-class split.
+// energy and the energy-class split. Scenarios execute in parallel across
+// a worker pool (see -workers); the output order and content are
+// byte-identical to a serial run.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
 
 	"ahbpower/internal/amba/ahb"
 	"ahbpower/internal/core"
+	"ahbpower/internal/engine"
 )
 
 func main() {
@@ -21,6 +28,7 @@ func main() {
 	widths := flag.String("widths", "16,32", "comma-separated data widths")
 	waits := flag.String("waits", "0,1,2", "comma-separated slave wait states")
 	policies := flag.String("policies", "sticky,fixed,rr", "comma-separated arbitration policies")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel scenario workers")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
@@ -34,66 +42,51 @@ func main() {
 		w = f
 	}
 
+	var pols []ahb.ArbPolicy
+	for _, p := range strings.Split(*policies, ",") {
+		pol, err := ahb.ParsePolicy(strings.TrimSpace(p))
+		if err != nil {
+			fatal(err)
+		}
+		pols = append(pols, pol)
+	}
+
+	grid := engine.Grid{
+		Base:     core.PaperSystem(),
+		Analyzer: core.AnalyzerConfig{Style: core.StyleGlobal},
+		Cycles:   *cycles,
+		Slaves:   ints(*slaves),
+		Widths:   ints(*widths),
+		Waits:    ints(*waits),
+		Policies: pols,
+	}
+
+	// Ctrl-C abandons queued scenarios; completed rows are still printed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	results := engine.NewRunner(*workers).Run(ctx, grid.Scenarios())
+
 	fmt.Fprintln(w, "slaves,width,waits,policy,cycles,beats,energy_J,avg_power_W,pJ_per_beat,data_transfer_pct,arbitration_pct")
-	for _, ns := range ints(*slaves) {
-		for _, dw := range ints(*widths) {
-			for _, ws := range ints(*waits) {
-				for _, pol := range strings.Split(*policies, ",") {
-					if err := runOne(w, *cycles, ns, dw, ws, strings.TrimSpace(pol)); err != nil {
-						fatal(err)
-					}
-				}
-			}
+	for n, res := range results {
+		if errors.Is(res.Err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "ahbsweep: interrupted after %d of %d configurations\n", n, len(results))
+			os.Exit(1)
+		}
+		if res.Err != nil {
+			fatal(res.Err)
+		}
+		if len(res.Violations) > 0 {
+			fatal(fmt.Errorf("protocol violation in %s: %v", res.Scenario.Name, res.Violations[0]))
+		}
+		cfg, r := res.Scenario.System, res.Report
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%s,%d,%d,%g,%g,%.3f,%.2f,%.2f\n",
+			cfg.NumSlaves, cfg.DataWidth, cfg.SlaveWaits, cfg.Policy, r.Cycles, res.Beats,
+			r.TotalEnergy, r.AvgPower, res.PJPerBeat(),
+			100*r.DataTransferShare, 100*r.ArbitrationShare); err != nil {
+			fatal(err)
 		}
 	}
-}
-
-func runOne(w *os.File, cycles uint64, slaves, width, waits int, policy string) error {
-	cfg := core.PaperSystem()
-	cfg.NumSlaves = slaves
-	cfg.DataWidth = width
-	cfg.SlaveWaits = waits
-	switch policy {
-	case "sticky":
-		cfg.Policy = ahb.PolicySticky
-	case "fixed":
-		cfg.Policy = ahb.PolicyFixed
-	case "rr":
-		cfg.Policy = ahb.PolicyRoundRobin
-	default:
-		return fmt.Errorf("unknown policy %q", policy)
-	}
-	sys, err := core.NewSystem(cfg)
-	if err != nil {
-		return err
-	}
-	if err := sys.LoadPaperWorkload(cycles); err != nil {
-		return err
-	}
-	an, err := core.Attach(sys, core.AnalyzerConfig{Style: core.StyleGlobal})
-	if err != nil {
-		return err
-	}
-	if err := sys.Run(cycles); err != nil {
-		return err
-	}
-	if errs := sys.Monitor.Errors(); len(errs) > 0 {
-		return fmt.Errorf("protocol violation in %d/%d/%d/%s: %v", slaves, width, waits, policy, errs[0])
-	}
-	r := an.Report()
-	var beats uint64
-	for _, m := range sys.Masters {
-		beats += m.Stats().Beats
-	}
-	perBeat := 0.0
-	if beats > 0 {
-		perBeat = r.TotalEnergy / float64(beats) * 1e12
-	}
-	_, err = fmt.Fprintf(w, "%d,%d,%d,%s,%d,%d,%g,%g,%.3f,%.2f,%.2f\n",
-		slaves, width, waits, policy, r.Cycles, beats,
-		r.TotalEnergy, r.AvgPower, perBeat,
-		100*r.DataTransferShare, 100*r.ArbitrationShare)
-	return err
 }
 
 func ints(csv string) []int {

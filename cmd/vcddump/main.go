@@ -1,6 +1,8 @@
 // Command vcddump runs the paper's testbench for a configurable number of
 // cycles and writes the main AHB signals to a VCD file for inspection in
-// any waveform viewer.
+// any waveform viewer. With -settled, only the final value of each signal
+// per timestep is dumped (delta-cycle glitches are suppressed), matching
+// what a settled-cycle observer sees.
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 func main() {
 	cycles := flag.Uint64("cycles", 500, "bus cycles to simulate")
 	out := flag.String("o", "ahb.vcd", "output VCD file")
+	settled := flag.Bool("settled", false, "dump only settled end-of-timestep values (suppress delta-cycle glitches)")
 	flag.Parse()
 
 	sys, err := core.NewSystem(core.PaperSystem())
@@ -34,7 +37,12 @@ func main() {
 	bw := bufio.NewWriter(f)
 	defer bw.Flush()
 
-	w := vcd.NewWriter(bw, sys.K)
+	var w *vcd.Writer
+	if *settled {
+		w = vcd.NewSettledWriter(bw, sys.K)
+	} else {
+		w = vcd.NewWriter(bw, sys.K)
+	}
 	bus := sys.Bus
 	w.AddBool("ahb.hclk", bus.Clk.Signal())
 	w.AddU8("ahb.htrans", bus.HTrans, 2)

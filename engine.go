@@ -1,0 +1,47 @@
+package ahbpower
+
+import (
+	"context"
+
+	"ahbpower/internal/engine"
+)
+
+// Batch run engine. A Scenario describes one self-contained simulation
+// (system shape + workload + analyzer style + run length); a Runner
+// executes batches of scenarios across a worker pool with results
+// returned in input order, so parallel sweeps reproduce serial ones
+// byte for byte. Grid expands a cartesian design-space sweep into a
+// scenario list.
+type (
+	// Scenario is one self-contained simulation run.
+	Scenario = engine.Scenario
+	// Result is the outcome of one scenario.
+	Result = engine.Result
+	// Runner executes scenario batches over a fixed-size worker pool.
+	Runner = engine.Runner
+	// Grid describes a cartesian design-space sweep.
+	Grid = engine.Grid
+)
+
+// NewRunner returns a runner with the given pool size (minimum 1).
+func NewRunner(workers int) *Runner { return engine.NewRunner(workers) }
+
+// DefaultRunner returns a runner sized to the machine.
+func DefaultRunner() *Runner { return engine.DefaultRunner() }
+
+// RunScenarios executes a batch with a machine-sized worker pool.
+func RunScenarios(ctx context.Context, scenarios []Scenario) []Result {
+	return engine.Run(ctx, scenarios)
+}
+
+// RunScenario executes a single scenario synchronously.
+func RunScenario(ctx context.Context, sc Scenario) Result {
+	return engine.RunOne(ctx, sc)
+}
+
+// FirstError returns the first scenario error in a batch, or nil.
+func FirstError(results []Result) error { return engine.FirstError(results) }
+
+// FirstViolation returns the first protocol violation across a batch, or
+// nil when the runs were clean.
+func FirstViolation(results []Result) error { return engine.FirstViolation(results) }

@@ -2,78 +2,45 @@
 // motivates — "to evaluate hundreds of different configurations and
 // architectures in order to reach the desired trade-offs in terms of
 // speed, throughput and power consumption". Sweeps slave count, data
-// width, arbitration policy and slave wait states, reporting energy,
-// average power and completion time for each architecture.
+// width and slave wait states through the batch engine, running the grid
+// points in parallel while keeping the report order deterministic.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"ahbpower"
 )
 
-type point struct {
-	slaves    int
-	width     int
-	policy    string
-	waits     int
-	energy    float64
-	power     float64
-	arbPct    float64
-	beats     uint64
-	pjPerBeat float64
-}
-
 func main() {
 	const cycles = 4000
-	var results []point
-	for _, slaves := range []int{2, 3, 8} {
-		for _, width := range []int{16, 32} {
-			for _, waits := range []int{0, 1} {
-				cfg := ahbpower.PaperSystem()
-				cfg.NumSlaves = slaves
-				cfg.DataWidth = width
-				cfg.SlaveWaits = waits
-				sys, err := ahbpower.NewSystem(cfg)
-				if err != nil {
-					log.Fatal(err)
-				}
-				if err := sys.LoadPaperWorkload(cycles); err != nil {
-					log.Fatal(err)
-				}
-				an, err := ahbpower.Attach(sys, ahbpower.AnalyzerConfig{Style: ahbpower.StyleGlobal})
-				if err != nil {
-					log.Fatal(err)
-				}
-				if err := sys.Run(cycles); err != nil {
-					log.Fatal(err)
-				}
-				r := an.Report()
-				var beats uint64
-				for _, m := range sys.Masters {
-					beats += m.Stats().Beats
-				}
-				p := point{
-					slaves: slaves, width: width, waits: waits, policy: "sticky",
-					energy: r.TotalEnergy, power: r.AvgPower,
-					arbPct: 100 * r.ArbitrationShare, beats: beats,
-				}
-				if beats > 0 {
-					p.pjPerBeat = r.TotalEnergy / float64(beats) * 1e12
-				}
-				results = append(results, p)
-			}
-		}
+	grid := ahbpower.Grid{
+		Base:     ahbpower.PaperSystem(),
+		Analyzer: ahbpower.AnalyzerConfig{Style: ahbpower.StyleGlobal},
+		Cycles:   cycles,
+		Slaves:   []int{2, 3, 8},
+		Widths:   []int{16, 32},
+		Waits:    []int{0, 1},
+	}
+	results := ahbpower.DefaultRunner().Run(context.Background(), grid.Scenarios())
+	if err := ahbpower.FirstError(results); err != nil {
+		log.Fatal(err)
+	}
+	if err := ahbpower.FirstViolation(results); err != nil {
+		log.Fatal(err)
 	}
 
 	fmt.Println("Architecture exploration under the paper's workload:")
 	fmt.Printf("%-7s %-6s %-6s %-10s %-12s %-8s %-8s %-10s\n",
 		"slaves", "width", "waits", "energy", "avg power", "arb %", "beats", "pJ/beat")
-	for _, p := range results {
+	for _, res := range results {
+		cfg, r := res.Scenario.System, res.Report
 		fmt.Printf("%-7d %-6d %-6d %-10s %-12s %-8.2f %-8d %-10.1f\n",
-			p.slaves, p.width, p.waits,
-			fmtE(p.energy), fmtP(p.power), p.arbPct, p.beats, p.pjPerBeat)
+			cfg.NumSlaves, cfg.DataWidth, cfg.SlaveWaits,
+			fmtE(r.TotalEnergy), fmtP(r.AvgPower),
+			100*r.ArbitrationShare, res.Beats, res.PJPerBeat())
 	}
 
 	fmt.Println("\nObservations:")

@@ -1,10 +1,12 @@
 // Multimaster: the paper's full testbench scenario with custom traffic —
 // two masters with different data patterns contending for three slaves —
 // demonstrating per-block power attribution (Fig. 6), power-versus-time
-// traces (Figs. 3-5) and the protocol monitor.
+// traces (Figs. 3-5) and the protocol monitor, run through the batch
+// engine as a single scenario.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,45 +14,32 @@ import (
 )
 
 func main() {
-	sys, err := ahbpower.NewSystem(ahbpower.PaperSystem())
-	if err != nil {
-		log.Fatal(err)
-	}
-
 	// Master 0 moves random (high-activity) data; master 1 streams
 	// counter (low-activity) data. The energy difference between them is
 	// exactly what the Hamming-distance macromodels capture.
 	cfg0 := ahbpower.PaperWorkload(0, 90)
 	cfg1 := ahbpower.PaperWorkload(1, 90)
 	cfg1.Pattern = 2 // counter pattern
-	w0, err := ahbpower.GenerateWorkload(cfg0)
-	if err != nil {
-		log.Fatal(err)
-	}
-	w1, err := ahbpower.GenerateWorkload(cfg1)
-	if err != nil {
-		log.Fatal(err)
-	}
-	sys.Masters[0].Enqueue(w0...)
-	sys.Masters[1].Enqueue(w1...)
-
-	an, err := ahbpower.Attach(sys, ahbpower.AnalyzerConfig{
-		Style:       ahbpower.StyleGlobal,
-		TraceWindow: 100e-9, // 100 ns power windows, as in Figs. 3-5
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
 
 	const cycles = 8000
-	if err := sys.Run(cycles); err != nil {
-		log.Fatal(err)
+	res := ahbpower.RunScenario(context.Background(), ahbpower.Scenario{
+		Name:      "multimaster",
+		System:    ahbpower.PaperSystem(),
+		Workloads: []ahbpower.WorkloadConfig{cfg0, cfg1},
+		Analyzer: ahbpower.AnalyzerConfig{
+			Style:       ahbpower.StyleGlobal,
+			TraceWindow: 100e-9, // 100 ns power windows, as in Figs. 3-5
+		},
+		Cycles: cycles,
+	})
+	if res.Err != nil {
+		log.Fatal(res.Err)
 	}
-	if errs := sys.Monitor.Errors(); len(errs) > 0 {
-		log.Fatalf("protocol violations: %v", errs[0])
+	if len(res.Violations) > 0 {
+		log.Fatalf("protocol violations: %v", res.Violations[0])
 	}
 
-	r := an.Report()
+	r := res.Report
 	fmt.Println("== Instruction energies ==")
 	fmt.Print(r.FormatTable())
 	fmt.Println("\n== Sub-block contribution (Fig. 6) ==")
@@ -63,8 +52,8 @@ func main() {
 	fmt.Println()
 	fmt.Println(r.FormatSummary())
 	fmt.Printf("\nbus events: %d transfers, %d handovers, %d wait cycles\n",
-		sys.Monitor.Counts()["nonseq"]+sys.Monitor.Counts()["seq"],
-		sys.Monitor.Counts()["handover"], sys.Monitor.Counts()["wait"])
+		res.Counts["nonseq"]+res.Counts["seq"],
+		res.Counts["handover"], res.Counts["wait"])
 }
 
 func fmtPower(w float64) string {

@@ -3,6 +3,7 @@ package ahb
 import (
 	"fmt"
 
+	"ahbpower/internal/probe"
 	"ahbpower/internal/sim"
 )
 
@@ -33,6 +34,32 @@ const (
 	// PolicyRoundRobin rotates priority starting after the current owner.
 	PolicyRoundRobin
 )
+
+// String names the policy.
+func (p ArbPolicy) String() string {
+	switch p {
+	case PolicySticky:
+		return "sticky"
+	case PolicyFixed:
+		return "fixed"
+	case PolicyRoundRobin:
+		return "rr"
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// ParsePolicy maps a policy name ("sticky", "fixed", "rr") to its value.
+func ParsePolicy(s string) (ArbPolicy, error) {
+	switch s {
+	case "sticky":
+		return PolicySticky, nil
+	case "fixed":
+		return PolicyFixed, nil
+	case "rr":
+		return PolicyRoundRobin, nil
+	}
+	return 0, fmt.Errorf("ahb: unknown arbitration policy %q", s)
+}
 
 // Config parameterizes a bus instance.
 type Config struct {
@@ -149,7 +176,7 @@ type Bus struct {
 
 	splitMask uint16 // masters currently split-masked from arbitration
 
-	cycleHooks []func(CycleInfo)
+	hub        probe.Hub[CycleInfo]
 	cycles     uint64
 	lastMaster uint8
 }

@@ -3,6 +3,7 @@ package ahb
 import (
 	"fmt"
 
+	"ahbpower/internal/probe"
 	"ahbpower/internal/sim"
 )
 
@@ -40,49 +41,59 @@ type CycleInfo struct {
 	Handover bool   // HMASTER changed relative to the previous cycle
 }
 
-// buildCycleProbe registers the end-of-timestep hook that snapshots the
-// bus once per clock cycle (on the settled high phase of HCLK).
+// buildCycleProbe registers the bus on the kernel's settled-timestep
+// stream; the bus snapshots itself once per clock cycle (on the settled
+// high phase of HCLK) and publishes the record through its hub.
 func (b *Bus) buildCycleProbe() {
-	b.K.AtEndOfTimestep(func(t sim.Time) {
-		if !b.Clk.Signal().Read() {
-			return
-		}
-		b.cycles++
-		ci := CycleInfo{
-			Cycle:      b.cycles,
-			Time:       t,
-			Trans:      b.HTrans.Read(),
-			Addr:       b.HAddr.Read(),
-			Write:      b.HWrite.Read(),
-			Size:       b.HSize.Read(),
-			Burst:      b.HBurst.Read(),
-			Wdata:      b.HWdata.Read(),
-			Master:     b.HMaster.Read(),
-			Lock:       b.HMastlock.Read(),
-			SelIdx:     b.SelIdx.Read(),
-			Rdata:      b.HRdata.Read(),
-			Resp:       b.HResp.Read(),
-			Ready:      b.HReady.Read(),
-			DataMaster: b.DataMaster.Read(),
-			DataSlave:  b.DataSlave.Read(),
-			GrantIdx:   b.GrantIdx.Read(),
-		}
-		for m := range b.M {
-			if b.M[m].BusReq.Read() {
-				ci.Requests |= 1 << uint(m)
-			}
-		}
-		ci.Handover = ci.Master != b.lastMaster
-		b.lastMaster = ci.Master
-		for _, fn := range b.cycleHooks {
-			fn(ci)
-		}
-	})
+	b.K.Observe(b)
 }
 
-// OnCycle registers a hook invoked with every settled bus cycle.
+// EndOfTimestep implements sim.CycleObserver: on the settled high phase of
+// HCLK it samples every shared bus signal into one CycleInfo record and
+// publishes it to the attached observers.
+func (b *Bus) EndOfTimestep(t sim.Time) {
+	if !b.Clk.Signal().Read() {
+		return
+	}
+	b.cycles++
+	ci := CycleInfo{
+		Cycle:      b.cycles,
+		Time:       t,
+		Trans:      b.HTrans.Read(),
+		Addr:       b.HAddr.Read(),
+		Write:      b.HWrite.Read(),
+		Size:       b.HSize.Read(),
+		Burst:      b.HBurst.Read(),
+		Wdata:      b.HWdata.Read(),
+		Master:     b.HMaster.Read(),
+		Lock:       b.HMastlock.Read(),
+		SelIdx:     b.SelIdx.Read(),
+		Rdata:      b.HRdata.Read(),
+		Resp:       b.HResp.Read(),
+		Ready:      b.HReady.Read(),
+		DataMaster: b.DataMaster.Read(),
+		DataSlave:  b.DataSlave.Read(),
+		GrantIdx:   b.GrantIdx.Read(),
+	}
+	for m := range b.M {
+		if b.M[m].BusReq.Read() {
+			ci.Requests |= 1 << uint(m)
+		}
+	}
+	ci.Handover = ci.Master != b.lastMaster
+	b.lastMaster = ci.Master
+	b.hub.Publish(ci)
+}
+
+// Observe attaches a typed observer to the settled bus-cycle stream.
+func (b *Bus) Observe(o probe.Observer[CycleInfo]) {
+	b.hub.Attach(o)
+}
+
+// OnCycle registers a plain function invoked with every settled bus cycle;
+// it is the convenience form of Observe.
 func (b *Bus) OnCycle(fn func(CycleInfo)) {
-	b.cycleHooks = append(b.cycleHooks, fn)
+	b.hub.AttachFunc(fn)
 }
 
 // Cycles returns the number of observed bus cycles.
@@ -110,10 +121,10 @@ type Monitor struct {
 	burstBase uint32
 }
 
-// NewMonitor attaches a protocol monitor to the bus.
+// NewMonitor attaches a protocol monitor to the bus-cycle stream.
 func NewMonitor(b *Bus) *Monitor {
 	m := &Monitor{bus: b, counts: map[string]uint64{}}
-	b.OnCycle(m.check)
+	b.Observe(m)
 	return m
 }
 
@@ -127,7 +138,9 @@ func (m *Monitor) fail(c uint64, rule, format string, args ...any) {
 	m.errs = append(m.errs, ProtocolError{Cycle: c, Rule: rule, Desc: fmt.Sprintf(format, args...)})
 }
 
-func (m *Monitor) check(ci CycleInfo) {
+// ObserveCycle implements probe.Observer: it checks one settled bus cycle
+// against the protocol rules.
+func (m *Monitor) ObserveCycle(ci CycleInfo) {
 	defer func() {
 		cc := ci
 		m.prev = &cc

@@ -16,6 +16,7 @@ package asb
 import (
 	"fmt"
 
+	"ahbpower/internal/probe"
 	"ahbpower/internal/sim"
 )
 
@@ -126,9 +127,9 @@ type Bus struct {
 	DataSlave *sim.Signal[int]
 	DataWrite *sim.Signal[bool]
 
-	cycleHooks []func(CycleInfo)
-	cycles     uint64
-	lastOwner  uint8
+	hub       probe.Hub[CycleInfo]
+	cycles    uint64
+	lastOwner uint8
 }
 
 // DataMask returns the data-width mask.
@@ -317,39 +318,47 @@ func (b *Bus) buildArbiter() {
 }
 
 func (b *Bus) buildCycleProbe() {
-	b.K.AtEndOfTimestep(func(t sim.Time) {
-		if !b.Clk.Signal().Read() {
-			return
-		}
-		b.cycles++
-		ci := CycleInfo{
-			Cycle:  b.cycles,
-			Time:   t,
-			Tran:   b.BTran.Read(),
-			Addr:   b.BA.Read(),
-			Write:  b.BWrite.Read(),
-			BD:     b.BD.Read(),
-			Wait:   b.BWait.Read(),
-			Error:  b.BError.Read(),
-			Master: b.BMaster.Read(),
-			SelIdx: b.SelIdx.Read(),
-		}
-		for m := range b.M {
-			if b.M[m].AReq.Read() {
-				ci.Requests |= 1 << uint(m)
-			}
-		}
-		ci.Handover = ci.Master != b.lastOwner
-		b.lastOwner = ci.Master
-		for _, fn := range b.cycleHooks {
-			fn(ci)
-		}
-	})
+	b.K.Observe(b)
 }
 
-// OnCycle registers a per-cycle observer.
+// EndOfTimestep implements sim.CycleObserver: on the settled high phase of
+// BCLK it samples the shared bus signals into one CycleInfo record and
+// publishes it to the attached observers.
+func (b *Bus) EndOfTimestep(t sim.Time) {
+	if !b.Clk.Signal().Read() {
+		return
+	}
+	b.cycles++
+	ci := CycleInfo{
+		Cycle:  b.cycles,
+		Time:   t,
+		Tran:   b.BTran.Read(),
+		Addr:   b.BA.Read(),
+		Write:  b.BWrite.Read(),
+		BD:     b.BD.Read(),
+		Wait:   b.BWait.Read(),
+		Error:  b.BError.Read(),
+		Master: b.BMaster.Read(),
+		SelIdx: b.SelIdx.Read(),
+	}
+	for m := range b.M {
+		if b.M[m].AReq.Read() {
+			ci.Requests |= 1 << uint(m)
+		}
+	}
+	ci.Handover = ci.Master != b.lastOwner
+	b.lastOwner = ci.Master
+	b.hub.Publish(ci)
+}
+
+// Observe attaches a typed observer to the settled bus-cycle stream.
+func (b *Bus) Observe(o probe.Observer[CycleInfo]) {
+	b.hub.Attach(o)
+}
+
+// OnCycle registers a plain per-cycle observer function.
 func (b *Bus) OnCycle(fn func(CycleInfo)) {
-	b.cycleHooks = append(b.cycleHooks, fn)
+	b.hub.AttachFunc(fn)
 }
 
 // Cycles returns the number of observed bus cycles.

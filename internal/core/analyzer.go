@@ -157,7 +157,7 @@ func Attach(sys *System, cfg AnalyzerConfig) (*Analyzer, error) {
 	if cfg.Style == StyleLocal {
 		a.localPrev = make([]uint64, 3*len(bus.M)+2*len(bus.S))
 	}
-	bus.OnCycle(a.onCycle)
+	bus.Observe(a)
 	return a, nil
 }
 
@@ -200,8 +200,10 @@ func packCtrl(ci ahb.CycleInfo) uint64 {
 	return v
 }
 
-// onCycle is the per-cycle analysis hook.
-func (a *Analyzer) onCycle(ci ahb.CycleInfo) {
+// ObserveCycle implements probe.Observer over the bus-cycle stream: it is
+// the per-cycle analysis hook computing sub-block energies, classifying
+// the cycle in the power FSM and accumulating the report data.
+func (a *Analyzer) ObserveCycle(ci ahb.CycleInfo) {
 	bus := a.sys.Bus
 	state := a.classify(ci)
 

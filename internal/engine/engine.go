@@ -1,0 +1,276 @@
+// Package engine is the batch run layer on top of internal/core: it turns
+// the paper's methodology — many runs of the same instrumented model under
+// varying configuration, workload, analyzer style and technology — into a
+// first-class operation. A Scenario describes one self-contained run, a
+// Runner executes batches of scenarios across a worker pool (each scenario
+// gets its own kernel and system, so runs are fully isolated), and Results
+// come back in scenario order regardless of completion order, so parallel
+// sweeps are byte-for-byte reproducible against serial ones.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"ahbpower/internal/amba/ahb"
+	"ahbpower/internal/core"
+	"ahbpower/internal/power"
+	"ahbpower/internal/workload"
+)
+
+// Scenario is one self-contained simulation: system shape, traffic,
+// analyzer integration style and run length. The zero value of System and
+// Cycles are invalid; use core.PaperSystem() and a positive cycle count.
+type Scenario struct {
+	// Name labels the scenario in results and reports.
+	Name string
+	// System describes the bus shape to build.
+	System core.SystemConfig
+	// Analyzer parameterizes the power analyzer attached to the run.
+	Analyzer core.AnalyzerConfig
+	// Workloads supplies per-master traffic configurations (missing
+	// entries reuse the last one with a shifted seed, as in
+	// core.LoadWorkload). When empty, the paper workload sized to Cycles
+	// is loaded instead.
+	Workloads []workload.Config
+	// Cycles is the number of bus clock cycles to simulate.
+	Cycles uint64
+	// Setup, when non-nil, runs after the system is built and the analyzer
+	// attached but before the simulation starts — the place to attach
+	// extra observers (recorders, VCD writers) to the cycle stream.
+	Setup func(*core.System) error
+	// SkipAnalyzer runs the scenario without power instrumentation: no
+	// analyzer is attached and Report/Stats/DPM stay nil. Used for
+	// functional-only baselines (e.g. the instrumentation-overhead
+	// experiment).
+	SkipAnalyzer bool
+	// KeepSystem retains the built System in the Result for post-run
+	// inspection. Leave false in large sweeps so memory is reclaimed as
+	// scenarios complete.
+	KeepSystem bool
+}
+
+// Result is the outcome of one scenario. On success Report and the
+// summary fields are populated (Report/Stats/DPM stay nil under
+// Scenario.SkipAnalyzer); on failure only Err (and Index/Scenario) are.
+type Result struct {
+	// Index is the scenario's position in the submitted batch; results are
+	// returned sorted by it.
+	Index int
+	// Scenario echoes the input.
+	Scenario Scenario
+	// Report is the full analysis outcome.
+	Report *core.Report
+	// Stats is the per-instruction energy table of the run's power FSM,
+	// sorted by descending energy.
+	Stats []power.InstructionStat
+	// Beats is the total number of data beats transferred by the active
+	// masters.
+	Beats uint64
+	// Counts is the protocol monitor's event counters (transfers, waits,
+	// handovers, ...).
+	Counts map[string]uint64
+	// Violations holds protocol errors detected by the monitor. A
+	// violation does not set Err; sweeps decide how to treat it.
+	Violations []ahb.ProtocolError
+	// DPM is the dynamic-power-management estimate, when enabled.
+	DPM *core.DPMEstimate
+	// RunDuration is the wall-clock time of the simulation loop alone
+	// (excluding system construction and workload generation).
+	RunDuration time.Duration
+	// System is the built system, retained only when Scenario.KeepSystem.
+	System *core.System
+	// Err captures any failure: construction, workload generation, attach,
+	// simulation, or a panic inside the scenario. One failed scenario
+	// never aborts the rest of a batch.
+	Err error
+}
+
+// PJPerBeat returns the total energy per transferred beat in picojoules,
+// or 0 when nothing moved.
+func (r *Result) PJPerBeat() float64 {
+	if r.Report == nil || r.Beats == 0 {
+		return 0
+	}
+	return r.Report.TotalEnergy / float64(r.Beats) * 1e12
+}
+
+// Runner executes scenario batches over a fixed-size worker pool.
+type Runner struct {
+	// Workers is the pool size; NewRunner clamps it to at least 1.
+	Workers int
+}
+
+// NewRunner returns a runner with the given pool size (minimum 1).
+func NewRunner(workers int) *Runner {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Runner{Workers: workers}
+}
+
+// DefaultRunner returns a runner sized to the machine.
+func DefaultRunner() *Runner { return NewRunner(runtime.NumCPU()) }
+
+// Run executes every scenario and returns one Result per scenario, in
+// input order. Each scenario is built and simulated in isolation (own
+// kernel, bus, masters, slaves, analyzer), so scenarios run concurrently
+// without shared state; per-scenario failures are captured in Result.Err
+// and never abort the batch. When ctx is cancelled, scenarios not yet
+// started are abandoned promptly with Err = ctx.Err(); scenarios already
+// running complete normally.
+func (r *Runner) Run(ctx context.Context, scenarios []Scenario) []Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]Result, len(scenarios))
+	executed := make([]bool, len(scenarios))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	workers := r.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = Execute(ctx, i, scenarios[i])
+				executed[i] = true
+			}
+		}()
+	}
+	// Feed jobs until done or cancelled; abandoned scenarios are marked
+	// below, after the channel closes.
+	next := 0
+feed:
+	for ; next < len(scenarios); next++ {
+		select {
+		case jobs <- next:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		for i := range results {
+			if !executed[i] {
+				results[i] = Result{Index: i, Scenario: scenarios[i], Err: err}
+			}
+		}
+	}
+	for i := range results {
+		results[i].Index = i
+	}
+	return results
+}
+
+// Run executes a batch with a machine-sized worker pool.
+func Run(ctx context.Context, scenarios []Scenario) []Result {
+	return DefaultRunner().Run(ctx, scenarios)
+}
+
+// RunOne executes a single scenario synchronously.
+func RunOne(ctx context.Context, sc Scenario) Result {
+	return Execute(ctx, 0, sc)
+}
+
+// Execute builds and runs one scenario, capturing any failure — including
+// a panic anywhere in the model stack — in Result.Err.
+func Execute(ctx context.Context, index int, sc Scenario) (res Result) {
+	res = Result{Index: index, Scenario: sc}
+	defer func() {
+		if p := recover(); p != nil {
+			res.Err = fmt.Errorf("engine: scenario %q panicked: %v", sc.Name, p)
+		}
+	}()
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			res.Err = err
+			return res
+		}
+	}
+	if sc.Cycles == 0 {
+		res.Err = fmt.Errorf("engine: scenario %q: Cycles must be positive", sc.Name)
+		return res
+	}
+	sys, err := core.NewSystem(sc.System)
+	if err != nil {
+		res.Err = fmt.Errorf("engine: scenario %q: %w", sc.Name, err)
+		return res
+	}
+	if len(sc.Workloads) > 0 {
+		err = sys.LoadWorkload(sc.Workloads...)
+	} else {
+		err = sys.LoadPaperWorkload(sc.Cycles)
+	}
+	if err != nil {
+		res.Err = fmt.Errorf("engine: scenario %q: %w", sc.Name, err)
+		return res
+	}
+	var an *core.Analyzer
+	if !sc.SkipAnalyzer {
+		an, err = core.Attach(sys, sc.Analyzer)
+		if err != nil {
+			res.Err = fmt.Errorf("engine: scenario %q: %w", sc.Name, err)
+			return res
+		}
+	}
+	if sc.Setup != nil {
+		if err := sc.Setup(sys); err != nil {
+			res.Err = fmt.Errorf("engine: scenario %q: setup: %w", sc.Name, err)
+			return res
+		}
+	}
+	start := time.Now()
+	if err := sys.Run(sc.Cycles); err != nil {
+		res.Err = fmt.Errorf("engine: scenario %q: %w", sc.Name, err)
+		return res
+	}
+	res.RunDuration = time.Since(start)
+	if an != nil {
+		res.Report = an.Report()
+		res.Stats = an.FSM().Stats()
+		res.DPM = an.DPM()
+	}
+	res.Violations = sys.Monitor.Errors()
+	res.Counts = sys.Monitor.Counts()
+	for _, m := range sys.Masters {
+		res.Beats += m.Stats().Beats
+	}
+	if sc.KeepSystem {
+		res.System = sys
+	}
+	return res
+}
+
+// FirstError returns the first scenario error in a batch, annotated with
+// the scenario name, or nil when every scenario succeeded.
+func FirstError(results []Result) error {
+	for i := range results {
+		if results[i].Err != nil {
+			return results[i].Err
+		}
+	}
+	return nil
+}
+
+// FirstViolation returns the first protocol violation across a batch, or
+// nil when the runs were clean.
+func FirstViolation(results []Result) error {
+	for i := range results {
+		if len(results[i].Violations) > 0 {
+			return fmt.Errorf("engine: scenario %q: %d protocol violations (first: %v)",
+				results[i].Scenario.Name, len(results[i].Violations), results[i].Violations[0])
+		}
+	}
+	return nil
+}

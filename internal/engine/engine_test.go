@@ -1,0 +1,224 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"ahbpower/internal/amba/ahb"
+	"ahbpower/internal/core"
+)
+
+// testScenarios builds a small mixed batch exercising several grid axes.
+func testScenarios(cycles uint64) []Scenario {
+	g := Grid{
+		Base:     core.PaperSystem(),
+		Analyzer: core.AnalyzerConfig{Style: core.StyleGlobal},
+		Cycles:   cycles,
+		Slaves:   []int{2, 3},
+		Widths:   []int{16, 32},
+		Policies: []ahb.ArbPolicy{ahb.PolicySticky, ahb.PolicyRoundRobin},
+	}
+	return g.Scenarios()
+}
+
+// renderBatch renders a batch of results to one canonical string, the way
+// a sweep report would.
+func renderBatch(t *testing.T, results []Result) string {
+	t.Helper()
+	var b strings.Builder
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("scenario %q failed: %v", r.Scenario.Name, r.Err)
+		}
+		b.WriteString(r.Scenario.Name)
+		b.WriteString("\n")
+		b.WriteString(r.Report.FormatTable())
+		b.WriteString(r.Report.FormatBreakdown())
+		b.WriteString(r.Report.FormatSummary())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func TestParallelMatchesSerialByteForByte(t *testing.T) {
+	scs := testScenarios(1500)
+	serial := NewRunner(1).Run(context.Background(), scs)
+	parallel := NewRunner(4).Run(context.Background(), scs)
+	if len(serial) != len(scs) || len(parallel) != len(scs) {
+		t.Fatalf("result counts: serial=%d parallel=%d, want %d", len(serial), len(parallel), len(scs))
+	}
+	s, p := renderBatch(t, serial), renderBatch(t, parallel)
+	if s != p {
+		t.Errorf("parallel sweep diverges from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", s, p)
+	}
+	for i, r := range parallel {
+		if r.Index != i {
+			t.Errorf("result %d carries index %d: ordering must be deterministic", i, r.Index)
+		}
+	}
+}
+
+func TestScenarioErrorDoesNotKillSweep(t *testing.T) {
+	good := core.PaperSystem()
+	bad := core.PaperSystem()
+	bad.NumActiveMasters = 0 // invalid: construction must fail
+	scs := []Scenario{
+		{Name: "ok-a", System: good, Cycles: 500},
+		{Name: "broken", System: bad, Cycles: 500},
+		{Name: "no-cycles", System: good, Cycles: 0},
+		{Name: "ok-b", System: good, Cycles: 500},
+	}
+	results := NewRunner(2).Run(context.Background(), scs)
+	if results[0].Err != nil || results[0].Report == nil {
+		t.Errorf("ok-a must succeed: %v", results[0].Err)
+	}
+	if results[1].Err == nil {
+		t.Error("broken scenario must report its error")
+	}
+	if results[2].Err == nil {
+		t.Error("zero-cycle scenario must report its error")
+	}
+	if results[3].Err != nil || results[3].Report == nil {
+		t.Errorf("ok-b must succeed despite earlier failures: %v", results[3].Err)
+	}
+}
+
+func TestPanicCapturedAsError(t *testing.T) {
+	sc := Scenario{
+		Name:   "panics",
+		System: core.PaperSystem(),
+		Cycles: 100,
+		Setup:  func(*core.System) error { panic("boom") },
+	}
+	res := RunOne(context.Background(), sc)
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "panicked") {
+		t.Fatalf("panic must surface as an error, got %v", res.Err)
+	}
+}
+
+func TestCancellationAbandonsQueuedScenarios(t *testing.T) {
+	// One worker, several scenarios, cancel after the first completes: the
+	// queued remainder must come back promptly with the context error.
+	ctx, cancel := context.WithCancel(context.Background())
+	scs := make([]Scenario, 6)
+	for i := range scs {
+		scs[i] = Scenario{Name: "sc", System: core.PaperSystem(), Cycles: 2000}
+	}
+	scs[0].Setup = func(*core.System) error {
+		cancel() // fires while scenario 0 is running
+		return nil
+	}
+	start := time.Now()
+	results := NewRunner(1).Run(ctx, scs)
+	elapsed := time.Since(start)
+	if results[0].Err != nil {
+		t.Errorf("in-flight scenario must complete: %v", results[0].Err)
+	}
+	abandoned := 0
+	for _, r := range results[1:] {
+		if r.Err == context.Canceled {
+			abandoned++
+		}
+	}
+	if abandoned == 0 {
+		t.Error("cancellation must abandon queued scenarios with ctx.Err()")
+	}
+	// Generous bound: abandoning must not simulate the remaining scenarios.
+	if elapsed > 30*time.Second {
+		t.Errorf("cancellation took %v; queued scenarios were not abandoned promptly", elapsed)
+	}
+}
+
+func TestCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results := Run(ctx, testScenarios(500))
+	for _, r := range results {
+		if r.Err != context.Canceled {
+			t.Fatalf("scenario %q: err=%v, want context.Canceled", r.Scenario.Name, r.Err)
+		}
+	}
+}
+
+func TestGridExpansion(t *testing.T) {
+	g := Grid{
+		Base:   core.PaperSystem(),
+		Cycles: 100,
+		Slaves: []int{2, 3, 8},
+		Widths: []int{16, 32},
+	}
+	scs := g.Scenarios()
+	if len(scs) != 6 {
+		t.Fatalf("grid expanded to %d scenarios, want 6", len(scs))
+	}
+	if scs[0].Name != "s2_w16_ws0_sticky" {
+		t.Errorf("first scenario name %q", scs[0].Name)
+	}
+	// Empty axes inherit the base configuration.
+	for _, sc := range scs {
+		if sc.System.SlaveWaits != g.Base.SlaveWaits || sc.System.Policy != g.Base.Policy {
+			t.Errorf("scenario %q must inherit base waits/policy", sc.Name)
+		}
+	}
+}
+
+// TestStyleParity is the analyzer-style parity check: all three
+// integration styles of the paper's Fig. 1, run through the observer
+// layer on the identical paper workload, must agree on the relative
+// per-instruction energy ordering even though absolute energies differ.
+func TestStyleParity(t *testing.T) {
+	const cycles = 4000
+	styles := []core.Style{core.StyleGlobal, core.StyleLocal, core.StylePrivate}
+	scs := make([]Scenario, len(styles))
+	for i, st := range styles {
+		scs[i] = Scenario{
+			Name:     st.String(),
+			System:   core.PaperSystem(),
+			Analyzer: core.AnalyzerConfig{Style: st},
+			Cycles:   cycles,
+		}
+	}
+	results := NewRunner(len(scs)).Run(context.Background(), scs)
+	if err := FirstError(results); err != nil {
+		t.Fatal(err)
+	}
+	// The executed instruction streams must be identical: the analyzer
+	// observes and must never perturb behavior.
+	ordering := func(r Result) []string {
+		var names []string
+		for _, st := range r.Stats {
+			if st.Count >= 50 { // rare instructions can tie-swap on noise
+				names = append(names, st.Instruction.String())
+			}
+		}
+		return names
+	}
+	counts := func(r Result) map[string]uint64 {
+		m := map[string]uint64{}
+		for _, st := range r.Stats {
+			m[st.Instruction.String()] = st.Count
+		}
+		return m
+	}
+	ref, refCounts := ordering(results[0]), counts(results[0])
+	for _, r := range results[1:] {
+		got := ordering(r)
+		if len(got) != len(ref) {
+			t.Fatalf("style %s: instruction set %v, global saw %v", r.Scenario.Name, got, ref)
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Errorf("style %s: energy ordering %v, global saw %v", r.Scenario.Name, got, ref)
+				break
+			}
+		}
+		for in, n := range counts(r) {
+			if refCounts[in] != n {
+				t.Errorf("style %s: instruction %s executed %d times, global saw %d — observation must not perturb behavior",
+					r.Scenario.Name, in, n, refCounts[in])
+			}
+		}
+	}
+}

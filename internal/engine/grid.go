@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"fmt"
+
+	"ahbpower/internal/amba/ahb"
+	"ahbpower/internal/core"
+)
+
+// Grid describes a cartesian design-space sweep over the architectural
+// parameters the paper's introduction motivates exploring — "hundreds of
+// different configurations and architectures". Each axis left empty
+// contributes the Base value only; Scenarios expands the product in a
+// fixed axis order (slaves, widths, waits, policies), so the scenario
+// list — and therefore any report generated from it — is deterministic.
+type Grid struct {
+	// Base is the configuration every grid point starts from; axis values
+	// override its fields.
+	Base core.SystemConfig
+	// Analyzer is attached to every grid point.
+	Analyzer core.AnalyzerConfig
+	// Cycles is the run length per grid point.
+	Cycles uint64
+
+	Slaves   []int
+	Widths   []int
+	Waits    []int
+	Policies []ahb.ArbPolicy
+}
+
+// Scenarios expands the grid into one scenario per point, named
+// "s<slaves>_w<width>_ws<waits>_<policy>".
+func (g Grid) Scenarios() []Scenario {
+	orInts := func(axis []int, base int) []int {
+		if len(axis) == 0 {
+			return []int{base}
+		}
+		return axis
+	}
+	slaves := orInts(g.Slaves, g.Base.NumSlaves)
+	widths := orInts(g.Widths, g.Base.DataWidth)
+	waits := orInts(g.Waits, g.Base.SlaveWaits)
+	policies := g.Policies
+	if len(policies) == 0 {
+		policies = []ahb.ArbPolicy{g.Base.Policy}
+	}
+	var out []Scenario
+	for _, ns := range slaves {
+		for _, dw := range widths {
+			for _, ws := range waits {
+				for _, pol := range policies {
+					cfg := g.Base
+					cfg.NumSlaves = ns
+					cfg.DataWidth = dw
+					cfg.SlaveWaits = ws
+					cfg.Policy = pol
+					out = append(out, Scenario{
+						Name:     fmt.Sprintf("s%d_w%d_ws%d_%s", ns, dw, ws, pol),
+						System:   cfg,
+						Analyzer: g.Analyzer,
+						Cycles:   g.Cycles,
+					})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 
 	"ahbpower/internal/core"
+	"ahbpower/internal/engine"
 	"ahbpower/internal/power"
 	"ahbpower/internal/workload"
 )
@@ -23,46 +25,38 @@ type GranularityResult struct {
 }
 
 // Granularity runs the granularity ablation: characterize on seed A's
-// traffic, predict seed B's measured energy.
+// traffic, predict seed B's measured energy. The train and test runs are
+// independent scenarios and execute as one parallel batch.
 func Granularity(cycles uint64) (*GranularityResult, error) {
-	runWith := func(seedOffset int64) (*core.Analyzer, error) {
-		sys, err := core.NewSystem(core.PaperSystem())
-		if err != nil {
-			return nil, err
-		}
-		for m, mm := range sys.Masters {
+	scenario := func(name string, seedOffset int64) engine.Scenario {
+		var cfgs []workload.Config
+		for m := 0; m < 2; m++ {
 			cfg := workload.PaperTestbench(m, int(cycles)/100+2)
 			cfg.Seed += seedOffset
-			seqs, err := workload.Generate(cfg)
-			if err != nil {
-				return nil, err
-			}
-			mm.Enqueue(seqs...)
+			cfgs = append(cfgs, cfg)
 		}
-		an, err := core.Attach(sys, core.AnalyzerConfig{Style: core.StyleGlobal})
-		if err != nil {
-			return nil, err
+		return engine.Scenario{
+			Name:      name,
+			System:    core.PaperSystem(),
+			Analyzer:  core.AnalyzerConfig{Style: core.StyleGlobal},
+			Workloads: cfgs,
+			Cycles:    cycles,
 		}
-		if err := sys.Run(cycles); err != nil {
-			return nil, err
-		}
-		return an, nil
 	}
-
-	train, err := runWith(0)
-	if err != nil {
+	results := engine.Run(context.Background(), []engine.Scenario{
+		scenario("train", 0),
+		scenario("test", 0x1000),
+	})
+	if err := engine.FirstError(results); err != nil {
 		return nil, err
 	}
-	test, err := runWith(0x1000)
-	if err != nil {
-		return nil, err
-	}
+	train, test := results[0], results[1]
 
 	// Characterize on the training run.
 	fineAvg := map[power.Instruction]float64{}
 	coarseEnergy := map[power.State]float64{}
 	coarseCount := map[power.State]uint64{}
-	for _, st := range train.FSM().Stats() {
+	for _, st := range train.Stats {
 		fineAvg[st.Instruction] = st.AverageEnergy()
 		coarseEnergy[st.Instruction.To] += st.Energy
 		coarseCount[st.Instruction.To] += st.Count
@@ -75,9 +69,12 @@ func Granularity(cycles uint64) (*GranularityResult, error) {
 	}
 
 	// Predict the test run from its instruction counts.
-	measured := test.FSM().TotalEnergy()
+	var measured float64
+	for _, st := range test.Stats {
+		measured += st.Energy
+	}
 	var finePred, coarsePred float64
-	for _, st := range test.FSM().Stats() {
+	for _, st := range test.Stats {
 		if avg, ok := fineAvg[st.Instruction]; ok {
 			finePred += avg * float64(st.Count)
 		} else {
@@ -107,22 +104,31 @@ type StyleResult struct {
 	Text    string
 }
 
-// ModelStyles runs the same simulation under each integration style.
+// ModelStyles runs the same simulation under each integration style, as
+// one parallel batch (the runs are independent; results come back in
+// style order regardless of completion order).
 func ModelStyles(cycles uint64) (*StyleResult, error) {
+	styles := []core.Style{core.StyleGlobal, core.StyleLocal, core.StylePrivate}
+	scs := make([]engine.Scenario, len(styles))
+	for i, style := range styles {
+		scs[i] = engine.Scenario{
+			Name:     style.String(),
+			System:   core.PaperSystem(),
+			Analyzer: core.AnalyzerConfig{Style: style},
+			Cycles:   cycles,
+		}
+	}
+	results := engine.Run(context.Background(), scs)
+	if err := engine.FirstError(results); err != nil {
+		return nil, err
+	}
 	res := &StyleResult{EnergyJ: map[string]float64{}}
 	var b strings.Builder
 	b.WriteString("Power-model style ablation (identical workload)\n")
-	var ref float64
-	for _, style := range []core.Style{core.StyleGlobal, core.StyleLocal, core.StylePrivate} {
-		_, an, err := runPaper(cycles, core.AnalyzerConfig{Style: style})
-		if err != nil {
-			return nil, err
-		}
-		e := an.Report().TotalEnergy
+	ref := results[0].Report.TotalEnergy
+	for i, style := range styles {
+		e := results[i].Report.TotalEnergy
 		res.EnergyJ[style.String()] = e
-		if style == core.StyleGlobal {
-			ref = e
-		}
 		fmt.Fprintf(&b, "  %-8s %s (%.1f%% vs global)\n", style, core.FormatEnergy(e), 100*(e/ref-1))
 	}
 	res.Text = b.String()

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"ahbpower/internal/amba/ahb"
 	"ahbpower/internal/amba/asb"
 	"ahbpower/internal/core"
+	"ahbpower/internal/engine"
 	"ahbpower/internal/power"
 	"ahbpower/internal/sim"
 	"ahbpower/internal/stats"
@@ -65,20 +67,24 @@ func newASBModel(nMasters, nSlaves int, tech power.Tech) (*asbTechModel, error) 
 }
 
 // CompareBuses runs the paper-style workload on an AHB and an ASB of the
-// same shape and compares energy per transferred beat.
+// same shape and compares energy per transferred beat. Workload
+// generation is deterministic per configuration, so handing the same
+// configurations to the engine (AHB side) and generating locally (ASB
+// side) yields identical traffic.
 func CompareBuses(cycles uint64) (*BusCompareResult, error) {
 	tech := power.DefaultTech()
+	cfgs := make([]workload.Config, 2)
 	seqs := make([][]ahb.Sequence, 2)
 	for m := 0; m < 2; m++ {
-		cfg := workload.PaperTestbench(m, int(cycles)/100+2)
-		s, err := workload.Generate(cfg)
+		cfgs[m] = workload.PaperTestbench(m, int(cycles)/100+2)
+		s, err := workload.Generate(cfgs[m])
 		if err != nil {
 			return nil, err
 		}
 		seqs[m] = s
 	}
 
-	ahbRow, err := runAHBCompare(cycles, seqs)
+	ahbRow, err := runAHBCompare(cycles, cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -99,29 +105,20 @@ func CompareBuses(cycles uint64) (*BusCompareResult, error) {
 	return res, nil
 }
 
-func runAHBCompare(cycles uint64, seqs [][]ahb.Sequence) (*BusCompareRow, error) {
-	sys, err := core.NewSystem(core.PaperSystem())
-	if err != nil {
-		return nil, err
+func runAHBCompare(cycles uint64, cfgs []workload.Config) (*BusCompareRow, error) {
+	res := engine.RunOne(context.Background(), engine.Scenario{
+		Name:      "ahb",
+		System:    core.PaperSystem(),
+		Analyzer:  core.AnalyzerConfig{Style: core.StyleGlobal},
+		Workloads: cfgs,
+		Cycles:    cycles,
+	})
+	if res.Err != nil {
+		return nil, res.Err
 	}
-	for m, s := range seqs {
-		sys.Masters[m].Enqueue(s...)
-	}
-	an, err := core.Attach(sys, core.AnalyzerConfig{Style: core.StyleGlobal})
-	if err != nil {
-		return nil, err
-	}
-	if err := sys.Run(cycles); err != nil {
-		return nil, err
-	}
-	r := an.Report()
-	var beats uint64
-	for _, m := range sys.Masters {
-		beats += m.Stats().Beats
-	}
-	row := &BusCompareRow{Bus: "AHB", Cycles: r.Cycles, Beats: beats, EnergyJ: r.TotalEnergy}
-	if beats > 0 {
-		row.PJPerBeat = r.TotalEnergy / float64(beats) * 1e12
+	row := &BusCompareRow{Bus: "AHB", Cycles: res.Report.Cycles, Beats: res.Beats, EnergyJ: res.Report.TotalEnergy}
+	if res.Beats > 0 {
+		row.PJPerBeat = res.Report.TotalEnergy / float64(res.Beats) * 1e12
 	}
 	return row, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"ahbpower/internal/amba/ahb"
 	"ahbpower/internal/charact"
 	"ahbpower/internal/core"
+	"ahbpower/internal/engine"
 	"ahbpower/internal/gate"
 	"ahbpower/internal/power"
 	"ahbpower/internal/stats"
@@ -30,30 +32,33 @@ type CoSimResult struct {
 }
 
 // CoSimDecoder runs the paper testbench, records the decoder input
-// sequence, replays it into the gate-level NOT/AND decoder and compares
-// energies.
+// sequence through the engine's Setup hook, replays it into the
+// gate-level NOT/AND decoder and compares energies.
 func CoSimDecoder(cycles uint64) (*CoSimResult, error) {
 	tech := power.DefaultTech()
-	sys, err := core.NewSystem(core.PaperSystem())
-	if err != nil {
-		return nil, err
-	}
-	if err := sys.LoadPaperWorkload(cycles); err != nil {
-		return nil, err
-	}
-	nSlaves := sys.Bus.Cfg.NumSlaves
+	cfg := core.PaperSystem()
+	nSlaves := cfg.NumSlaves
 	// Record the decoder input code per cycle (slave index; the spare
-	// code for unmapped).
+	// code for unmapped). The functional run needs no power analyzer.
 	var seq []uint64
-	sys.Bus.OnCycle(func(ci ahb.CycleInfo) {
-		code := uint64(nSlaves)
-		if ci.SelIdx >= 0 {
-			code = uint64(ci.SelIdx)
-		}
-		seq = append(seq, code)
+	run := engine.RunOne(context.Background(), engine.Scenario{
+		Name:         "cosim",
+		System:       cfg,
+		Cycles:       cycles,
+		SkipAnalyzer: true,
+		Setup: func(sys *core.System) error {
+			sys.Bus.OnCycle(func(ci ahb.CycleInfo) {
+				code := uint64(nSlaves)
+				if ci.SelIdx >= 0 {
+					code = uint64(ci.SelIdx)
+				}
+				seq = append(seq, code)
+			})
+			return nil
+		},
 	})
-	if err := sys.Run(cycles); err != nil {
-		return nil, err
+	if run.Err != nil {
+		return nil, run.Err
 	}
 
 	// Gate-level truth: a decoder with nSlaves+1 outputs so the spare

@@ -7,12 +7,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
-	"time"
 
 	"ahbpower/internal/charact"
 	"ahbpower/internal/core"
+	"ahbpower/internal/engine"
 	"ahbpower/internal/power"
 	"ahbpower/internal/stats"
 )
@@ -39,38 +40,34 @@ type Table1Result struct {
 	Text   string
 }
 
-// runPaper builds the paper system, loads the paper workload, attaches an
-// analyzer and runs for the given number of cycles.
-func runPaper(cycles uint64, cfg core.AnalyzerConfig) (*core.System, *core.Analyzer, error) {
-	sys, err := core.NewSystem(core.PaperSystem())
-	if err != nil {
-		return nil, nil, err
+// runPaper executes the paper testbench (paper system + paper workload)
+// through the batch engine and returns the result. Protocol violations
+// are treated as errors.
+func runPaper(cycles uint64, cfg core.AnalyzerConfig) (engine.Result, error) {
+	res := engine.RunOne(context.Background(), engine.Scenario{
+		Name:     "paper",
+		System:   core.PaperSystem(),
+		Analyzer: cfg,
+		Cycles:   cycles,
+	})
+	if res.Err != nil {
+		return res, res.Err
 	}
-	if err := sys.LoadPaperWorkload(cycles); err != nil {
-		return nil, nil, err
+	if len(res.Violations) > 0 {
+		return res, fmt.Errorf("experiments: %d protocol violations (first: %v)", len(res.Violations), res.Violations[0])
 	}
-	an, err := core.Attach(sys, cfg)
-	if err != nil {
-		return nil, nil, err
-	}
-	if err := sys.Run(cycles); err != nil {
-		return nil, nil, err
-	}
-	if errs := sys.Monitor.Errors(); len(errs) > 0 {
-		return nil, nil, fmt.Errorf("experiments: %d protocol violations (first: %v)", len(errs), errs[0])
-	}
-	return sys, an, nil
+	return res, nil
 }
 
 // Table1 reproduces the instruction energy analysis. The paper simulates
 // 50 µs at 100 MHz (5000 cycles); pass a larger cycle count for more
 // stable percentages.
 func Table1(cycles uint64) (*Table1Result, error) {
-	_, an, err := runPaper(cycles, core.AnalyzerConfig{Style: core.StyleGlobal})
+	res, err := runPaper(cycles, core.AnalyzerConfig{Style: core.StyleGlobal})
 	if err != nil {
 		return nil, err
 	}
-	r := an.Report()
+	r := res.Report
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table 1 — instruction energy analysis (%d cycles @100 MHz)\n\n", cycles)
 	b.WriteString(r.FormatTable())
@@ -98,11 +95,11 @@ type FiguresResult struct {
 // the paper) and the sub-block contribution of Fig. 6. window is the
 // power-averaging window in seconds.
 func Figures(cycles uint64, window float64) (*FiguresResult, error) {
-	_, an, err := runPaper(cycles, core.AnalyzerConfig{Style: core.StyleGlobal, TraceWindow: window})
+	res, err := runPaper(cycles, core.AnalyzerConfig{Style: core.StyleGlobal, TraceWindow: window})
 	if err != nil {
 		return nil, err
 	}
-	r := an.Report()
+	r := res.Report
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figs. 3-5 — windowed power traces (%g ns windows)\n", window*1e9)
 	for _, s := range []*stats.Series{r.TraceTotal, r.TraceARB, r.TraceM2S} {
@@ -132,42 +129,34 @@ type OverheadResult struct {
 }
 
 // Overhead measures wall-clock simulation time without power analysis and
-// with each analyzer style. Each configuration is run three times and the
-// minimum is reported, to suppress scheduler and allocator noise.
+// with each analyzer style, using the engine's RunDuration (simulation
+// loop only, excluding construction and workload generation) on a
+// single-worker runner so runs never contend for the CPU. Each
+// configuration is run three times and the minimum is reported, to
+// suppress scheduler and allocator noise.
 func Overhead(cycles uint64) (*OverheadResult, error) {
-	runOnce := func(attach bool, style core.Style) (float64, error) {
-		sys, err := core.NewSystem(core.PaperSystem())
-		if err != nil {
-			return 0, err
-		}
-		if err := sys.LoadPaperWorkload(cycles); err != nil {
-			return 0, err
-		}
-		if attach {
-			if _, err := core.Attach(sys, core.AnalyzerConfig{Style: style, RecordActivity: style != core.StyleGlobal}); err != nil {
-				return 0, err
-			}
-		}
-		start := time.Now()
-		if err := sys.Run(cycles); err != nil {
-			return 0, err
-		}
-		return float64(time.Since(start).Microseconds()) / 1000, nil
-	}
-	run := func(attach bool, style core.Style) (float64, error) {
+	runner := engine.NewRunner(1)
+	run := func(skipAnalyzer bool, style core.Style) (float64, error) {
 		best := 0.0
 		for rep := 0; rep < 3; rep++ {
-			ms, err := runOnce(attach, style)
-			if err != nil {
-				return 0, err
+			res := runner.Run(context.Background(), []engine.Scenario{{
+				Name:         "overhead_" + style.String(),
+				System:       core.PaperSystem(),
+				Analyzer:     core.AnalyzerConfig{Style: style, RecordActivity: !skipAnalyzer && style != core.StyleGlobal},
+				Cycles:       cycles,
+				SkipAnalyzer: skipAnalyzer,
+			}})[0]
+			if res.Err != nil {
+				return 0, res.Err
 			}
+			ms := float64(res.RunDuration.Microseconds()) / 1000
 			if rep == 0 || ms < best {
 				best = ms
 			}
 		}
 		return best, nil
 	}
-	base, err := run(false, core.StyleGlobal)
+	base, err := run(true, core.StyleGlobal)
 	if err != nil {
 		return nil, err
 	}
@@ -180,7 +169,7 @@ func Overhead(cycles uint64) (*OverheadResult, error) {
 	fmt.Fprintf(&b, "Instrumentation overhead over %d cycles\n", cycles)
 	fmt.Fprintf(&b, "  %-22s %8.2f ms\n", "functional only", base)
 	for _, style := range []core.Style{core.StyleGlobal, core.StyleLocal, core.StylePrivate} {
-		ms, err := run(true, style)
+		ms, err := run(false, style)
 		if err != nil {
 			return nil, err
 		}

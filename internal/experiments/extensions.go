@@ -1,32 +1,26 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"ahbpower/internal/core"
+	"ahbpower/internal/engine"
 	"ahbpower/internal/workload"
 )
 
-// runCustom builds the paper system, loads the given per-master workload
-// configuration for both masters (seed-shifted), attaches an analyzer and
-// runs.
-func runCustom(cycles uint64, cfg workload.Config, an core.AnalyzerConfig) (*core.System, *core.Analyzer, error) {
-	sys, err := core.NewSystem(core.PaperSystem())
-	if err != nil {
-		return nil, nil, err
+// customScenario is the paper system with one workload configuration
+// driving both masters (seed-shifted for the second, as in
+// core.LoadWorkload).
+func customScenario(name string, cycles uint64, cfg workload.Config, an core.AnalyzerConfig) engine.Scenario {
+	return engine.Scenario{
+		Name:      name,
+		System:    core.PaperSystem(),
+		Analyzer:  an,
+		Workloads: []workload.Config{cfg},
+		Cycles:    cycles,
 	}
-	if err := sys.LoadWorkload(cfg); err != nil {
-		return nil, nil, err
-	}
-	a, err := core.Attach(sys, an)
-	if err != nil {
-		return nil, nil, err
-	}
-	if err := sys.Run(cycles); err != nil {
-		return nil, nil, err
-	}
-	return sys, a, nil
 }
 
 // BurstRow is one line of the burst-length ablation.
@@ -56,26 +50,28 @@ type BurstResult struct {
 // exist for: with random data the payload churn dominates and hides the
 // address/control/arbitration overhead that bursts amortize.
 func BurstAblation(cycles uint64) (*BurstResult, error) {
-	res := &BurstResult{}
-	var b strings.Builder
-	b.WriteString("Burst-length ablation (energy per transferred beat, low-activity data)\n")
-	fmt.Fprintf(&b, "  %-6s %-12s %-10s %-10s %-12s\n", "beats", "energy", "xfers", "pJ/beat", "M2S pJ/beat")
-	for _, beats := range []int{1, 4, 8, 16} {
+	lengths := []int{1, 4, 8, 16}
+	scs := make([]engine.Scenario, len(lengths))
+	for i, beats := range lengths {
 		cfg := workload.PaperTestbench(0, int(cycles)/60+2)
 		cfg.BurstBeats = beats
 		cfg.Pattern = workload.PatternLowActivity
 		// Keep roughly constant data volume per sequence.
 		cfg.PairsMin = maxInt(1, cfg.PairsMin/beats)
 		cfg.PairsMax = maxInt(cfg.PairsMin, cfg.PairsMax/beats)
-		sys, an, err := runCustom(cycles, cfg, core.AnalyzerConfig{Style: core.StyleGlobal})
-		if err != nil {
-			return nil, err
-		}
-		var moved uint64
-		for _, m := range sys.Masters {
-			moved += m.Stats().Beats
-		}
-		r := an.Report()
+		scs[i] = customScenario(fmt.Sprintf("burst%d", beats), cycles, cfg,
+			core.AnalyzerConfig{Style: core.StyleGlobal})
+	}
+	results := engine.Run(context.Background(), scs)
+	if err := engine.FirstError(results); err != nil {
+		return nil, err
+	}
+	res := &BurstResult{}
+	var b strings.Builder
+	b.WriteString("Burst-length ablation (energy per transferred beat, low-activity data)\n")
+	fmt.Fprintf(&b, "  %-6s %-12s %-10s %-10s %-12s\n", "beats", "energy", "xfers", "pJ/beat", "M2S pJ/beat")
+	for i, beats := range lengths {
+		r, moved := results[i].Report, results[i].Beats
 		row := BurstRow{Beats: beats, Energy: r.TotalEnergy, DataBeats: moved}
 		if moved > 0 {
 			row.PJPerBeat = r.TotalEnergy / float64(moved) * 1e12
@@ -114,22 +110,23 @@ type PatternResult struct {
 
 // PatternAblation compares data patterns under identical traffic shape.
 func PatternAblation(cycles uint64) (*PatternResult, error) {
+	patterns := []workload.Pattern{workload.PatternRandom, workload.PatternLowActivity, workload.PatternCounter}
+	scs := make([]engine.Scenario, len(patterns))
+	for i, p := range patterns {
+		cfg := workload.PaperTestbench(0, int(cycles)/60+2)
+		cfg.Pattern = p
+		scs[i] = customScenario(p.String(), cycles, cfg, core.AnalyzerConfig{Style: core.StyleGlobal})
+	}
+	results := engine.Run(context.Background(), scs)
+	if err := engine.FirstError(results); err != nil {
+		return nil, err
+	}
 	res := &PatternResult{}
 	var b strings.Builder
 	b.WriteString("Data-pattern ablation (identical traffic shape)\n")
 	fmt.Fprintf(&b, "  %-14s %-12s %-10s\n", "pattern", "energy", "pJ/beat")
-	for _, p := range []workload.Pattern{workload.PatternRandom, workload.PatternLowActivity, workload.PatternCounter} {
-		cfg := workload.PaperTestbench(0, int(cycles)/60+2)
-		cfg.Pattern = p
-		sys, an, err := runCustom(cycles, cfg, core.AnalyzerConfig{Style: core.StyleGlobal})
-		if err != nil {
-			return nil, err
-		}
-		var moved uint64
-		for _, m := range sys.Masters {
-			moved += m.Stats().Beats
-		}
-		r := an.Report()
+	for i, p := range patterns {
+		r, moved := results[i].Report, results[i].Beats
 		row := PatternRow{Pattern: p.String(), Energy: r.TotalEnergy}
 		if moved > 0 {
 			row.PJPerBeat = r.TotalEnergy / float64(moved) * 1e12
@@ -159,22 +156,32 @@ type DPMResult struct {
 	Text   string
 }
 
-// DPMSweep evaluates gating thresholds against the paper workload.
+// DPMSweep evaluates gating thresholds against the paper workload, one
+// scenario per threshold, run as a parallel batch.
 func DPMSweep(cycles uint64, wakeEnergy float64) (*DPMResult, error) {
+	thresholds := []int{1, 2, 4, 8, 16, 32}
+	scs := make([]engine.Scenario, len(thresholds))
+	for i, th := range thresholds {
+		scs[i] = engine.Scenario{
+			Name:   fmt.Sprintf("dpm%d", th),
+			System: core.PaperSystem(),
+			Analyzer: core.AnalyzerConfig{
+				Style: core.StyleGlobal,
+				DPM:   &core.DPMConfig{IdleThreshold: th, WakeEnergy: wakeEnergy},
+			},
+			Cycles: cycles,
+		}
+	}
+	results := engine.Run(context.Background(), scs)
+	if err := engine.FirstError(results); err != nil {
+		return nil, err
+	}
 	res := &DPMResult{}
 	var b strings.Builder
 	b.WriteString("Dynamic power management sweep (gate the mux clock trees after N idle cycles)\n")
 	fmt.Fprintf(&b, "  %-10s %-12s %-10s %-8s\n", "threshold", "net saved", "% of total", "wakeups")
-	for _, th := range []int{1, 2, 4, 8, 16, 32} {
-		_, an, err := runPaper(cycles, core.AnalyzerConfig{
-			Style: core.StyleGlobal,
-			DPM:   &core.DPMConfig{IdleThreshold: th, WakeEnergy: wakeEnergy},
-		})
-		if err != nil {
-			return nil, err
-		}
-		r := an.Report()
-		est := an.DPM()
+	for i, th := range thresholds {
+		r, est := results[i].Report, results[i].DPM
 		res.TotalJ = r.TotalEnergy
 		row := DPMRow{
 			Threshold:  th,

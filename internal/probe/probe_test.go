@@ -1,0 +1,75 @@
+package probe
+
+import "testing"
+
+type rec struct {
+	cycle int
+}
+
+func TestHubDispatchOrder(t *testing.T) {
+	var h Hub[rec]
+	var order []string
+	h.AttachFunc(func(r rec) { order = append(order, "a") })
+	h.AttachFunc(func(r rec) { order = append(order, "b") })
+	h.Attach(Func[rec](func(r rec) { order = append(order, "c") }))
+	if h.Len() != 3 {
+		t.Fatalf("Len=%d, want 3", h.Len())
+	}
+	h.Publish(rec{1})
+	want := []string{"a", "b", "c"}
+	if len(order) != len(want) {
+		t.Fatalf("order=%v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order=%v, want %v (attach order must be preserved)", order, want)
+		}
+	}
+}
+
+func TestHubZeroValueUsable(t *testing.T) {
+	var h Hub[int]
+	h.Publish(7) // no observers: must not panic
+	got := 0
+	h.AttachFunc(func(v int) { got = v })
+	h.Publish(42)
+	if got != 42 {
+		t.Errorf("got=%d, want 42", got)
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	var h Hub[rec]
+	r := &Recorder[rec]{}
+	h.Attach(r)
+	if _, ok := r.Last(); ok {
+		t.Error("empty recorder must report no last record")
+	}
+	for i := 1; i <= 4; i++ {
+		h.Publish(rec{i})
+	}
+	if len(r.Records) != 4 {
+		t.Fatalf("recorded %d, want 4", len(r.Records))
+	}
+	for i, g := range r.Records {
+		if g.cycle != i+1 {
+			t.Fatalf("records out of order: %v", r.Records)
+		}
+	}
+	last, ok := r.Last()
+	if !ok || last.cycle != 4 {
+		t.Errorf("Last=%v ok=%v, want cycle 4", last, ok)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var h Hub[rec]
+	c := &Counter[rec]{}
+	h.Attach(c)
+	for i := 0; i < 10; i++ {
+		h.Publish(rec{i})
+	}
+	if c.N != 10 {
+		t.Errorf("N=%d, want 10", c.N)
+	}
+}

@@ -42,6 +42,20 @@ type updater interface {
 	apply(k *Kernel)
 }
 
+// CycleObserver consumes the settled-timestep event stream: EndOfTimestep
+// is invoked once per distinct simulated time, after every delta cycle at
+// that time has settled. It is the typed form of AtEndOfTimestep and the
+// root of the observation stack — bus models sample their signals from it
+// and republish typed per-cycle records to their own observers.
+type CycleObserver interface {
+	EndOfTimestep(t Time)
+}
+
+// observerFunc adapts a plain function to a CycleObserver.
+type observerFunc func(Time)
+
+func (f observerFunc) EndOfTimestep(t Time) { f(t) }
+
 // Kernel is a single-threaded deterministic discrete-event simulator.
 // Create one with NewKernel, build modules (signals + processes) against
 // it, then call Run.
@@ -58,12 +72,12 @@ type Kernel struct {
 	initialized bool
 	stopped     bool
 
-	// endOfTimestep callbacks run once per simulated timestep after all
-	// delta cycles at that time have settled; used by monitors that want a
-	// settled view of all signals.
-	endOfTimestep []func(Time)
-	probedAny     bool
-	probedAt      Time
+	// observers run once per simulated timestep after all delta cycles at
+	// that time have settled; used by monitors that want a settled view of
+	// all signals.
+	observers []CycleObserver
+	probedAny bool
+	probedAt  Time
 }
 
 // NewKernel returns an empty kernel at time zero.
@@ -79,10 +93,12 @@ func (k *Kernel) Now() Time { return k.now }
 // experiment.
 func (k *Kernel) DeltaCycles() uint64 { return k.deltaCount }
 
-// Stop requests that Run return as soon as the current delta completes.
+// Stop requests that the Run in progress return as soon as the current
+// delta completes. The stop flag is cleared when Run is next entered, so a
+// stopped kernel can be resumed by calling Run again.
 func (k *Kernel) Stop() { k.stopped = true }
 
-// Stopped reports whether Stop has been called.
+// Stopped reports whether Stop has been called since the last Run entry.
 func (k *Kernel) Stopped() bool { return k.stopped }
 
 // Schedule runs fn after the given delay. A zero delay runs the callback in
@@ -93,11 +109,18 @@ func (k *Kernel) Schedule(delay Time, fn func()) {
 	heap.Push(&k.queue, timedEvent{at: k.now + delay, seq: k.seq, fn: fn})
 }
 
-// AtEndOfTimestep registers a callback invoked once per simulated timestep
-// after all delta cycles at that time have settled. This is the natural
-// probing point for cycle-level power monitors.
+// Observe registers a typed settled-timestep observer. Observers fire in
+// registration order, once per distinct simulated time, after all delta
+// cycles at that time have settled. This is the natural probing point for
+// cycle-level power monitors.
+func (k *Kernel) Observe(o CycleObserver) {
+	k.observers = append(k.observers, o)
+}
+
+// AtEndOfTimestep registers a plain-function settled-timestep observer; it
+// is the untyped convenience form of Observe.
 func (k *Kernel) AtEndOfTimestep(fn func(Time)) {
-	k.endOfTimestep = append(k.endOfTimestep, fn)
+	k.Observe(observerFunc(fn))
 }
 
 func (k *Kernel) markRunnable(p *Process) {
@@ -159,8 +182,11 @@ func (k *Kernel) initialize() error {
 
 // Run advances simulation until the given absolute time (inclusive of
 // events scheduled exactly at it), until no events remain, or until Stop is
-// called. It may be called repeatedly to advance further.
+// called. It may be called repeatedly to advance further; a Stop from a
+// previous Run is cleared on entry, so re-running resumes the simulation
+// instead of silently doing nothing.
 func (k *Kernel) Run(until Time) error {
+	k.stopped = false
 	if err := k.initialize(); err != nil {
 		return err
 	}
@@ -191,7 +217,7 @@ func (k *Kernel) Run(until Time) error {
 	return nil
 }
 
-// probe fires the end-of-timestep callbacks for the current time, at most
+// probe fires the settled-timestep observers for the current time, at most
 // once per distinct simulated time.
 func (k *Kernel) probe() {
 	if k.probedAny && k.probedAt == k.now {
@@ -199,8 +225,8 @@ func (k *Kernel) probe() {
 	}
 	k.probedAny = true
 	k.probedAt = k.now
-	for _, fn := range k.endOfTimestep {
-		fn(k.now)
+	for _, o := range k.observers {
+		o.EndOfTimestep(k.now)
 	}
 }
 

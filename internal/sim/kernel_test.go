@@ -214,6 +214,74 @@ func TestStop(t *testing.T) {
 	}
 }
 
+func TestRunAfterStopResumes(t *testing.T) {
+	// Regression: Stop used to latch forever, so a subsequent Run silently
+	// no-oped. Run must clear the stop flag on entry and resume.
+	k := NewKernel()
+	count := 0
+	var again func()
+	again = func() {
+		count++
+		if count == 5 {
+			k.Stop()
+		}
+		if count < 12 {
+			k.Schedule(10, again)
+		}
+	}
+	k.Schedule(10, again)
+	if err := k.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Fatalf("first run: count=%d, want 5", count)
+	}
+	if !k.Stopped() {
+		t.Fatal("kernel must report stopped after Stop")
+	}
+	if err := k.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if count != 12 {
+		t.Errorf("second run must resume: count=%d, want 12", count)
+	}
+	if k.Stopped() {
+		t.Error("stop flag must be cleared by re-entering Run")
+	}
+}
+
+// recordingObserver is a typed CycleObserver for tests.
+type recordingObserver struct {
+	times []Time
+}
+
+func (r *recordingObserver) EndOfTimestep(t Time) { r.times = append(r.times, t) }
+
+func TestTypedObserverMatchesCallback(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k, "s", 0)
+	obs := &recordingObserver{}
+	var cb []Time
+	k.Observe(obs)
+	k.AtEndOfTimestep(func(tm Time) { cb = append(cb, tm) })
+	k.Schedule(10, func() { s.Write(1) })
+	k.Schedule(20, func() { s.Write(2) })
+	if err := k.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.times) == 0 {
+		t.Fatal("typed observer never fired")
+	}
+	if len(obs.times) != len(cb) {
+		t.Fatalf("observer saw %d timesteps, callback %d", len(obs.times), len(cb))
+	}
+	for i := range cb {
+		if obs.times[i] != cb[i] {
+			t.Fatalf("observer/callback diverge at %d: %v vs %v", i, obs.times, cb)
+		}
+	}
+}
+
 func TestDeterminismSameSeedSameTrace(t *testing.T) {
 	run := func() []int {
 		k := NewKernel()

@@ -166,3 +166,79 @@ func TestVCDScopeGrouping(t *testing.T) {
 		t.Errorf("scopes missing:\n%s", out)
 	}
 }
+
+func TestVCDSettledModeSuppressesGlitches(t *testing.T) {
+	k := sim.NewKernel()
+	s := sim.NewSignal(k, "top.x", 0)
+	var sb strings.Builder
+	w := NewSettledWriter(&sb, k)
+	w.add("top.x", 8, func() uint64 { return uint64(s.Read()) }, func(emit func(uint64)) {
+		s.Watch(func(_, now int) { emit(uint64(now)) })
+	})
+	if err := w.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// At t=10 the signal glitches through 1 before settling back to 0 on a
+	// second delta; at t=20 it settles to 5 after passing through 3.
+	k.Schedule(10, func() {
+		s.Write(1)
+		k.Schedule(0, func() { s.Write(0) })
+	})
+	k.Schedule(20, func() {
+		s.Write(3)
+		k.Schedule(0, func() { s.Write(5) })
+	})
+	if err := k.Run(30); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	body := out[strings.LastIndex(out, "$end\n")+5:] // skip header+dumpvars
+	if strings.Contains(body, "b1 !") || strings.Contains(body, "b11 !") {
+		t.Errorf("settled VCD must not contain intermediate values:\n%s", body)
+	}
+	if !strings.Contains(body, "b101 !") {
+		t.Errorf("settled VCD missing final value 5:\n%s", body)
+	}
+	if strings.Contains(body, "#10\n") {
+		t.Errorf("glitch timestep 10 settled back to the dumped value; no record expected:\n%s", body)
+	}
+}
+
+func TestVCDSettledModeDumpsOncePerTimestep(t *testing.T) {
+	// A signal written on several deltas of the same timestep must produce
+	// exactly one record, carrying the settled value.
+	k := sim.NewKernel()
+	s := sim.NewSignal(k, "top.x", 0)
+	var sb strings.Builder
+	w := NewSettledWriter(&sb, k)
+	w.add("top.x", 8, func() uint64 { return uint64(s.Read()) }, func(emit func(uint64)) {
+		s.Watch(func(_, now int) { emit(uint64(now)) })
+	})
+	if err := w.Start(); err != nil {
+		t.Fatal(err)
+	}
+	k.Schedule(10, func() {
+		s.Write(1)
+		k.Schedule(0, func() {
+			s.Write(2)
+			k.Schedule(0, func() { s.Write(7) })
+		})
+	})
+	if err := k.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	body := out[strings.LastIndex(out, "$end\n")+5:]
+	records := 0
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "b") {
+			records++
+			if line != "b111 !" {
+				t.Errorf("unexpected record %q, want settled value 7", line)
+			}
+		}
+	}
+	if records != 1 {
+		t.Errorf("settled mode produced %d records, want 1:\n%s", records, body)
+	}
+}
