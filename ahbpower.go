@@ -23,9 +23,21 @@
 //
 //	sys, _ := ahbpower.NewSystem(ahbpower.PaperSystem())
 //	sys.LoadPaperWorkload(50000)
-//	an, _ := ahbpower.Attach(sys, ahbpower.AnalyzerConfig{Style: ahbpower.StyleGlobal})
+//	an, _ := ahbpower.Attach(sys, ahbpower.WithStyle(ahbpower.StyleGlobal))
 //	sys.Run(50000)
 //	fmt.Print(an.Report().FormatTable())
+//
+// Attach takes functional options (WithStyle, WithTech, WithModels,
+// WithTrace, ...); AttachConfig remains the struct-literal form for
+// callers that build an AnalyzerConfig programmatically. For
+// time-resolved output, attach a streaming power-trace recorder
+// (NewTrace + WithTrace) and export the waveform as CSV, JSON lines or
+// analog VCD — see the "metrics" facade in metrics.go and
+// examples/powertrace.
+//
+// Gate-level characterization is configured with CharacterizationConfig
+// and run with Characterize; the positional FitBusModels form is
+// deprecated and delegates to it.
 package ahbpower
 
 import (
@@ -101,9 +113,6 @@ func NewSystem(cfg SystemConfig) (*System, error) { return core.NewSystem(cfg) }
 // simple default master and three slaves on a 100 MHz AHB.
 func PaperSystem() SystemConfig { return core.PaperSystem() }
 
-// Attach hooks a power analyzer into a system; call before Run.
-func Attach(sys *System, cfg AnalyzerConfig) (*Analyzer, error) { return core.Attach(sys, cfg) }
-
 // DefaultTech returns the calibrated default technology constants.
 func DefaultTech() Tech { return power.DefaultTech() }
 
@@ -122,8 +131,21 @@ func PaperWorkload(m, numSequences int) WorkloadConfig {
 	return workload.PaperTestbench(m, numSequences)
 }
 
-// FitBusModels characterizes the sub-blocks of a bus shape at gate level
-// and returns a fitted, serializable model set.
+// CharacterizationConfig parameterizes a gate-level bus
+// characterization: bus shape, stimulus size, seed and technology. Zero
+// values of DataWidth, Vectors and Tech pick sensible defaults.
+type CharacterizationConfig = charact.Config
+
+// Characterize characterizes the sub-blocks of a bus shape at gate level
+// and returns a fitted, serializable model set (save with SaveModels,
+// reuse with LoadModels and the WithModels attach option).
+func Characterize(cfg CharacterizationConfig) (*Models, error) {
+	return charact.Characterize(cfg)
+}
+
+// FitBusModels is the positional form of Characterize.
+//
+// Deprecated: use Characterize with a CharacterizationConfig.
 func FitBusModels(numMasters, numSlaves, dataWidth, vectors int, seed int64, tech Tech) (*Models, error) {
 	return charact.FitBusModels(numMasters, numSlaves, dataWidth, vectors, seed, tech)
 }

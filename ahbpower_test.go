@@ -15,7 +15,7 @@ func TestPublicQuickstartFlow(t *testing.T) {
 	if err := sys.LoadPaperWorkload(2000); err != nil {
 		t.Fatal(err)
 	}
-	an, err := ahbpower.Attach(sys, ahbpower.AnalyzerConfig{Style: ahbpower.StyleGlobal})
+	an, err := ahbpower.Attach(sys, ahbpower.WithStyle(ahbpower.StyleGlobal))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +237,7 @@ func TestPublicModelRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	an, err := ahbpower.Attach(sys, ahbpower.AnalyzerConfig{Style: ahbpower.StyleGlobal, Models: fitted})
+	an, err := ahbpower.Attach(sys, ahbpower.WithStyle(ahbpower.StyleGlobal), ahbpower.WithModels(fitted))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -107,7 +107,7 @@ func runInstrumented(b *testing.B, attach bool, style core.Style) {
 			b.Fatal(err)
 		}
 		if attach {
-			if _, err := ahbpower.Attach(sys, ahbpower.AnalyzerConfig{Style: style}); err != nil {
+			if _, err := ahbpower.AttachConfig(sys, ahbpower.AnalyzerConfig{Style: style}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -136,6 +136,59 @@ func BenchmarkInstrumentationOverheadLocal(b *testing.B) {
 func BenchmarkInstrumentationOverheadPrivate(b *testing.B) {
 	runInstrumented(b, true, core.StylePrivate)
 }
+
+// benchTrace runs an analyzed simulation with or without a trace
+// recorder subscribed to the analyzer's sample stream. Comparing
+// BenchmarkTraceAttached to BenchmarkTraceDetached isolates the recorder
+// cost: detached must be free (no samples are even constructed when the
+// hub has no observers), attached must stay under ~10% of the analyzed
+// run.
+func benchTrace(b *testing.B, attach bool) {
+	b.Helper()
+	var tr *ahbpower.Trace
+	for i := 0; i < b.N; i++ {
+		sys, err := ahbpower.NewSystem(ahbpower.PaperSystem())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.LoadPaperWorkload(benchCycles); err != nil {
+			b.Fatal(err)
+		}
+		opts := []ahbpower.AttachOption{ahbpower.WithStyle(ahbpower.StyleGlobal)}
+		if attach {
+			tr, err = ahbpower.NewTrace(ahbpower.TraceConfig{
+				Window: 100e-9, PerBlock: true, PerInstruction: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts = append(opts, ahbpower.WithTrace(tr))
+		}
+		an, err := ahbpower.Attach(sys, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Run(benchCycles); err != nil {
+			b.Fatal(err)
+		}
+		if attach && tr.Energy() != an.Report().TotalEnergy {
+			b.Fatal("trace diverged from report")
+		}
+	}
+	if tr != nil {
+		st := tr.Stats()
+		b.ReportMetric(float64(st.Windows), "windows")
+		b.ReportMetric(st.MeanPower*1e3, "mW-mean")
+	}
+}
+
+// BenchmarkTraceDetached is the analyzed run without a recorder — the
+// zero-overhead baseline for the streaming trace layer.
+func BenchmarkTraceDetached(b *testing.B) { benchTrace(b, false) }
+
+// BenchmarkTraceAttached is the same run with a full trace recorder
+// (per-block and per-instruction) subscribed.
+func BenchmarkTraceAttached(b *testing.B) { benchTrace(b, true) }
 
 // BenchmarkMacromodelValidation reproduces the SIS-validation step (V1):
 // gate-level characterization of the AHB-sized sub-blocks.

@@ -2,17 +2,24 @@
 // simple default master and three slaves at 100 MHz — with system-level
 // power analysis attached, and prints the per-instruction energy table
 // (the paper's Table 1) and the sub-block power contribution (Fig. 6).
+// With -trace it additionally records a streaming power-trace and writes
+// it as CSV, JSON lines or analog VCD (chosen by file extension). Ctrl-C
+// cancels the run mid-simulation.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 
 	"ahbpower/internal/core"
 	"ahbpower/internal/engine"
 	"ahbpower/internal/experiments"
+	"ahbpower/internal/metrics"
 	"ahbpower/internal/power"
 )
 
@@ -23,6 +30,8 @@ func main() {
 	slaves := flag.Int("slaves", 3, "number of slaves")
 	waits := flag.Int("waits", 0, "slave wait states")
 	modelFile := flag.String("models", "", "load characterized macromodels from a JSON file (see examples/characterize)")
+	traceFile := flag.String("trace", "", "record a power trace to this file (.csv, .jsonl or .vcd by extension)")
+	window := flag.Float64("window", 100e-9, "power-trace window duration in seconds")
 	exp := flag.String("exp", "", "run a named experiment instead: table1, figures, overhead, validation, granularity, styles, parametric, burst, pattern, dpm, cosim, impl, buses, all")
 	flag.Parse()
 
@@ -62,12 +71,41 @@ func main() {
 		}
 		acfg.Models = models
 	}
-	res := engine.RunOne(context.Background(), engine.Scenario{
+	var trace *metrics.Trace
+	if *traceFile != "" {
+		var err error
+		trace, err = metrics.NewTrace(metrics.TraceConfig{
+			Window:         *window,
+			PerBlock:       true,
+			PerInstruction: true,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		acfg.Trace = trace
+	}
+
+	// Ctrl-C cancels the run mid-simulation; the trace keeps what it saw.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	res := engine.RunOne(ctx, engine.Scenario{
 		Name:     "ahbsim",
 		System:   cfg,
 		Analyzer: acfg,
 		Cycles:   *cycles,
 	})
+	if errors.Is(res.Err, context.Canceled) {
+		// Interrupted mid-run: keep the partial trace, skip the report.
+		fmt.Fprintln(os.Stderr, "ahbsim: interrupted")
+		if trace != nil {
+			if err := writeTrace(trace, *traceFile); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "trace (partial): %s -> %s\n", trace.Stats().Format(), *traceFile)
+		}
+		os.Exit(1)
+	}
 	if res.Err != nil {
 		fatal(res.Err)
 	}
@@ -83,6 +121,36 @@ func main() {
 	fmt.Print(r.FormatBreakdown())
 	fmt.Println()
 	fmt.Println(r.FormatSummary())
+	fmt.Println(res.Metrics.Format())
+
+	if trace != nil {
+		if err := writeTrace(trace, *traceFile); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: %s -> %s\n", trace.Stats().Format(), *traceFile)
+	}
+}
+
+// writeTrace exports the trace in the format implied by the file
+// extension: .vcd analog VCD, .jsonl/.ndjson JSON lines, otherwise CSV.
+func writeTrace(trace *metrics.Trace, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch filepath.Ext(path) {
+	case ".vcd":
+		err = trace.WriteVCD(f)
+	case ".jsonl", ".ndjson":
+		err = trace.WriteJSONL(f)
+	default:
+		err = trace.WriteCSV(f)
+	}
+	if err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -30,6 +30,7 @@ func main() {
 	policies := flag.String("policies", "sticky,fixed,rr", "comma-separated arbitration policies")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel scenario workers")
 	out := flag.String("o", "", "output file (default stdout)")
+	showMetrics := flag.Bool("metrics", false, "print batch run metrics (throughput, utilization, latency) to stderr")
 	flag.Parse()
 
 	w := os.Stdout
@@ -65,7 +66,10 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	results := engine.NewRunner(*workers).Run(ctx, grid.Scenarios())
+	results, batch := engine.NewRunner(*workers).RunMetered(ctx, grid.Scenarios())
+	if *showMetrics {
+		fmt.Fprintln(os.Stderr, batch.Format())
+	}
 
 	fmt.Fprintln(w, "slaves,width,waits,policy,cycles,beats,energy_J,avg_power_W,pJ_per_beat,data_transfer_pct,arbitration_pct")
 	for n, res := range results {

@@ -19,7 +19,14 @@ func main() {
 	// 1. Characterize: gate-level netlists, controlled-activity vectors,
 	//    least-squares fits.
 	fmt.Println("characterizing sub-blocks at gate level ...")
-	models, err := ahbpower.FitBusModels(3, 3, 32, 3000, 42, tech)
+	models, err := ahbpower.Characterize(ahbpower.CharacterizationConfig{
+		NumMasters: 3,
+		NumSlaves:  3,
+		DataWidth:  32,
+		Vectors:    3000,
+		Seed:       42,
+		Tech:       tech,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,10 +65,10 @@ func main() {
 		if err := sys.LoadPaperWorkload(5000); err != nil {
 			log.Fatal(err)
 		}
-		an, err := ahbpower.Attach(sys, ahbpower.AnalyzerConfig{
-			Style:  ahbpower.StyleGlobal,
-			Models: m,
-		})
+		an, err := ahbpower.Attach(sys,
+			ahbpower.WithStyle(ahbpower.StyleGlobal),
+			ahbpower.WithModels(m),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -27,7 +27,7 @@ func main() {
 
 	// Attach the power analysis (the paper's POWERTEST switch): a global
 	// analyzer module observing the shared bus signals.
-	an, err := ahbpower.Attach(sys, ahbpower.AnalyzerConfig{Style: ahbpower.StyleGlobal})
+	an, err := ahbpower.Attach(sys, ahbpower.WithStyle(ahbpower.StyleGlobal))
 	if err != nil {
 		log.Fatal(err)
 	}

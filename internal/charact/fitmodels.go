@@ -1,21 +1,67 @@
 package charact
 
 import (
+	"fmt"
+
 	"ahbpower/internal/power"
 )
 
-// FitBusModels characterizes all four sub-blocks of a bus configuration
+// Config parameterizes a full gate-level bus characterization — the
+// IP-characterization deliverable of the paper's §3, run once per bus
+// shape and reused everywhere via power.SaveModels/LoadModels.
+type Config struct {
+	// NumMasters and NumSlaves describe the bus shape (required >= 1).
+	NumMasters, NumSlaves int
+	// DataWidth is the datapath width in bits (0 means 32).
+	DataWidth int
+	// Vectors is the number of random stimulus vectors per sub-block
+	// (0 means 2000).
+	Vectors int
+	// Seed drives the stimulus generator; the same seed reproduces the
+	// same fitted coefficients bit for bit.
+	Seed int64
+	// Tech supplies the technology constants (zero value means
+	// power.DefaultTech).
+	Tech power.Tech
+}
+
+// DefaultVectors is the stimulus count used when Config.Vectors is 0.
+const DefaultVectors = 2000
+
+// Characterize characterizes all four sub-blocks of a bus configuration
 // at gate level and returns a complete, serializable model set: the
 // decoder and both multiplexers carry fitted coefficients, the arbiter
 // keeps its structural FSM coefficients (its CActive term is behavioral,
-// not structural — see power.ArbiterModel). This is the full
-// IP-characterization deliverable of the paper's §3: run once per
-// configuration, save with power.SaveModels, reuse everywhere.
+// not structural — see power.ArbiterModel).
 //
 // The mux netlists are characterized at a reduced width (16 bits) for
 // tractability and the linear-in-w coefficients rescaled, exploiting the
 // macromodel's linearity in the datapath width.
+func Characterize(cfg Config) (*power.Models, error) {
+	if cfg.NumMasters < 1 || cfg.NumSlaves < 1 {
+		return nil, fmt.Errorf("charact: bus shape %dx%d, want at least 1x1", cfg.NumMasters, cfg.NumSlaves)
+	}
+	if cfg.DataWidth == 0 {
+		cfg.DataWidth = 32
+	}
+	if cfg.Vectors == 0 {
+		cfg.Vectors = DefaultVectors
+	}
+	if cfg.Tech.VDD == 0 {
+		cfg.Tech = power.DefaultTech()
+	}
+	return fitBusModels(cfg.NumMasters, cfg.NumSlaves, cfg.DataWidth, cfg.Vectors, cfg.Seed, cfg.Tech)
+}
+
+// FitBusModels is the positional form of Characterize, retained for
+// existing callers.
+//
+// Deprecated: use Characterize with a Config.
 func FitBusModels(numMasters, numSlaves, dataWidth, vectors int, seed int64, tech power.Tech) (*power.Models, error) {
+	return fitBusModels(numMasters, numSlaves, dataWidth, vectors, seed, tech)
+}
+
+func fitBusModels(numMasters, numSlaves, dataWidth, vectors int, seed int64, tech power.Tech) (*power.Models, error) {
 	models, err := power.DefaultModels(numMasters, numSlaves, dataWidth, tech)
 	if err != nil {
 		return nil, err

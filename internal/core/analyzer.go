@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"ahbpower/internal/amba/ahb"
+	"ahbpower/internal/metrics"
 	"ahbpower/internal/power"
+	"ahbpower/internal/probe"
 	"ahbpower/internal/stats"
 )
 
@@ -59,6 +61,11 @@ type AnalyzerConfig struct {
 	// loaded with power.LoadModels) instead of the structural defaults —
 	// the IP-reuse flow of the paper's §2.
 	Models *power.Models
+	// Trace, when non-nil, subscribes a streaming power-trace recorder
+	// to the analyzer's per-cycle sample stream (see internal/metrics).
+	// Use one Trace per run. When nil and no other sample observer is
+	// attached, no samples are published and the stream costs nothing.
+	Trace *metrics.Trace
 }
 
 // Analyzer computes, cycle by cycle, the energy of each AHB sub-block from
@@ -79,6 +86,11 @@ type Analyzer struct {
 	bd       power.Breakdown
 	activity *power.Activity
 	dpm      *dpmState
+
+	// samples fans the per-cycle energy decomposition out to streaming
+	// consumers (trace recorders, exporters). Publishing is skipped
+	// entirely while no observer is attached.
+	samples probe.Hub[metrics.Sample]
 
 	tTotal, tM2S, tDEC, tARB, tS2M *stats.Windower
 
@@ -157,8 +169,23 @@ func Attach(sys *System, cfg AnalyzerConfig) (*Analyzer, error) {
 	if cfg.Style == StyleLocal {
 		a.localPrev = make([]uint64, 3*len(bus.M)+2*len(bus.S))
 	}
+	if cfg.Trace != nil {
+		a.samples.Attach(cfg.Trace)
+	}
 	bus.Observe(a)
 	return a, nil
+}
+
+// ObserveSamples attaches an observer to the analyzer's per-cycle sample
+// stream. Call before the simulation starts.
+func (a *Analyzer) ObserveSamples(o probe.Observer[metrics.Sample]) {
+	a.samples.Attach(o)
+}
+
+// OnSample registers a plain function on the per-cycle sample stream; it
+// is the convenience form of ObserveSamples.
+func (a *Analyzer) OnSample(fn func(metrics.Sample)) {
+	a.samples.AttachFunc(fn)
 }
 
 // attachWatchers installs the private-style transition counters directly
@@ -319,6 +346,19 @@ func (a *Analyzer) ObserveCycle(ci ahb.CycleInfo) {
 		a.tDEC.Deposit(t, eDEC)
 		a.tARB.Deposit(t, eARB)
 		a.tS2M.Deposit(t, eS2M)
+	}
+
+	if a.samples.Len() > 0 {
+		a.samples.Publish(metrics.Sample{
+			Cycle:  ci.Cycle,
+			Time:   ci.Time,
+			State:  state,
+			EM2S:   eM2S,
+			EDEC:   eDEC,
+			EARB:   eARB,
+			ES2M:   eS2M,
+			ETotal: total,
+		})
 	}
 }
 

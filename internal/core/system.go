@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"ahbpower/internal/amba/ahb"
@@ -154,9 +155,42 @@ func (s *System) LoadWorkload(cfgs ...workload.Config) error {
 	return nil
 }
 
+// runChunk bounds how many bus cycles RunContext simulates between
+// cancellation checks. Small enough that Ctrl-C feels immediate, large
+// enough that the per-chunk overhead (one context check and one kernel
+// re-entry) is unmeasurable.
+const runChunk = 512
+
 // Run advances the simulation by n bus clock cycles.
 func (s *System) Run(n uint64) error {
-	return s.K.RunCycles(s.Bus.Clk, n)
+	return s.RunContext(context.Background(), n)
+}
+
+// RunContext advances the simulation by n bus clock cycles, checking ctx
+// between slices of cycles so that even a single long run can be
+// cancelled mid-flight. A chunked run is event-for-event identical to a
+// single Run call: the kernel resumes exactly where the previous slice
+// settled and settled-timestep observers fire at most once per distinct
+// simulated time. On cancellation the context's error is returned and
+// the system stays resumable from the cycle it reached.
+func (s *System) RunContext(ctx context.Context, n uint64) error {
+	if ctx == nil || ctx.Done() == nil {
+		return s.K.RunCycles(s.Bus.Clk, n)
+	}
+	for n > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		step := uint64(runChunk)
+		if n < step {
+			step = n
+		}
+		if err := s.K.RunCycles(s.Bus.Clk, step); err != nil {
+			return err
+		}
+		n -= step
+	}
+	return nil
 }
 
 // Tech is re-exported for convenience.

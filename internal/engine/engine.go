@@ -17,6 +17,7 @@ import (
 
 	"ahbpower/internal/amba/ahb"
 	"ahbpower/internal/core"
+	"ahbpower/internal/metrics"
 	"ahbpower/internal/power"
 	"ahbpower/internal/workload"
 )
@@ -81,6 +82,10 @@ type Result struct {
 	// RunDuration is the wall-clock time of the simulation loop alone
 	// (excluding system construction and workload generation).
 	RunDuration time.Duration
+	// Metrics are the run's engine-level performance figures: cycles
+	// simulated, kernel delta cycles, build and run wall times and the
+	// resulting throughput. Populated on success.
+	Metrics metrics.RunMetrics
 	// System is the built system, retained only when Scenario.KeepSystem.
 	System *core.System
 	// Err captures any failure: construction, workload generation, attach,
@@ -120,8 +125,9 @@ func DefaultRunner() *Runner { return NewRunner(runtime.NumCPU()) }
 // kernel, bus, masters, slaves, analyzer), so scenarios run concurrently
 // without shared state; per-scenario failures are captured in Result.Err
 // and never abort the batch. When ctx is cancelled, scenarios not yet
-// started are abandoned promptly with Err = ctx.Err(); scenarios already
-// running complete normally.
+// started are abandoned promptly with Err = ctx.Err(), and scenarios
+// already running stop mid-simulation with the same error (see
+// core.System.RunContext).
 func (r *Runner) Run(ctx context.Context, scenarios []Scenario) []Result {
 	if ctx == nil {
 		ctx = context.Background()
@@ -173,6 +179,38 @@ feed:
 	return results
 }
 
+// RunMetered executes a batch like Run and additionally aggregates
+// engine-level batch metrics: total cycles, throughput, per-scenario
+// latency and worker utilization.
+func (r *Runner) RunMetered(ctx context.Context, scenarios []Scenario) ([]Result, metrics.BatchMetrics) {
+	start := time.Now()
+	results := r.Run(ctx, scenarios)
+	workers := r.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	return results, AggregateMetrics(results, workers, time.Since(start))
+}
+
+// AggregateMetrics folds the per-scenario metrics of a finished batch
+// into batch metrics. workers is the effective pool size and wall the
+// batch's end-to-end duration.
+func AggregateMetrics(results []Result, workers int, wall time.Duration) metrics.BatchMetrics {
+	runs := make([]metrics.RunMetrics, 0, len(results))
+	failed := 0
+	for i := range results {
+		if results[i].Err != nil {
+			failed++
+			continue
+		}
+		runs = append(runs, results[i].Metrics)
+	}
+	return metrics.Aggregate(runs, failed, workers, wall)
+}
+
 // Run executes a batch with a machine-sized worker pool.
 func Run(ctx context.Context, scenarios []Scenario) []Result {
 	return DefaultRunner().Run(ctx, scenarios)
@@ -202,6 +240,7 @@ func Execute(ctx context.Context, index int, sc Scenario) (res Result) {
 		res.Err = fmt.Errorf("engine: scenario %q: Cycles must be positive", sc.Name)
 		return res
 	}
+	buildStart := time.Now()
 	sys, err := core.NewSystem(sc.System)
 	if err != nil {
 		res.Err = fmt.Errorf("engine: scenario %q: %w", sc.Name, err)
@@ -230,12 +269,14 @@ func Execute(ctx context.Context, index int, sc Scenario) (res Result) {
 			return res
 		}
 	}
+	build := time.Since(buildStart)
 	start := time.Now()
-	if err := sys.Run(sc.Cycles); err != nil {
+	if err := sys.RunContext(ctx, sc.Cycles); err != nil {
 		res.Err = fmt.Errorf("engine: scenario %q: %w", sc.Name, err)
 		return res
 	}
 	res.RunDuration = time.Since(start)
+	res.Metrics = metrics.NewRunMetrics(sys.Bus.Cycles(), sys.K.DeltaCycles(), build, res.RunDuration)
 	if an != nil {
 		res.Report = an.Report()
 		res.Stats = an.FSM().Stats()

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -99,7 +100,8 @@ func TestPanicCapturedAsError(t *testing.T) {
 }
 
 func TestCancellationAbandonsQueuedScenarios(t *testing.T) {
-	// One worker, several scenarios, cancel after the first completes: the
+	// One worker, several scenarios, cancel while the first is being set
+	// up: the in-flight scenario must stop mid-run (RunContext) and the
 	// queued remainder must come back promptly with the context error.
 	ctx, cancel := context.WithCancel(context.Background())
 	scs := make([]Scenario, 6)
@@ -113,8 +115,8 @@ func TestCancellationAbandonsQueuedScenarios(t *testing.T) {
 	start := time.Now()
 	results := NewRunner(1).Run(ctx, scs)
 	elapsed := time.Since(start)
-	if results[0].Err != nil {
-		t.Errorf("in-flight scenario must complete: %v", results[0].Err)
+	if !errors.Is(results[0].Err, context.Canceled) {
+		t.Errorf("in-flight scenario must be cancelled mid-run, got %v", results[0].Err)
 	}
 	abandoned := 0
 	for _, r := range results[1:] {
@@ -131,6 +133,32 @@ func TestCancellationAbandonsQueuedScenarios(t *testing.T) {
 	}
 }
 
+func TestCancellationStopsSingleScenarioMidRun(t *testing.T) {
+	// A single long scenario cancelled from inside the simulation (a
+	// kernel event stands in for Ctrl-C) must stop near the cancellation
+	// point instead of running its full cycle count.
+	ctx, cancel := context.WithCancel(context.Background())
+	const cycles = 500000
+	var reached uint64
+	sc := Scenario{
+		Name:   "long",
+		System: core.PaperSystem(),
+		Cycles: cycles,
+		Setup: func(sys *core.System) error {
+			sys.K.Schedule(100*sys.Cfg.ClockPeriod, func() { cancel() })
+			sys.Bus.OnCycle(func(ahb.CycleInfo) { reached++ })
+			return nil
+		},
+	}
+	res := RunOne(ctx, sc)
+	if !errors.Is(res.Err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", res.Err)
+	}
+	if reached == 0 || reached >= cycles/2 {
+		t.Errorf("simulated %d cycles of %d; cancellation did not stop the run mid-flight", reached, cycles)
+	}
+}
+
 func TestCancelledBeforeStart(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
@@ -138,6 +166,48 @@ func TestCancelledBeforeStart(t *testing.T) {
 	for _, r := range results {
 		if r.Err != context.Canceled {
 			t.Fatalf("scenario %q: err=%v, want context.Canceled", r.Scenario.Name, r.Err)
+		}
+	}
+}
+
+func TestRunMeteredAggregatesBatchMetrics(t *testing.T) {
+	good := core.PaperSystem()
+	bad := core.PaperSystem()
+	bad.NumActiveMasters = 0
+	scs := []Scenario{
+		{Name: "a", System: good, Cycles: 800},
+		{Name: "broken", System: bad, Cycles: 800},
+		{Name: "b", System: good, Cycles: 1200},
+	}
+	results, batch := NewRunner(2).RunMetered(context.Background(), scs)
+	if batch.Scenarios != 3 || batch.Failed != 1 {
+		t.Errorf("scenarios=%d failed=%d, want 3/1", batch.Scenarios, batch.Failed)
+	}
+	if batch.Workers != 2 {
+		t.Errorf("workers=%d, want 2", batch.Workers)
+	}
+	if batch.TotalCycles != 2000 {
+		t.Errorf("cycles=%d, want 2000 (failed scenario excluded)", batch.TotalCycles)
+	}
+	if batch.Wall <= 0 || batch.CyclesPerSec <= 0 {
+		t.Errorf("wall=%v throughput=%v, want positive", batch.Wall, batch.CyclesPerSec)
+	}
+	if batch.Utilization < 0 || batch.Utilization > 1 {
+		t.Errorf("utilization=%v outside [0,1]", batch.Utilization)
+	}
+	if batch.Latency.N != 2 {
+		t.Errorf("latency over %d scenarios, want 2", batch.Latency.N)
+	}
+	// Per-result metrics must be filled for successful scenarios.
+	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		if r.Metrics.Cycles != r.Scenario.Cycles {
+			t.Errorf("%s: metrics cycles=%d, want %d", r.Scenario.Name, r.Metrics.Cycles, r.Scenario.Cycles)
+		}
+		if r.Metrics.DeltaCycles == 0 || r.Metrics.Run <= 0 || r.Metrics.CyclesPerSec <= 0 {
+			t.Errorf("%s: incomplete run metrics %+v", r.Scenario.Name, r.Metrics)
 		}
 	}
 }

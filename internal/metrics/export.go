@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"ahbpower/internal/power"
+	"ahbpower/internal/sim"
+	"ahbpower/internal/vcd"
+)
+
+// WriteCSV emits the trace as CSV, one row per window: time (window
+// midpoint), power, window energy, cumulative energy and cycle count,
+// plus one power column per sub-block when PerBlock was enabled.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	windows := t.Windows()
+	header := "t_s,power_W,energy_J,cum_energy_J,cycles"
+	if t.cfg.PerBlock {
+		for _, b := range power.Blocks() {
+			header += fmt.Sprintf(",%s_W", b)
+		}
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	for _, win := range windows {
+		row := fmt.Sprintf("%g,%g,%g,%g,%d",
+			win.Start+t.cfg.Window/2, win.Power, win.Energy, win.CumEnergy, win.Cycles)
+		if t.cfg.PerBlock {
+			for _, b := range power.Blocks() {
+				row += fmt.Sprintf(",%g", win.Block[b]/t.cfg.Window)
+			}
+		}
+		if _, err := fmt.Fprintln(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// windowJSON is the JSON-lines shape of one window.
+type windowJSON struct {
+	T      float64            `json:"t_s"`
+	Power  float64            `json:"power_W"`
+	Energy float64            `json:"energy_J"`
+	Cum    float64            `json:"cum_energy_J"`
+	Cycles uint64             `json:"cycles"`
+	Blocks map[string]float64 `json:"block_energy_J,omitempty"`
+	Instr  map[string]float64 `json:"instr_energy_J,omitempty"`
+}
+
+// WriteJSONL emits the trace as JSON lines: one object per window, with
+// per-block and per-instruction window energies when recorded, followed
+// by a final summary object {"summary": ...}.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, win := range t.Windows() {
+		obj := windowJSON{
+			T:      win.Start + t.cfg.Window/2,
+			Power:  win.Power,
+			Energy: win.Energy,
+			Cum:    win.CumEnergy,
+			Cycles: win.Cycles,
+			Instr:  win.Instr,
+		}
+		if t.cfg.PerBlock {
+			obj.Blocks = make(map[string]float64, int(power.NumBlocks))
+			for _, b := range power.Blocks() {
+				obj.Blocks[b.String()] = win.Block[b]
+			}
+		}
+		if err := enc.Encode(obj); err != nil {
+			return err
+		}
+	}
+	s := t.Stats()
+	return enc.Encode(map[string]any{"summary": map[string]any{
+		"cycles":       s.Cycles,
+		"windows":      s.Windows,
+		"energy_J":     s.Energy,
+		"mean_power_W": s.MeanPower,
+		"peak_power_W": s.PeakPower,
+		"rms_power_W":  s.RMSPower,
+	}})
+}
+
+// WriteVCD emits the trace as an analog (real-valued) VCD: the total
+// power waveform plus one trace per sub-block when PerBlock was enabled,
+// stepping once per window. Any waveform viewer renders these as analog
+// power plots.
+func (t *Trace) WriteVCD(w io.Writer) error {
+	windows := t.Windows()
+	aw := vcd.NewAnalogWriter(w)
+	total := aw.AddReal("power.total")
+	var blocks [power.NumBlocks]*vcd.RealVar
+	if t.cfg.PerBlock {
+		for _, b := range power.Blocks() {
+			blocks[b] = aw.AddReal("power." + b.String())
+		}
+	}
+	if err := aw.Start(); err != nil {
+		return err
+	}
+	toTime := func(sec float64) sim.Time { return sim.Time(math.Round(sec * 1e12)) }
+	for _, win := range windows {
+		at := toTime(win.Start)
+		aw.Emit(at, total, win.Power)
+		if t.cfg.PerBlock {
+			for _, b := range power.Blocks() {
+				aw.Emit(at, blocks[b], win.Block[b]/t.cfg.Window)
+			}
+		}
+	}
+	if n := len(windows); n > 0 {
+		// Close the last step so viewers draw its full width.
+		at := toTime(windows[n-1].End)
+		aw.Emit(at, total, windows[n-1].Power)
+	}
+	return aw.Err()
+}
+
+// FormatInstructionTotals renders the per-instruction energy totals of
+// the trace's windows, sorted by descending energy — a time-series-side
+// cross-check of the analyzer's Table 1.
+func (t *Trace) FormatInstructionTotals() string {
+	totals := map[string]float64{}
+	for _, win := range t.Windows() {
+		for name, e := range win.Instr {
+			totals[name] += e
+		}
+	}
+	names := make([]string, 0, len(totals))
+	for name := range totals {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if totals[names[i]] != totals[names[j]] {
+			return totals[names[i]] > totals[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	out := ""
+	for _, name := range names {
+		out += fmt.Sprintf("%-18s %12.4g J\n", name, totals[name])
+	}
+	return out
+}

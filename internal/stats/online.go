@@ -1,0 +1,64 @@
+package stats
+
+import "math"
+
+// Online accumulates streaming summary statistics — count, mean, variance
+// (Welford), peak and RMS — in O(1) memory, so long-running recorders can
+// expose live figures without retaining samples. The zero value is ready
+// to use.
+type Online struct {
+	n     uint64
+	mean  float64
+	m2    float64 // sum of squared deviations from the running mean
+	sumSq float64 // sum of squares, for RMS
+	max   float64
+	min   float64
+}
+
+// Add feeds one sample.
+func (o *Online) Add(v float64) {
+	o.n++
+	if o.n == 1 {
+		o.max, o.min = v, v
+	} else {
+		if v > o.max {
+			o.max = v
+		}
+		if v < o.min {
+			o.min = v
+		}
+	}
+	d := v - o.mean
+	o.mean += d / float64(o.n)
+	o.m2 += d * (v - o.mean)
+	o.sumSq += v * v
+}
+
+// N returns the number of samples seen.
+func (o *Online) N() uint64 { return o.n }
+
+// Mean returns the running arithmetic mean, or 0 before any sample.
+func (o *Online) Mean() float64 { return o.mean }
+
+// Max returns the largest sample, or 0 before any sample.
+func (o *Online) Max() float64 { return o.max }
+
+// Min returns the smallest sample, or 0 before any sample.
+func (o *Online) Min() float64 { return o.min }
+
+// RMS returns the root-mean-square of the samples, or 0 before any sample.
+func (o *Online) RMS() float64 {
+	if o.n == 0 {
+		return 0
+	}
+	return math.Sqrt(o.sumSq / float64(o.n))
+}
+
+// Stddev returns the sample standard deviation (n-1 denominator), or 0
+// with fewer than two samples.
+func (o *Online) Stddev() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return math.Sqrt(o.m2 / float64(o.n-1))
+}

@@ -1,0 +1,57 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOnlineAgainstClosedForm(t *testing.T) {
+	vs := []float64{2, -1, 7, 4, 4, 0.5}
+	var o Online
+	for _, v := range vs {
+		o.Add(v)
+	}
+	if o.N() != uint64(len(vs)) {
+		t.Errorf("N=%d, want %d", o.N(), len(vs))
+	}
+	var sum, sumSq float64
+	for _, v := range vs {
+		sum += v
+		sumSq += v * v
+	}
+	n := float64(len(vs))
+	mean := sum / n
+	if math.Abs(o.Mean()-mean) > 1e-12 {
+		t.Errorf("Mean=%v, want %v", o.Mean(), mean)
+	}
+	if math.Abs(o.RMS()-math.Sqrt(sumSq/n)) > 1e-12 {
+		t.Errorf("RMS=%v, want %v", o.RMS(), math.Sqrt(sumSq/n))
+	}
+	var m2 float64
+	for _, v := range vs {
+		m2 += (v - mean) * (v - mean)
+	}
+	if want := math.Sqrt(m2 / (n - 1)); math.Abs(o.Stddev()-want) > 1e-12 {
+		t.Errorf("Stddev=%v, want %v", o.Stddev(), want)
+	}
+	if o.Max() != 7 || o.Min() != -1 {
+		t.Errorf("Max=%v Min=%v, want 7/-1", o.Max(), o.Min())
+	}
+}
+
+func TestOnlineEdgeCases(t *testing.T) {
+	var o Online
+	if o.Mean() != 0 || o.RMS() != 0 || o.Stddev() != 0 || o.Max() != 0 || o.Min() != 0 {
+		t.Error("zero-value Online must report zeros")
+	}
+	o.Add(-3)
+	if o.Mean() != -3 || o.Max() != -3 || o.Min() != -3 {
+		t.Errorf("single negative sample: mean=%v max=%v min=%v", o.Mean(), o.Max(), o.Min())
+	}
+	if o.Stddev() != 0 {
+		t.Errorf("Stddev of one sample=%v, want 0", o.Stddev())
+	}
+	if o.RMS() != 3 {
+		t.Errorf("RMS=%v, want 3", o.RMS())
+	}
+}

@@ -1,0 +1,66 @@
+package vcd
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ahbpower/internal/sim"
+)
+
+func TestAnalogWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewAnalogWriter(&buf)
+	total := w.AddReal("power.total")
+	m2s := w.AddReal("power.M2S")
+	other := w.AddReal("loose")
+	if err := w.Start(); err != nil {
+		t.Fatal(err)
+	}
+	w.Emit(0, total, 1.5)
+	w.Emit(0, m2s, 0.25)
+	w.Emit(100*sim.Nanosecond, total, 2.5)
+	w.Emit(100*sim.Nanosecond, other, -1)
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	out := buf.String()
+	// Dotted names become scoped variables; bare names land in "top".
+	for _, want := range []string{
+		"$timescale 1ps $end",
+		"$scope module power $end",
+		"$var real 64 ! total $end",
+		"$scope module top $end",
+		"$enddefinitions $end",
+		"$dumpvars",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("header lacks %q:\n%s", want, out)
+		}
+	}
+	// Timestamps are emitted once per distinct time, values as r<val> <id>.
+	if strings.Count(out, "#0\n") != 1 || strings.Count(out, "#100000\n") != 1 {
+		t.Errorf("timestamp emission wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "r1.5 !") || !strings.Contains(out, "r2.5 !") {
+		t.Errorf("real emissions missing:\n%s", out)
+	}
+	if !strings.Contains(out, "r-1 ") {
+		t.Errorf("negative real emission missing:\n%s", out)
+	}
+
+	if err := w.Start(); err == nil {
+		t.Error("second Start must fail")
+	}
+}
+
+func TestAnalogWriterEmitBeforeStart(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewAnalogWriter(&buf)
+	v := w.AddReal("x")
+	w.Emit(0, v, 1) // ignored: not started
+	if buf.Len() != 0 {
+		t.Errorf("Emit before Start must write nothing, got %q", buf.String())
+	}
+}

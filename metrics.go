@@ -1,0 +1,61 @@
+package ahbpower
+
+import (
+	"context"
+
+	"ahbpower/internal/core"
+	"ahbpower/internal/engine"
+	"ahbpower/internal/metrics"
+	"ahbpower/internal/power"
+)
+
+// Streaming observability layer. A Trace subscribes to the analyzer's
+// per-cycle sample stream (attach it with WithTrace or
+// AnalyzerConfig.Trace) and produces windowed power waveforms with
+// online mean/peak/RMS, per-sub-block and per-instruction energy time
+// series, and CSV / JSON-lines / analog-VCD exports. RunMetrics and
+// BatchMetrics are the engine-level performance figures: per-scenario
+// latency and throughput, and batch-level worker utilization.
+type (
+	// Trace is a streaming per-cycle power/energy recorder.
+	Trace = metrics.Trace
+	// TraceConfig parameterizes a Trace (window duration, per-block and
+	// per-instruction series).
+	TraceConfig = metrics.TraceConfig
+	// TraceStats summarizes a trace: cycles, windows, total energy and
+	// the online mean/peak/RMS power.
+	TraceStats = metrics.TraceStats
+	// PowerWindow is one finished waveform window of a Trace.
+	PowerWindow = metrics.Window
+	// Sample is one settled bus cycle's energy decomposition as
+	// published on the analyzer's sample stream.
+	Sample = metrics.Sample
+	// RunMetrics are one scenario's engine-level performance figures.
+	RunMetrics = metrics.RunMetrics
+	// BatchMetrics aggregate run metrics across a scenario batch.
+	BatchMetrics = metrics.BatchMetrics
+	// Block identifies an AHB sub-block in per-block trace accessors.
+	Block = power.Block
+	// DPMConfig enables the dynamic-power-management estimator.
+	DPMConfig = core.DPMConfig
+	// DPMEstimate is the dynamic-power-management savings estimate.
+	DPMEstimate = core.DPMEstimate
+)
+
+// The AHB sub-blocks, usable with Trace.BlockPowerSeries.
+const (
+	BlockM2S = power.BlockM2S
+	BlockDEC = power.BlockDEC
+	BlockARB = power.BlockARB
+	BlockS2M = power.BlockS2M
+)
+
+// NewTrace builds a streaming power-trace recorder; attach it with
+// WithTrace (or AnalyzerConfig.Trace) before the run starts.
+func NewTrace(cfg TraceConfig) (*Trace, error) { return metrics.NewTrace(cfg) }
+
+// RunScenariosMetered executes a batch with a machine-sized worker pool
+// and returns the results together with aggregated batch metrics.
+func RunScenariosMetered(ctx context.Context, scenarios []Scenario) ([]Result, BatchMetrics) {
+	return engine.DefaultRunner().RunMetered(ctx, scenarios)
+}
