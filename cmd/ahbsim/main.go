@@ -138,7 +138,6 @@ func writeTrace(trace *metrics.Trace, path string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	switch filepath.Ext(path) {
 	case ".vcd":
 		err = trace.WriteVCD(f)
@@ -147,10 +146,12 @@ func writeTrace(trace *metrics.Trace, path string) error {
 	default:
 		err = trace.WriteCSV(f)
 	}
-	if err != nil {
-		return err
+	// Close exactly once, keeping the first error: a close failure after a
+	// clean write still means the trace on disk may be incomplete.
+	if cerr := f.Close(); err == nil {
+		err = cerr
 	}
-	return f.Close()
+	return err
 }
 
 func fatal(err error) {

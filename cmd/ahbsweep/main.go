@@ -34,12 +34,13 @@ func main() {
 	flag.Parse()
 
 	w := os.Stdout
+	var closeOut func() error
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
+		closeOut = f.Close
 		w = f
 	}
 
@@ -71,7 +72,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, batch.Format())
 	}
 
-	fmt.Fprintln(w, "slaves,width,waits,policy,cycles,beats,energy_J,avg_power_W,pJ_per_beat,data_transfer_pct,arbitration_pct")
+	if _, err := fmt.Fprintln(w, "slaves,width,waits,policy,cycles,beats,energy_J,avg_power_W,pJ_per_beat,data_transfer_pct,arbitration_pct"); err != nil {
+		fatal(err)
+	}
 	for n, res := range results {
 		if errors.Is(res.Err, context.Canceled) {
 			fmt.Fprintf(os.Stderr, "ahbsweep: interrupted after %d of %d configurations\n", n, len(results))
@@ -88,6 +91,13 @@ func main() {
 			cfg.NumSlaves, cfg.DataWidth, cfg.SlaveWaits, cfg.Policy, r.Cycles, res.Beats,
 			r.TotalEnergy, r.AvgPower, res.PJPerBeat(),
 			100*r.DataTransferShare, 100*r.ArbitrationShare); err != nil {
+			fatal(err)
+		}
+	}
+	// Close the output file explicitly: a deferred Close would drop the
+	// error, and the kernel may only report a write failure at close time.
+	if closeOut != nil {
+		if err := closeOut(); err != nil {
 			fatal(err)
 		}
 	}

@@ -25,13 +25,23 @@ func main() {
 	}
 
 	w := os.Stdout
+	var closeOut func() error
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
+		closeOut = f.Close
 		w = f
+	}
+	// Close the output file explicitly: a deferred Close would drop the
+	// error, and the kernel may only report a write failure at close time.
+	closeAndExit := func() {
+		if closeOut != nil {
+			if err := closeOut(); err != nil {
+				fatal(err)
+			}
+		}
 	}
 
 	var series *stats.Series
@@ -43,10 +53,15 @@ func main() {
 	case 5:
 		series = res.M2S
 	case 6:
-		fmt.Fprintln(w, "block,energy_J,share")
-		for _, blk := range []string{"M2S", "DEC", "ARB", "S2M"} {
-			fmt.Fprintf(w, "%s,%g,%g\n", blk, res.Report.BlockEnergy[blk], res.Report.BlockShare[blk])
+		if _, err := fmt.Fprintln(w, "block,energy_J,share"); err != nil {
+			fatal(err)
 		}
+		for _, blk := range []string{"M2S", "DEC", "ARB", "S2M"} {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", blk, res.Report.BlockEnergy[blk], res.Report.BlockShare[blk]); err != nil {
+				fatal(err)
+			}
+		}
+		closeAndExit()
 		return
 	default:
 		fatal(fmt.Errorf("unknown figure %d", *fig))
@@ -54,6 +69,7 @@ func main() {
 	if err := series.WriteCSV(w); err != nil {
 		fatal(err)
 	}
+	closeAndExit()
 }
 
 func fatal(err error) {

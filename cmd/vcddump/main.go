@@ -33,9 +33,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
 	bw := bufio.NewWriter(f)
-	defer bw.Flush()
 
 	var w *vcd.Writer
 	if *settled {
@@ -66,7 +64,12 @@ func main() {
 	if err := sys.Run(*cycles); err != nil {
 		fatal(err)
 	}
-	if err := w.Err(); err != nil {
+	// Flush the VCD writer (which drains the bufio layer) and close the
+	// file, surfacing errors from either — a full disk must not exit 0.
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s (%d cycles)\n", *out, *cycles)

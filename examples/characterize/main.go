@@ -43,7 +43,9 @@ func main() {
 	if err := ahbpower.SaveModels(f, models); err != nil {
 		log.Fatal(err)
 	}
-	f.Close()
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("saved %s\n", path)
 
 	// 3. Reload (as an integrator would) and analyze with both model sets.

@@ -89,8 +89,12 @@ type Analyzer struct {
 
 	// samples fans the per-cycle energy decomposition out to streaming
 	// consumers (trace recorders, exporters). Publishing is skipped
-	// entirely while no observer is attached.
-	samples probe.Hub[metrics.Sample]
+	// entirely while no observer is attached. Samples are constructed
+	// into sampleBuf and delivered in batches of sampleBatch records —
+	// one dynamic dispatch per batch instead of per cycle — with a flush
+	// at the end of every System run and before Report.
+	samples   probe.Hub[metrics.Sample]
+	sampleBuf []metrics.Sample
 
 	tTotal, tM2S, tDEC, tARB, tS2M *stats.Windower
 
@@ -139,6 +143,11 @@ func Attach(sys *System, cfg AnalyzerConfig) (*Analyzer, error) {
 		}
 	} else if err := models.Validate(); err != nil {
 		return nil, err
+	} else {
+		// The macromodels memoize energies in place; clone user-supplied
+		// models so concurrent runs sharing one characterized Models value
+		// never share mutable memo state.
+		models = models.Clone()
 	}
 	a := &Analyzer{
 		cfg: cfg,
@@ -173,7 +182,25 @@ func Attach(sys *System, cfg AnalyzerConfig) (*Analyzer, error) {
 		a.samples.Attach(cfg.Trace)
 	}
 	bus.Observe(a)
+	sys.onRunEnd(a.FlushSamples)
 	return a, nil
+}
+
+// sampleBatch is the sample-stream batch size: large enough to amortize
+// the per-batch dispatch, small enough that a flushed batch still fits in
+// cache while the trace recorder folds it into windows.
+const sampleBatch = 256
+
+// FlushSamples delivers any buffered per-cycle samples to the attached
+// sample observers. It runs automatically at the end of every System run
+// (and before Report), so it only needs to be called explicitly when
+// reading a streaming consumer mid-run.
+func (a *Analyzer) FlushSamples() {
+	if len(a.sampleBuf) == 0 {
+		return
+	}
+	a.samples.PublishBatch(a.sampleBuf)
+	a.sampleBuf = a.sampleBuf[:0]
 }
 
 // ObserveSamples attaches an observer to the analyzer's per-cycle sample
@@ -349,7 +376,7 @@ func (a *Analyzer) ObserveCycle(ci ahb.CycleInfo) {
 	}
 
 	if a.samples.Len() > 0 {
-		a.samples.Publish(metrics.Sample{
+		a.sampleBuf = append(a.sampleBuf, metrics.Sample{
 			Cycle:  ci.Cycle,
 			Time:   ci.Time,
 			State:  state,
@@ -359,6 +386,9 @@ func (a *Analyzer) ObserveCycle(ci ahb.CycleInfo) {
 			ES2M:   eS2M,
 			ETotal: total,
 		})
+		if len(a.sampleBuf) >= sampleBatch {
+			a.FlushSamples()
+		}
 	}
 }
 

@@ -1,0 +1,63 @@
+package core_test
+
+import (
+	"testing"
+
+	"ahbpower/internal/core"
+	"ahbpower/internal/metrics"
+)
+
+// benchAnalyzer runs the paper system for b.N bus cycles with the given
+// analyzer integration style; the reported ns/op is the cost of one
+// simulated bus cycle including the per-cycle power analysis.
+func benchAnalyzer(b *testing.B, style core.Style, trace bool) {
+	b.Helper()
+	sys, err := core.NewSystem(core.PaperSystem())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cycles := uint64(b.N)
+	if err := sys.LoadPaperWorkload(cycles + 1000); err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.AnalyzerConfig{Style: style}
+	var tr *metrics.Trace
+	if trace {
+		tr, err = metrics.NewTrace(metrics.TraceConfig{Window: 100e-9, PerBlock: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.Trace = tr
+	}
+	an, err := core.Attach(sys, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := sys.Run(cycles); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	rep := an.Report()
+	if trace && tr.Energy() != rep.TotalEnergy {
+		b.Fatalf("trace energy %g != report energy %g", tr.Energy(), rep.TotalEnergy)
+	}
+}
+
+// BenchmarkAnalyzerGlobal measures the global-style per-cycle analysis
+// cost (the default integration of the paper's Fig. 1).
+func BenchmarkAnalyzerGlobal(b *testing.B) { benchAnalyzer(b, core.StyleGlobal, false) }
+
+// BenchmarkAnalyzerLocal measures the local-style (per-port monitoring)
+// per-cycle cost.
+func BenchmarkAnalyzerLocal(b *testing.B) { benchAnalyzer(b, core.StyleLocal, false) }
+
+// BenchmarkAnalyzerPrivate measures the private-style (signal watchers)
+// per-cycle cost.
+func BenchmarkAnalyzerPrivate(b *testing.B) { benchAnalyzer(b, core.StylePrivate, false) }
+
+// BenchmarkAnalyzerTraced measures the global style with a streaming
+// trace recorder attached to the sample stream — the batched publish
+// path.
+func BenchmarkAnalyzerTraced(b *testing.B) { benchAnalyzer(b, core.StyleGlobal, true) }

@@ -47,6 +47,7 @@ type Report struct {
 
 // Report finalizes and returns the analysis results.
 func (a *Analyzer) Report() *Report {
+	a.FlushSamples()
 	r := &Report{
 		Style:       a.cfg.Style,
 		Cycles:      a.fsm.Cycles(),

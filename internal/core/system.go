@@ -54,6 +54,16 @@ type System struct {
 	Default *ahb.Master   // the default master, if configured
 	Slaves  []*ahb.MemorySlave
 	Monitor *ahb.Monitor
+
+	// runEndHooks run after every Run/RunContext returns, even on error,
+	// so batching consumers (the analyzer's sample stream) are flushed
+	// before anyone reads their downstream state.
+	runEndHooks []func()
+}
+
+// onRunEnd registers a hook invoked after every Run/RunContext returns.
+func (s *System) onRunEnd(fn func()) {
+	s.runEndHooks = append(s.runEndHooks, fn)
 }
 
 // NewSystem builds a system from the configuration. Each slave owns a
@@ -174,6 +184,11 @@ func (s *System) Run(n uint64) error {
 // simulated time. On cancellation the context's error is returned and
 // the system stays resumable from the cycle it reached.
 func (s *System) RunContext(ctx context.Context, n uint64) error {
+	defer func() {
+		for _, fn := range s.runEndHooks {
+			fn()
+		}
+	}()
 	if ctx == nil || ctx.Done() == nil {
 		return s.K.RunCycles(s.Bus.Clk, n)
 	}

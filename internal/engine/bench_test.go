@@ -1,0 +1,44 @@
+package engine_test
+
+import (
+	"context"
+	"testing"
+
+	"ahbpower/internal/core"
+	"ahbpower/internal/engine"
+)
+
+// benchGrid is the sweep both engine benchmarks execute: a 8-point
+// design-space grid at 1000 cycles per point.
+func benchGrid() []engine.Scenario {
+	g := engine.Grid{
+		Base:     core.PaperSystem(),
+		Analyzer: core.AnalyzerConfig{Style: core.StyleGlobal},
+		Cycles:   1000,
+		Slaves:   []int{2, 8},
+		Widths:   []int{16, 32},
+		Waits:    []int{0, 1},
+	}
+	return g.Scenarios()
+}
+
+func benchSweep(b *testing.B, workers int) {
+	b.Helper()
+	scs := benchGrid()
+	r := engine.NewRunner(workers)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := r.Run(context.Background(), scs)
+		if err := engine.FirstError(results); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineSweepSerial runs the reference grid one scenario at a
+// time; it tracks end-to-end simulation throughput at sweep scale.
+func BenchmarkEngineSweepSerial(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkEngineSweepParallel runs the same grid on four workers.
+func BenchmarkEngineSweepParallel(b *testing.B) { benchSweep(b, 4) }

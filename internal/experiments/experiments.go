@@ -95,6 +95,11 @@ type FiguresResult struct {
 // the paper) and the sub-block contribution of Fig. 6. window is the
 // power-averaging window in seconds.
 func Figures(cycles uint64, window float64) (*FiguresResult, error) {
+	if window <= 0 {
+		// The analyzer silently drops trace collection for non-positive
+		// windows, which would leave every series nil here.
+		return nil, fmt.Errorf("experiments: figure window=%g s, want > 0", window)
+	}
 	res, err := runPaper(cycles, core.AnalyzerConfig{Style: core.StyleGlobal, TraceWindow: window})
 	if err != nil {
 		return nil, err

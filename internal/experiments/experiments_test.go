@@ -78,6 +78,16 @@ func TestFiguresShape(t *testing.T) {
 	}
 }
 
+func TestFiguresRejectsNonPositiveWindow(t *testing.T) {
+	// A non-positive window disables trace collection in the analyzer;
+	// Figures must reject it up front instead of returning nil series.
+	for _, w := range []float64{0, -1e-9} {
+		if _, err := Figures(400, w); err == nil {
+			t.Errorf("Figures(400, %g) = nil error, want window rejection", w)
+		}
+	}
+}
+
 func TestOverheadMeasurable(t *testing.T) {
 	res, err := Overhead(4000)
 	if err != nil {

@@ -119,7 +119,7 @@ func (t *Trace) WriteVCD(w io.Writer) error {
 		at := toTime(windows[n-1].End)
 		aw.Emit(at, total, windows[n-1].Power)
 	}
-	return aw.Err()
+	return aw.Flush()
 }
 
 // FormatInstructionTotals renders the per-instruction energy totals of

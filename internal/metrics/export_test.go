@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"errors"
+	"testing"
+
+	"ahbpower/internal/sim"
+)
+
+// failAfter accepts n bytes then fails every write, modelling a full disk.
+type failAfter struct {
+	n int
+}
+
+var errBoom = errors.New("boom: device full")
+
+func (w *failAfter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errBoom
+	}
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, errBoom
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+// exportTrace builds a trace with a few windows of synthetic samples.
+func exportTrace(t *testing.T) *Trace {
+	t.Helper()
+	tr, err := NewTrace(TraceConfig{Window: 100e-9, PerBlock: true, PerInstruction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := uint64(1); c <= 100; c++ {
+		tr.ObserveCycle(Sample{
+			Cycle:  c,
+			Time:   sim.Time(c) * 10 * sim.Nanosecond,
+			EM2S:   1e-12,
+			EDEC:   2e-12,
+			EARB:   3e-12,
+			ES2M:   4e-12,
+			ETotal: 10e-12,
+		})
+	}
+	return tr
+}
+
+// TestExportersPropagateWriteErrors drives every exporter against writers
+// failing at the first byte and mid-stream: a write failure must always
+// surface as a returned error, never as a silently truncated file.
+func TestExportersPropagateWriteErrors(t *testing.T) {
+	exporters := map[string]func(*Trace) func(w *failAfter) error{
+		"csv":   func(tr *Trace) func(w *failAfter) error { return func(w *failAfter) error { return tr.WriteCSV(w) } },
+		"jsonl": func(tr *Trace) func(w *failAfter) error { return func(w *failAfter) error { return tr.WriteJSONL(w) } },
+		"vcd":   func(tr *Trace) func(w *failAfter) error { return func(w *failAfter) error { return tr.WriteVCD(w) } },
+	}
+	for name, mk := range exporters {
+		for _, budget := range []int{0, 64, 300} {
+			tr := exportTrace(t)
+			if err := mk(tr)(&failAfter{n: budget}); !errors.Is(err, errBoom) {
+				t.Errorf("%s: budget=%d: err = %v, want errBoom", name, budget, err)
+			}
+		}
+	}
+}
+
+// TestExportersSucceedOnHealthyWriter is the control: the same traces
+// export cleanly when the writer does not fail.
+func TestExportersSucceedOnHealthyWriter(t *testing.T) {
+	tr := exportTrace(t)
+	big := &failAfter{n: 1 << 20}
+	if err := tr.WriteCSV(big); err != nil {
+		t.Errorf("WriteCSV: %v", err)
+	}
+	tr2 := exportTrace(t)
+	if err := tr2.WriteJSONL(&failAfter{n: 1 << 20}); err != nil {
+		t.Errorf("WriteJSONL: %v", err)
+	}
+	tr3 := exportTrace(t)
+	if err := tr3.WriteVCD(&failAfter{n: 1 << 20}); err != nil {
+		t.Errorf("WriteVCD: %v", err)
+	}
+}

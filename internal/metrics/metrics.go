@@ -18,6 +18,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"ahbpower/internal/power"
 	"ahbpower/internal/sim"
@@ -93,12 +94,16 @@ type Trace struct {
 	started  bool
 	finished bool
 
-	// Current-window accumulators.
+	// Current-window accumulators. Per-instruction energy is indexed by
+	// From*NumStates+To — a flat array instead of a map, so the per-cycle
+	// accumulation is two array writes; instrSeen tracks which
+	// instructions have executed so far.
 	winStart  float64
 	winEnergy float64
 	winCycles uint64
 	winBlock  [power.NumBlocks]float64
-	winInstr  map[power.Instruction]float64
+	winInstr  [power.NumStates * power.NumStates]float64
+	instrSeen uint32
 
 	// Whole-run accumulators. cum is the running total energy, added in
 	// stream order — the exact float path of the analyzer's power FSM.
@@ -145,11 +150,28 @@ func NewTrace(cfg TraceConfig) (*Trace, error) {
 		}
 	}
 	if cfg.PerInstruction {
-		t.winInstr = map[power.Instruction]float64{}
 		t.instrSeries = map[power.Instruction]*stats.Series{}
 	}
 	return t, nil
 }
+
+// instrAt maps a flat winInstr index back to its instruction.
+func instrAt(idx int) power.Instruction {
+	return power.Instruction{
+		From: power.State(idx / power.NumStates),
+		To:   power.State(idx % power.NumStates),
+	}
+}
+
+// instrNames caches the instruction name of every flat index so window
+// flushes never rebuild the concatenated strings.
+var instrNames = func() [power.NumStates * power.NumStates]string {
+	var names [power.NumStates * power.NumStates]string
+	for i := range names {
+		names[i] = instrAt(i).String()
+	}
+	return names
+}()
 
 // Config returns the trace configuration.
 func (t *Trace) Config() TraceConfig { return t.cfg }
@@ -183,10 +205,21 @@ func (t *Trace) ObserveCycle(s Sample) {
 	}
 	if t.cfg.PerInstruction {
 		if t.haveState {
-			t.winInstr[power.Instruction{From: t.prevState, To: s.State}] += s.ETotal
+			idx := int(t.prevState)*power.NumStates + int(s.State)
+			t.winInstr[idx] += s.ETotal
+			t.instrSeen |= 1 << uint(idx)
 		}
 		t.prevState = s.State
 		t.haveState = true
+	}
+}
+
+// ObserveBatch implements probe.BatchObserver: it consumes a slice of
+// in-order samples in one call, the delivery path used by the analyzer's
+// batched sample stream.
+func (t *Trace) ObserveBatch(recs []Sample) {
+	for i := range recs {
+		t.ObserveCycle(recs[i])
 	}
 }
 
@@ -211,17 +244,22 @@ func (t *Trace) flush() {
 			t.winBlock[b] = 0
 		}
 	}
-	if t.cfg.PerInstruction && len(t.winInstr) > 0 {
-		w.Instr = make(map[string]float64, len(t.winInstr))
-		for in, e := range t.winInstr {
-			w.Instr[in.String()] = e
+	if t.cfg.PerInstruction && t.instrSeen != 0 {
+		w.Instr = make(map[string]float64, bits.OnesCount32(t.instrSeen))
+		for idx := range t.winInstr {
+			if t.instrSeen&(1<<uint(idx)) == 0 {
+				continue
+			}
+			in := instrAt(idx)
+			e := t.winInstr[idx]
+			w.Instr[instrNames[idx]] = e
 			se := t.instrSeries[in]
 			if se == nil {
-				se = &stats.Series{Name: in.String(), XUnit: "time_s", YUnit: "energy_J"}
+				se = &stats.Series{Name: instrNames[idx], XUnit: "time_s", YUnit: "energy_J"}
 				t.instrSeries[in] = se
 			}
 			se.Add(mid, e)
-			t.winInstr[in] = 0
+			t.winInstr[idx] = 0
 		}
 	}
 	t.windows = append(t.windows, w)

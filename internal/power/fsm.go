@@ -18,6 +18,10 @@ const (
 	Write
 )
 
+// NumStates is the number of activity modes; instruction indices fit in
+// [0, NumStates*NumStates).
+const NumStates = 4
+
 var stateNames = [...]string{"IDLE", "IDLE_HO", "READ", "WRITE"}
 
 // String returns the paper's name for the state.

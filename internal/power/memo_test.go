@@ -1,0 +1,134 @@
+package power
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestDecoderMemoMatchesColdPath drives the decoder model with randomized
+// Hamming distances, interleaving coefficient refits (the in-place writes
+// internal/charact performs), and requires every memoized result to be
+// bit-identical to the unmemoized formula.
+func TestDecoderMemoMatchesColdPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m, err := NewDecoderModel(5, DefaultTech())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		switch rng.Intn(100) {
+		case 0: // refit to characterized coefficients mid-run
+			m.CHD = rng.Float64() * 1e-12
+			m.CEvent = rng.Float64() * 1e-13
+		case 1: // back to the structural closed form
+			m.CHD, m.CEvent = 0, 0
+		case 2: // technology change
+			m.Tech.VDD = 1 + rng.Float64()
+		}
+		hd := rng.Intn(260) - 5 // covers negatives and beyond-LUT values
+		got := m.Energy(hd)
+		want := m.energyCold(hd)
+		if hd <= 0 {
+			want = 0
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("iter %d: DecoderModel.Energy(%d) = %x, cold = %x",
+				i, hd, math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+}
+
+// TestMuxMemoMatchesColdPath does the same for the mux model's
+// direct-mapped (HD_IN, HD_SEL, HD_OUT) cache, including the ClockEnergy
+// memo and arguments outside the cacheable range.
+func TestMuxMemoMatchesColdPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m, err := NewMuxModel(32, 4, DefaultTech())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		switch rng.Intn(100) {
+		case 0:
+			m.CIn = rng.Float64() * 1e-12
+			m.CSel = rng.Float64() * 1e-12
+			m.COut = rng.Float64() * 1e-12
+		case 1:
+			m.CClkCycle = rng.Float64() * 1e-13
+		case 2:
+			m.Tech.VDD = 1 + rng.Float64()
+		}
+		// Mostly in-range triples (bus traffic), occasionally out of range.
+		span := 40
+		if rng.Intn(10) == 0 {
+			span = 400
+		}
+		hdIn, hdSel, hdOut := rng.Intn(span)-5, rng.Intn(span)-5, rng.Intn(span)-5
+		got := m.Energy(hdIn, hdSel, hdOut)
+		want := m.energyCold(hdIn, hdSel, hdOut)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("iter %d: MuxModel.Energy(%d,%d,%d) = %x, cold = %x",
+				i, hdIn, hdSel, hdOut, math.Float64bits(got), math.Float64bits(want))
+		}
+		if ce, cold := m.ClockEnergy(), m.Tech.EnergyPerCap(m.CClkCycle); math.Float64bits(ce) != math.Float64bits(cold) {
+			t.Fatalf("iter %d: ClockEnergy = %x, cold = %x",
+				i, math.Float64bits(ce), math.Float64bits(cold))
+		}
+	}
+}
+
+// TestArbiterMemoMatchesColdPath covers the arbiter's full-domain LUT and
+// its out-of-range fallback under coefficient refits.
+func TestArbiterMemoMatchesColdPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, err := NewArbiterModel(4, DefaultTech())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		switch rng.Intn(100) {
+		case 0:
+			m.CReq = rng.Float64() * 1e-12
+			m.CGrant = rng.Float64() * 1e-12
+		case 1:
+			m.CHandover = rng.Float64() * 1e-12
+			m.CActive = rng.Float64() * 1e-12
+		case 2:
+			m.Tech.VDD = 1 + rng.Float64()
+		}
+		span := arbMaxHD + 2
+		if rng.Intn(10) == 0 {
+			span = 100 // private-style glitch counts exceed the LUT
+		}
+		hdReq, hdGrant := rng.Intn(span)-1, rng.Intn(span)-1
+		ho, arb := rng.Intn(2) == 1, rng.Intn(2) == 1
+		got := m.Energy(hdReq, hdGrant, ho, arb)
+		want := m.energyCold(hdReq, hdGrant, ho, arb)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("iter %d: ArbiterModel.Energy(%d,%d,%v,%v) = %x, cold = %x",
+				i, hdReq, hdGrant, ho, arb, math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+}
+
+// TestModelsCloneIsolatesMemoState verifies that Clone gives each run its
+// own memo tables and coefficients: mutating the clone must not leak into
+// the original (parallel sweeps clone a shared characterized model set).
+func TestModelsCloneIsolatesMemoState(t *testing.T) {
+	orig, err := DefaultModels(2, 3, 32, DefaultTech())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := orig.M2S.Energy(3, 1, 2)
+	cl := orig.Clone()
+	cl.M2S.CIn *= 10
+	cl.Dec.CHD = 1e-12
+	if got := orig.M2S.Energy(3, 1, 2); math.Float64bits(got) != math.Float64bits(base) {
+		t.Errorf("mutating the clone changed the original: %x -> %x",
+			math.Float64bits(base), math.Float64bits(got))
+	}
+	if cl.M2S.Energy(3, 1, 2) == base {
+		t.Error("clone did not pick up its own coefficients")
+	}
+}

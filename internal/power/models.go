@@ -44,6 +44,31 @@ func DefaultModels(numMasters, numSlaves, dataWidth int, tech Tech) (*Models, er
 	return &Models{Dec: dec, M2S: m2s, S2M: s2m, Arb: arb}, nil
 }
 
+// Clone returns a deep copy of the model set. The macromodels carry
+// per-instance memoization state that Energy fills in place, so a shared
+// Models value must be cloned before being attached to concurrent runs;
+// core.Attach does this automatically.
+func (m *Models) Clone() *Models {
+	c := &Models{}
+	if m.Dec != nil {
+		d := *m.Dec
+		c.Dec = &d
+	}
+	if m.M2S != nil {
+		x := *m.M2S
+		c.M2S = &x
+	}
+	if m.S2M != nil {
+		x := *m.S2M
+		c.S2M = &x
+	}
+	if m.Arb != nil {
+		a := *m.Arb
+		c.Arb = &a
+	}
+	return c
+}
+
 // Validate checks that a loaded model set is complete and plausible.
 func (m *Models) Validate() error {
 	if m.Dec == nil || m.M2S == nil || m.S2M == nil || m.Arb == nil {

@@ -48,6 +48,32 @@ func (h *Hub[T]) Publish(rec T) {
 	}
 }
 
+// BatchObserver is an Observer that can additionally consume a whole
+// slice of records in one call. Publishers that buffer records (e.g. the
+// power analyzer's sample stream) hand the batch over directly, saving
+// one dynamic dispatch per record; the records arrive in the same order
+// Publish would have delivered them.
+type BatchObserver[T any] interface {
+	Observer[T]
+	ObserveBatch(recs []T)
+}
+
+// PublishBatch delivers a slice of in-order records to every attached
+// observer: batch-aware observers receive the slice in one ObserveBatch
+// call, the rest see one ObserveCycle per record. The slice is only
+// borrowed for the duration of the call — observers must not retain it.
+func (h *Hub[T]) PublishBatch(recs []T) {
+	for _, o := range h.obs {
+		if bo, ok := o.(BatchObserver[T]); ok {
+			bo.ObserveBatch(recs)
+			continue
+		}
+		for i := range recs {
+			o.ObserveCycle(recs[i])
+		}
+	}
+}
+
 // Len returns the number of attached observers.
 func (h *Hub[T]) Len() int { return len(h.obs) }
 

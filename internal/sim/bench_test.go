@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkKernel measures the discrete-event kernel's hot loops in
+// isolation: timed-event scheduling, clock fan-out to many synchronous
+// processes, combinational delta cascades and signal-update throughput.
+// These are the per-cycle costs every simulation pays, so the CI
+// bench-regression job gates on them.
+func BenchmarkKernel(b *testing.B) {
+	b.Run("events", benchKernelEvents)
+	b.Run("clock-fanout-16", func(b *testing.B) { benchKernelClockFanout(b, 16) })
+	b.Run("clock-fanout-64", func(b *testing.B) { benchKernelClockFanout(b, 64) })
+	b.Run("delta-chain-32", func(b *testing.B) { benchKernelDeltaChain(b, 32) })
+	b.Run("signal-writes", benchKernelSignalWrites)
+}
+
+// benchKernelEvents measures raw timed-event throughput: one scheduled
+// callback per iteration, each writing a signal watched by one process.
+func benchKernelEvents(b *testing.B) {
+	k := NewKernel()
+	s := NewSignal(k, "s", 0)
+	n := 0
+	k.Method("p", func() { n++ }, s.Changed())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Schedule(1, func() { s.Write(i) })
+		if err := k.Run(k.Now() + 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchKernelClockFanout is the shape of a bus cycle: one clock whose
+// rising edge wakes fanout synchronous processes, each writing its own
+// signal. Reported per simulated clock cycle.
+func benchKernelClockFanout(b *testing.B, fanout int) {
+	k := NewKernel()
+	clk := NewClock(k, "clk", 10)
+	outs := make([]*Signal[int], fanout)
+	for i := 0; i < fanout; i++ {
+		i := i
+		outs[i] = NewSignal(k, fmt.Sprintf("q%d", i), 0)
+		cnt := 0
+		k.MethodNoInit(fmt.Sprintf("ff%d", i), func() {
+			cnt++
+			outs[i].Write(cnt)
+		}, clk.Posedge())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := k.RunCycles(clk, uint64(b.N)); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchKernelDeltaChain measures delta-cycle propagation through a
+// combinational chain of depth signals: one write at the head ripples to
+// the tail, costing depth delta cycles.
+func benchKernelDeltaChain(b *testing.B, depth int) {
+	k := NewKernel()
+	sigs := make([]*Signal[int], depth+1)
+	for i := range sigs {
+		sigs[i] = NewSignal(k, fmt.Sprintf("c%d", i), 0)
+	}
+	for i := 0; i < depth; i++ {
+		i := i
+		k.Method(fmt.Sprintf("buf%d", i), func() {
+			sigs[i+1].Write(sigs[i].Read() + 1)
+		}, sigs[i].Changed())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Schedule(1, func() { sigs[0].Write(i + 1) })
+		if err := k.Run(k.Now() + 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if got := sigs[depth].Read(); got != b.N+depth {
+		b.Fatalf("chain tail = %d, want %d", got, b.N+depth)
+	}
+}
+
+// benchKernelSignalWrites measures the update phase alone: many signals
+// written in one delta, no downstream sensitivity.
+func benchKernelSignalWrites(b *testing.B) {
+	k := NewKernel()
+	const width = 32
+	sigs := make([]*Signal[uint32], width)
+	for i := range sigs {
+		sigs[i] = NewSignal(k, fmt.Sprintf("w%d", i), uint32(0))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Schedule(1, func() {
+			for _, s := range sigs {
+				s.Write(uint32(i))
+			}
+		})
+		if err := k.Run(k.Now() + 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,9 +1,8 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
-	"sort"
+	"math/bits"
 )
 
 // maxDeltasPerTimestep bounds the number of delta cycles executed at a
@@ -17,23 +16,60 @@ type timedEvent struct {
 	fn  func()
 }
 
+// before orders events by time, then by scheduling sequence so that
+// same-time events fire in the order they were scheduled.
+func (e timedEvent) before(o timedEvent) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
+}
+
+// eventHeap is a hand-rolled binary min-heap of timed events. Unlike
+// container/heap it moves concrete values, so pushing and popping never
+// box events into interfaces — the event queue is allocation-free in
+// steady state.
 type eventHeap []timedEvent
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (h *eventHeap) push(e timedEvent) {
+	q := append(*h, e)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q[i].before(q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
 	}
-	return h[i].seq < h[j].seq
+	*h = q
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(timedEvent)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) pop() timedEvent {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = timedEvent{} // release the callback for GC
+	q = q[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && q[l].before(q[min]) {
+			min = l
+		}
+		if r < n && q[r].before(q[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+	*h = q
+	return top
 }
 
 // updater is the non-generic handle the kernel keeps for signals with a
@@ -64,10 +100,19 @@ type Kernel struct {
 	deltaCount uint64
 	seq        uint64
 
-	queue    eventHeap
-	procs    []*Process
-	runnable []*Process
-	pending  []updater
+	queue eventHeap
+	procs []*Process
+
+	// The runnable set is a bitset over process ids: marking is a single
+	// bit set, and the evaluate phase walks set bits in increasing id
+	// order, which is exactly the registration order the kernel's
+	// determinism contract requires — no per-delta sorting.
+	runnableBits []uint64
+	runnableSnap []uint64 // evaluate-phase snapshot buffer
+	nRunnable    int
+
+	pending []updater
+	pendBuf []updater // double buffer for the update phase
 
 	initialized bool
 	stopped     bool
@@ -106,7 +151,7 @@ func (k *Kernel) Stopped() bool { return k.stopped }
 // cycles at a later time).
 func (k *Kernel) Schedule(delay Time, fn func()) {
 	k.seq++
-	heap.Push(&k.queue, timedEvent{at: k.now + delay, seq: k.seq, fn: fn})
+	k.queue.push(timedEvent{at: k.now + delay, seq: k.seq, fn: fn})
 }
 
 // Observe registers a typed settled-timestep observer. Observers fire in
@@ -128,7 +173,14 @@ func (k *Kernel) markRunnable(p *Process) {
 		return
 	}
 	p.queued = true
-	k.runnable = append(k.runnable, p)
+	w := p.id >> 6
+	if w >= len(k.runnableBits) {
+		grown := make([]uint64, (len(k.procs)+63)>>6)
+		copy(grown, k.runnableBits)
+		k.runnableBits = grown
+	}
+	k.runnableBits[w] |= 1 << (uint(p.id) & 63)
+	k.nRunnable++
 }
 
 func (k *Kernel) addPending(u updater) {
@@ -138,29 +190,50 @@ func (k *Kernel) addPending(u updater) {
 // runDeltas executes delta cycles until the current time settles.
 func (k *Kernel) runDeltas() error {
 	deltas := 0
-	for len(k.runnable) > 0 || len(k.pending) > 0 {
+	for k.nRunnable > 0 || len(k.pending) > 0 {
 		deltas++
 		if deltas > maxDeltasPerTimestep {
 			return fmt.Errorf("sim: combinational loop detected at %v (%d delta cycles without settling)", k.now, deltas)
 		}
 		k.deltaCount++
 
-		// Evaluate phase: run all runnable processes in registration order.
-		run := k.runnable
-		k.runnable = nil
-		sort.Slice(run, func(i, j int) bool { return run[i].id < run[j].id })
-		for _, p := range run {
-			p.queued = false
-			p.fn()
+		// Evaluate phase: run the snapshot of runnable processes in id
+		// (registration) order; processes marked while it runs land in the
+		// live bitset and execute in the next delta.
+		if k.nRunnable > 0 {
+			live := k.runnableBits
+			snap := k.runnableSnap
+			if cap(snap) < len(live) {
+				snap = make([]uint64, len(live))
+			}
+			snap = snap[:len(live)]
+			copy(snap, live)
+			for i := range live {
+				live[i] = 0
+			}
+			k.nRunnable = 0
+			k.runnableSnap = snap
+			for wi, w := range snap {
+				base := wi << 6
+				for w != 0 {
+					b := bits.TrailingZeros64(w)
+					w &= w - 1
+					p := k.procs[base+b]
+					p.queued = false
+					p.fn()
+				}
+			}
 		}
 
 		// Update phase: apply pending signal writes; changed signals mark
-		// their sensitive processes runnable for the next delta.
+		// their sensitive processes runnable for the next delta. The two
+		// pending slices are swapped, not reallocated.
 		pend := k.pending
-		k.pending = nil
+		k.pending = k.pendBuf[:0]
 		for _, u := range pend {
 			u.apply(k)
 		}
+		k.pendBuf = pend[:0]
 	}
 	return nil
 }
@@ -201,7 +274,7 @@ func (k *Kernel) Run(until Time) error {
 			k.now = t
 		}
 		for len(k.queue) > 0 && k.queue[0].at == t {
-			ev := heap.Pop(&k.queue).(timedEvent)
+			ev := k.queue.pop()
 			ev.fn()
 		}
 		if err := k.runDeltas(); err != nil {

@@ -1,10 +1,13 @@
 package stats
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"math"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // Point is a single sample of a time series. X is typically simulation time
@@ -81,6 +84,53 @@ func nonEmpty(s, fallback string) string {
 		return fallback
 	}
 	return s
+}
+
+// ParseCSV reads a series previously emitted by WriteCSV: a two-column
+// header line naming the units followed by one "x,y" row per point. The
+// %g formatting WriteCSV uses round-trips float64 exactly, so
+// ParseCSV(WriteCSV(s)) reproduces s bit for bit. It rejects rows with a
+// missing column, trailing fields or unparsable numbers.
+func ParseCSV(r io.Reader) (*Series, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("stats: series CSV is empty")
+	}
+	header := sc.Text()
+	xu, yu, ok := strings.Cut(header, ",")
+	if !ok || strings.Contains(yu, ",") {
+		return nil, fmt.Errorf("stats: series CSV header %q, want two comma-separated units", header)
+	}
+	s := &Series{XUnit: xu, YUnit: yu}
+	line := 1
+	for sc.Scan() {
+		line++
+		row := sc.Text()
+		if row == "" {
+			continue // tolerate a trailing blank line
+		}
+		xs, ys, ok := strings.Cut(row, ",")
+		if !ok || strings.Contains(ys, ",") {
+			return nil, fmt.Errorf("stats: series CSV line %d: %q, want two columns", line, row)
+		}
+		x, err := strconv.ParseFloat(xs, 64)
+		if err != nil {
+			return nil, fmt.Errorf("stats: series CSV line %d: bad x %q: %v", line, xs, err)
+		}
+		y, err := strconv.ParseFloat(ys, 64)
+		if err != nil {
+			return nil, fmt.Errorf("stats: series CSV line %d: bad y %q: %v", line, ys, err)
+		}
+		s.Add(x, y)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 // Windower converts a stream of (time, energy) increments into a windowed

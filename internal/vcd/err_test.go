@@ -1,0 +1,185 @@
+package vcd
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"ahbpower/internal/sim"
+)
+
+// failAfter is an io.Writer that accepts n bytes and then fails every
+// write with errBoom, modelling a disk that fills mid-dump.
+type failAfter struct {
+	n int
+}
+
+var errBoom = errors.New("boom: device full")
+
+func (w *failAfter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errBoom
+	}
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, errBoom
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+// flushFail is a buffered-looking writer whose Flush fails — the shape of
+// a bufio.Writer over a full disk that only errors when drained.
+type flushFail struct{}
+
+func (flushFail) Write(p []byte) (int, error) { return len(p), nil }
+func (flushFail) Flush() error                { return errBoom }
+
+func TestVCDStartPropagatesHeaderError(t *testing.T) {
+	// Fail on the very first header byte and midway through the header:
+	// Start must return the error either way, not swallow it.
+	for _, budget := range []int{0, 40} {
+		k := sim.NewKernel()
+		w := NewWriter(&failAfter{n: budget}, k)
+		w.AddBool("top.x", sim.NewBool(k, "top.x", false))
+		if err := w.Start(); !errors.Is(err, errBoom) {
+			t.Errorf("budget=%d: Start err = %v, want errBoom", budget, err)
+		}
+		if err := w.Err(); !errors.Is(err, errBoom) {
+			t.Errorf("budget=%d: Err() = %v, want errBoom", budget, err)
+		}
+	}
+}
+
+func TestVCDStreamWriteErrorSurfacesViaErr(t *testing.T) {
+	k := sim.NewKernel()
+	s := sim.NewSignal(k, "top.x", 0)
+	// Enough budget for the whole header, so the failure lands on a
+	// streamed change record during the run.
+	w := NewWriter(&failAfter{n: 4096}, k)
+	w.add("top.x", 8, func() uint64 { return uint64(s.Read()) }, func(emit func(uint64)) {
+		s.Watch(func(_, now int) { emit(uint64(now)) })
+	})
+	if err := w.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2000; i++ {
+		i := i
+		k.Schedule(sim.Time(i)*10, func() { s.Write(i) })
+	}
+	if err := k.Run(25000); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Err(); !errors.Is(err, errBoom) {
+		t.Fatalf("Err() = %v, want errBoom after mid-stream write failure", err)
+	}
+	if err := w.Flush(); !errors.Is(err, errBoom) {
+		t.Fatalf("Flush() = %v, want the recorded write error", err)
+	}
+}
+
+func TestVCDFlushDrainsBufferAndPropagates(t *testing.T) {
+	k := sim.NewKernel()
+	var buf bytes.Buffer
+	bw := bufio.NewWriterSize(&buf, 1<<16)
+	w := NewWriter(bw, k)
+	w.AddBool("top.x", sim.NewBool(k, "top.x", false))
+	if err := w.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing reached the underlying buffer yet; Flush must drain it.
+	if buf.Len() != 0 {
+		t.Fatalf("expected buffered output before Flush, got %d bytes", buf.Len())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "$enddefinitions $end") {
+		t.Errorf("flushed output incomplete:\n%s", buf.String())
+	}
+
+	// And a failing flush must surface its error.
+	w2 := NewWriter(flushFail{}, k)
+	if err := w2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Flush(); !errors.Is(err, errBoom) {
+		t.Errorf("Flush() = %v, want errBoom from the buffered layer", err)
+	}
+	if err := w2.Err(); !errors.Is(err, errBoom) {
+		t.Errorf("Err() = %v, want the flush error recorded", err)
+	}
+}
+
+func TestAnalogStartPropagatesHeaderError(t *testing.T) {
+	for _, budget := range []int{0, 40} {
+		w := NewAnalogWriter(&failAfter{n: budget})
+		w.AddReal("power.total")
+		if err := w.Start(); !errors.Is(err, errBoom) {
+			t.Errorf("budget=%d: Start err = %v, want errBoom", budget, err)
+		}
+	}
+}
+
+func TestAnalogEmitErrorSurfacesViaErr(t *testing.T) {
+	// Budget covers the header but not many emissions.
+	w := NewAnalogWriter(&failAfter{n: 300})
+	v := w.AddReal("power.total")
+	if err := w.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		w.Emit(sim.Time(i)*10, v, float64(i))
+	}
+	if err := w.Err(); !errors.Is(err, errBoom) {
+		t.Fatalf("Err() = %v, want errBoom after emission failure", err)
+	}
+	if err := w.Flush(); !errors.Is(err, errBoom) {
+		t.Fatalf("Flush() = %v, want the recorded write error", err)
+	}
+}
+
+func TestAnalogFlushDrainsBufferAndPropagates(t *testing.T) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriterSize(&buf, 1<<16)
+	w := NewAnalogWriter(bw)
+	v := w.AddReal("power.total")
+	if err := w.Start(); err != nil {
+		t.Fatal(err)
+	}
+	w.Emit(10, v, 1.25)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "r1.25 !") {
+		t.Errorf("flushed output missing emission:\n%s", buf.String())
+	}
+
+	w2 := NewAnalogWriter(flushFail{})
+	w2.AddReal("x")
+	if err := w2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Flush(); !errors.Is(err, errBoom) {
+		t.Errorf("Flush() = %v, want errBoom from the buffered layer", err)
+	}
+}
+
+func TestErrorsAreFirstWriteWins(t *testing.T) {
+	// After the first failure every later write is a no-op and the first
+	// error is retained, so callers see the root cause, not a cascade.
+	w := NewAnalogWriter(&failAfter{n: 0})
+	v := w.AddReal("x")
+	if err := w.Start(); !errors.Is(err, errBoom) {
+		t.Fatal(err)
+	}
+	first := w.Err()
+	w.Emit(10, v, 1)
+	w.Emit(20, v, 2)
+	if w.Err() != first {
+		t.Errorf("later writes replaced the first error: %v -> %v", first, w.Err())
+	}
+}

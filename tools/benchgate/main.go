@@ -1,0 +1,161 @@
+// Command benchgate compares two Go benchmark output files (base and
+// head, as produced by `go test -bench`) and exits nonzero when any
+// benchmark present in both regressed by more than the threshold on
+// ns/op. CI runs it after benchstat to turn the human-readable comparison
+// into a hard gate: a >10% slowdown of the simulation-kernel benchmarks
+// fails the pull request.
+//
+// Multiple -count repetitions of the same benchmark are reduced to their
+// median, so a single noisy run cannot flip the verdict. Benchmarks that
+// exist on only one side (newly added or deleted) are reported but never
+// gate, otherwise the first PR introducing a benchmark could not merge.
+//
+// Usage:
+//
+//	benchgate [-threshold 10] base.txt head.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 10, "maximum allowed ns/op regression, percent")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate [-threshold pct] base.txt head.txt")
+		os.Exit(2)
+	}
+	base, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	head, err := parseFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	report, failed := compare(base, head, *threshold)
+	fmt.Print(report)
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// parseFile reads one benchmark output file into name -> ns/op samples.
+func parseFile(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parse(f)
+}
+
+// parse extracts ns/op samples per benchmark name from `go test -bench`
+// output. Lines that are not benchmark results are ignored.
+func parse(r io.Reader) (map[string][]float64, error) {
+	out := map[string][]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// Benchmark lines look like:
+		//   BenchmarkName-8   12345   678.9 ns/op   [more unit pairs...]
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := trimCPUSuffix(fields[0])
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad ns/op value %q for %s", fields[i], name)
+			}
+			out[name] = append(out[name], v)
+			break
+		}
+	}
+	return out, sc.Err()
+}
+
+// trimCPUSuffix drops the -<GOMAXPROCS> suffix go test appends, so runs
+// on machines with different core counts still compare.
+func trimCPUSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// median reduces repeated samples of one benchmark; it assumes vs is
+// non-empty.
+func median(vs []float64) float64 {
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// compare renders a per-benchmark delta table and reports whether any
+// shared benchmark regressed beyond threshold percent.
+func compare(base, head map[string][]float64, threshold float64) (string, bool) {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	failed := false
+	shared := 0
+	fmt.Fprintf(&b, "%-44s %14s %14s %9s\n", "benchmark", "base ns/op", "head ns/op", "delta")
+	for _, name := range names {
+		hv, ok := head[name]
+		if !ok {
+			fmt.Fprintf(&b, "%-44s %14.1f %14s %9s\n", name, median(base[name]), "-", "gone")
+			continue
+		}
+		shared++
+		bm, hm := median(base[name]), median(hv)
+		deltaPct := 0.0
+		if bm > 0 {
+			deltaPct = (hm - bm) / bm * 100
+		}
+		verdict := ""
+		if deltaPct > threshold {
+			verdict = "  REGRESSION"
+			failed = true
+		}
+		fmt.Fprintf(&b, "%-44s %14.1f %14.1f %+8.1f%%%s\n", name, bm, hm, deltaPct, verdict)
+	}
+	for name := range head {
+		if _, ok := base[name]; !ok {
+			fmt.Fprintf(&b, "%-44s %14s %14.1f %9s\n", name, "-", median(head[name]), "new")
+		}
+	}
+	if shared == 0 {
+		fmt.Fprintf(&b, "no shared benchmarks between base and head; nothing to gate\n")
+	} else if failed {
+		fmt.Fprintf(&b, "FAIL: at least one benchmark regressed more than %.0f%% on ns/op\n", threshold)
+	} else {
+		fmt.Fprintf(&b, "ok: no shared benchmark regressed more than %.0f%% on ns/op\n", threshold)
+	}
+	return b.String(), failed
+}

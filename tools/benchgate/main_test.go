@@ -1,0 +1,119 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const baseOut = `goos: linux
+goarch: amd64
+pkg: ahbpower/internal/sim
+BenchmarkKernel/events-8         	 4000000	       291.0 ns/op	      24 B/op	       1 allocs/op
+BenchmarkKernel/events-8         	 4100000	       289.0 ns/op	      24 B/op	       1 allocs/op
+BenchmarkKernel/events-8         	 3900000	       295.0 ns/op	      24 B/op	       1 allocs/op
+BenchmarkKernel/clock-fanout-16-8	 1000000	      1474 ns/op
+BenchmarkOldOnly-8               	 1000000	      1000 ns/op
+PASS
+`
+
+const headOut = `goos: linux
+goarch: amd64
+pkg: ahbpower/internal/sim
+BenchmarkKernel/events-8         	17000000	        70.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkKernel/events-8         	17100000	        71.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkKernel/events-8         	16900000	        69.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkKernel/clock-fanout-16-8	 5000000	       247 ns/op
+BenchmarkNewOnly-8               	 1000000	       500 ns/op
+PASS
+`
+
+func mustParse(t *testing.T, s string) map[string][]float64 {
+	t.Helper()
+	m, err := parse(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParseCollectsSamplesPerName(t *testing.T) {
+	m := mustParse(t, baseOut)
+	if got := len(m["BenchmarkKernel/events"]); got != 3 {
+		t.Errorf("events samples = %d, want 3 (repeated -count runs collected)", got)
+	}
+	if got := m["BenchmarkKernel/clock-fanout-16"]; len(got) != 1 || got[0] != 1474 {
+		t.Errorf("clock-fanout sample = %v, want [1474]", got)
+	}
+	if _, ok := m["BenchmarkKernel/events-8"]; ok {
+		t.Error("CPU suffix must be trimmed from benchmark names")
+	}
+}
+
+func TestTrimCPUSuffix(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkKernel/events-8":      "BenchmarkKernel/events",
+		"BenchmarkKernel/delta-chain-2": "BenchmarkKernel/delta-chain",
+		"BenchmarkPlain":                "BenchmarkPlain",
+		"BenchmarkKernel/fanout-abc":    "BenchmarkKernel/fanout-abc",
+	} {
+		if got := trimCPUSuffix(in); got != want {
+			t.Errorf("trimCPUSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMedianResistsOutliers(t *testing.T) {
+	if got := median([]float64{70, 71, 5000}); got != 71 {
+		t.Errorf("median = %v, want 71 (one noisy run must not dominate)", got)
+	}
+	if got := median([]float64{10, 20}); got != 15 {
+		t.Errorf("even median = %v, want 15", got)
+	}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	report, failed := compare(mustParse(t, baseOut), mustParse(t, headOut), 10)
+	if failed {
+		t.Fatalf("improvement flagged as regression:\n%s", report)
+	}
+	for _, want := range []string{"new", "gone", "ok:"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report lacks %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestCompareRegressionFails(t *testing.T) {
+	// Head slower than base by far more than 10%: swap the fixtures.
+	report, failed := compare(mustParse(t, headOut), mustParse(t, baseOut), 10)
+	if !failed {
+		t.Fatalf("4x slowdown not flagged:\n%s", report)
+	}
+	if !strings.Contains(report, "REGRESSION") {
+		t.Errorf("report lacks REGRESSION marker:\n%s", report)
+	}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	base := map[string][]float64{"BenchmarkX": {100}}
+	head := map[string][]float64{"BenchmarkX": {109}}
+	if report, failed := compare(base, head, 10); failed {
+		t.Fatalf("9%% slowdown must pass a 10%% gate:\n%s", report)
+	}
+	head["BenchmarkX"] = []float64{111}
+	if report, failed := compare(base, head, 10); !failed {
+		t.Fatalf("11%% slowdown must fail a 10%% gate:\n%s", report)
+	}
+}
+
+func TestCompareNoSharedBenchmarksPasses(t *testing.T) {
+	base := map[string][]float64{"BenchmarkOld": {100}}
+	head := map[string][]float64{"BenchmarkNew": {100}}
+	report, failed := compare(base, head, 10)
+	if failed {
+		t.Fatal("disjoint benchmark sets must not gate")
+	}
+	if !strings.Contains(report, "nothing to gate") {
+		t.Errorf("report must say nothing was gated:\n%s", report)
+	}
+}
