@@ -1,0 +1,91 @@
+// Command ahbserved is the scenario-serving daemon: a long-lived HTTP
+// service that runs power-analysis scenario batches on the parallel
+// engine. It adds what a run-to-completion CLI never needs — admission
+// control with backpressure, per-request deadlines, a content-addressed
+// result cache (deterministic runs make cached and fresh responses
+// byte-identical) and a graceful SIGTERM drain that finishes or cancels
+// in-flight batches without dropping completed results.
+//
+// API:
+//
+//	POST /v1/run        {"scenarios":[{"cycles":4000}, ...]}      run a batch
+//	POST /v1/run        {"async":true, ...}                       -> 202 + job id
+//	GET  /v1/jobs/{id}  poll an async job
+//	GET  /healthz       readiness (503 while draining)
+//	GET  /metrics       serving counters (expvar JSON)
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"ahbpower/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8097", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "engine workers per batch (default: effective CPU quota)")
+	concurrent := flag.Int("concurrent", 2, "batches executing at once")
+	queue := flag.Int("queue", 256, "admitted requests waiting for a batch slot before 503")
+	cacheEntries := flag.Int("cache", 4096, "result-cache entries (negative disables)")
+	maxScenarios := flag.Int("max-scenarios", 1024, "scenarios per request")
+	maxCycles := flag.Uint64("max-cycles", 50_000_000, "cycles per scenario")
+	timeout := flag.Duration("timeout", 60*time.Second, "default per-request deadline")
+	maxTimeout := flag.Duration("max-timeout", 10*time.Minute, "maximum per-request deadline")
+	drainGrace := flag.Duration("drain-grace", 15*time.Second, "time in-flight batches may finish after SIGTERM before cancellation")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "ahbserved: ", log.LstdFlags)
+	srv := serve.New(serve.Config{
+		Workers:        *workers,
+		MaxConcurrent:  *concurrent,
+		MaxQueue:       *queue,
+		CacheEntries:   *cacheEntries,
+		MaxScenarios:   *maxScenarios,
+		MaxCycles:      *maxCycles,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	logger.Printf("listening on %s (workers=%d concurrent=%d queue=%d)", *addr, *workers, *concurrent, *queue)
+
+	select {
+	case err := <-errc:
+		logger.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	// Graceful drain: stop admitting, let in-flight batches finish for
+	// the grace period, cancel stragglers, then close the listener and
+	// flush the final metrics snapshot.
+	logger.Printf("signal received; draining (grace %s)", *drainGrace)
+	srv.Drain(*drainGrace)
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("shutdown: %v", err)
+	}
+	<-errc // ListenAndServe has returned ErrServerClosed
+	logger.Printf("drained; final metrics: %s", srv.MetricsJSON())
+	fmt.Fprintln(os.Stderr, "ahbserved: bye")
+}

@@ -28,7 +28,7 @@ func main() {
 	widths := flag.String("widths", "16,32", "comma-separated data widths")
 	waits := flag.String("waits", "0,1,2", "comma-separated slave wait states")
 	policies := flag.String("policies", "sticky,fixed,rr", "comma-separated arbitration policies")
-	workers := flag.Int("workers", runtime.NumCPU(), "parallel scenario workers")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel scenario workers")
 	out := flag.String("o", "", "output file (default stdout)")
 	showMetrics := flag.Bool("metrics", false, "print batch run metrics (throughput, utilization, latency) to stderr")
 	flag.Parse()

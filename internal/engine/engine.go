@@ -107,6 +107,16 @@ func (r *Result) PJPerBeat() float64 {
 type Runner struct {
 	// Workers is the pool size; NewRunner clamps it to at least 1.
 	Workers int
+	// OnStart, when non-nil, is invoked from a worker goroutine just
+	// before a scenario begins executing, with its batch index. Hooks
+	// must be safe for concurrent use; queue consumers (the serving
+	// layer's job progress) use them to observe a batch mid-flight.
+	OnStart func(index int)
+	// OnDone, when non-nil, is invoked from a worker goroutine as each
+	// scenario finishes, with its completed Result — including failed and
+	// cancelled ones. Scenarios abandoned before starting (batch
+	// cancellation) do not trigger it.
+	OnDone func(Result)
 }
 
 // NewRunner returns a runner with the given pool size (minimum 1).
@@ -117,8 +127,12 @@ func NewRunner(workers int) *Runner {
 	return &Runner{Workers: workers}
 }
 
-// DefaultRunner returns a runner sized to the machine.
-func DefaultRunner() *Runner { return NewRunner(runtime.NumCPU()) }
+// DefaultRunner returns a runner sized to the machine. The pool follows
+// runtime.GOMAXPROCS(0), not runtime.NumCPU(): under a container CPU
+// quota (or an explicit GOMAXPROCS) the scheduler only runs that many
+// goroutines in parallel, and sizing the pool to the raw core count
+// would oversubscribe a quota-limited pod.
+func DefaultRunner() *Runner { return NewRunner(runtime.GOMAXPROCS(0)) }
 
 // Run executes every scenario and returns one Result per scenario, in
 // input order. Each scenario is built and simulated in isolation (own
@@ -148,8 +162,14 @@ func (r *Runner) Run(ctx context.Context, scenarios []Scenario) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				if r.OnStart != nil {
+					r.OnStart(i)
+				}
 				results[i] = Execute(ctx, i, scenarios[i])
 				executed[i] = true
+				if r.OnDone != nil {
+					r.OnDone(results[i])
+				}
 			}
 		}()
 	}

@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// hashVersion tags the canonical encoding. Bump it whenever a field is
+// added to the encoding or its meaning changes, so stale cache entries
+// keyed by an older scheme can never be returned for a new scenario.
+const hashVersion = "ahbpower/engine.Scenario/v1"
+
+// CanonicalKey returns a content-addressed key for the scenario: the
+// hex SHA-256 of a canonical binary encoding of every field that can
+// affect the simulation outcome. Because batches are deterministic —
+// each scenario builds an isolated kernel and system, workloads are
+// seeded PRNG streams and parallel sweeps reproduce serial ones byte
+// for byte — two scenarios with the same key produce identical Results,
+// which is what makes the key usable as a result-cache address.
+//
+// ok is false when the scenario is not canonicalizable: a Setup hook,
+// KeepSystem, caller-supplied Models or an attached Trace all inject
+// state the encoding cannot see, so such scenarios must never be cached.
+func (sc *Scenario) CanonicalKey() (key string, ok bool) {
+	if sc.Setup != nil || sc.KeepSystem {
+		return "", false
+	}
+	if !sc.SkipAnalyzer && (sc.Analyzer.Models != nil || sc.Analyzer.Trace != nil) {
+		return "", false
+	}
+	h := sha256.New()
+	e := hashEnc{h: h}
+	e.str(hashVersion)
+	e.str(sc.Name)
+
+	sys := sc.System
+	e.i64(int64(sys.NumActiveMasters))
+	e.bool(sys.WithDefaultMaster)
+	e.i64(int64(sys.NumSlaves))
+	e.i64(int64(sys.SlaveWaits))
+	e.u64(uint64(sys.ClockPeriod))
+	e.i64(int64(sys.DataWidth))
+	e.u64(uint64(sys.Policy))
+	e.u64(uint64(sys.SlaveRegionSize))
+
+	e.bool(sc.SkipAnalyzer)
+	if !sc.SkipAnalyzer {
+		an := sc.Analyzer
+		e.u64(uint64(an.Style))
+		e.f64(an.Tech.VDD)
+		e.f64(an.Tech.CPD)
+		e.f64(an.Tech.CO)
+		e.f64(an.TraceWindow)
+		e.bool(an.RecordActivity)
+		e.bool(an.DPM != nil)
+		if an.DPM != nil {
+			e.i64(int64(an.DPM.IdleThreshold))
+			e.f64(an.DPM.WakeEnergy)
+		}
+	}
+
+	e.u64(uint64(len(sc.Workloads)))
+	for _, w := range sc.Workloads {
+		e.i64(w.Seed)
+		e.i64(int64(w.NumSequences))
+		e.i64(int64(w.PairsMin))
+		e.i64(int64(w.PairsMax))
+		e.i64(int64(w.IdleMin))
+		e.i64(int64(w.IdleMax))
+		e.u64(uint64(w.AddrBase))
+		e.u64(uint64(w.AddrSize))
+		e.u64(uint64(w.LocalityWindow))
+		e.u64(uint64(w.Pattern))
+		e.i64(int64(w.BurstBeats))
+	}
+	e.u64(sc.Cycles)
+	return hex.EncodeToString(h.Sum(nil)), true
+}
+
+// hashEnc writes fixed-width, tag-free values into a hash. Strings are
+// length-prefixed so concatenations cannot collide.
+type hashEnc struct {
+	h   interface{ Write(p []byte) (int, error) }
+	buf [8]byte
+}
+
+func (e *hashEnc) u64(v uint64) {
+	binary.LittleEndian.PutUint64(e.buf[:], v)
+	e.h.Write(e.buf[:])
+}
+
+func (e *hashEnc) i64(v int64) { e.u64(uint64(v)) }
+
+func (e *hashEnc) f64(v float64) { e.u64(math.Float64bits(v)) }
+
+func (e *hashEnc) bool(v bool) {
+	if v {
+		e.u64(1)
+	} else {
+		e.u64(0)
+	}
+}
+
+func (e *hashEnc) str(s string) {
+	e.u64(uint64(len(s)))
+	e.h.Write([]byte(s))
+}

@@ -1,0 +1,152 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"ahbpower/internal/core"
+	"ahbpower/internal/metrics"
+	"ahbpower/internal/power"
+	"ahbpower/internal/workload"
+)
+
+func hashableScenario() Scenario {
+	return Scenario{
+		Name:     "paper",
+		System:   core.PaperSystem(),
+		Analyzer: core.AnalyzerConfig{Style: core.StyleGlobal},
+		Cycles:   500,
+	}
+}
+
+func TestCanonicalKeyDeterministic(t *testing.T) {
+	a, b := hashableScenario(), hashableScenario()
+	ka, ok := a.CanonicalKey()
+	if !ok || ka == "" {
+		t.Fatalf("CanonicalKey = %q, %v; want non-empty, true", ka, ok)
+	}
+	kb, _ := b.CanonicalKey()
+	if ka != kb {
+		t.Errorf("identical scenarios hash differently: %s vs %s", ka, kb)
+	}
+	if k2, _ := a.CanonicalKey(); k2 != ka {
+		t.Errorf("re-hashing the same scenario changed the key: %s vs %s", k2, ka)
+	}
+}
+
+func TestCanonicalKeySensitivity(t *testing.T) {
+	bsc := hashableScenario()
+	base, _ := bsc.CanonicalKey()
+	muts := map[string]func(*Scenario){
+		"Name":            func(sc *Scenario) { sc.Name = "other" },
+		"Cycles":          func(sc *Scenario) { sc.Cycles = 501 },
+		"NumSlaves":       func(sc *Scenario) { sc.System.NumSlaves = 4 },
+		"DataWidth":       func(sc *Scenario) { sc.System.DataWidth = 16 },
+		"SlaveWaits":      func(sc *Scenario) { sc.System.SlaveWaits = 1 },
+		"Policy":          func(sc *Scenario) { sc.System.Policy++ },
+		"Style":           func(sc *Scenario) { sc.Analyzer.Style = core.StylePrivate },
+		"Tech":            func(sc *Scenario) { sc.Analyzer.Tech = power.Tech{VDD: 1.2, CPD: 1e-15, CO: 2e-15} },
+		"DPM":             func(sc *Scenario) { sc.Analyzer.DPM = &core.DPMConfig{IdleThreshold: 4} },
+		"SkipAnalyzer":    func(sc *Scenario) { sc.SkipAnalyzer = true },
+		"Workloads":       func(sc *Scenario) { sc.Workloads = []workload.Config{{Seed: 1, NumSequences: 2, PairsMin: 1, PairsMax: 2, AddrSize: 64}} },
+		"RecordActivity":  func(sc *Scenario) { sc.Analyzer.RecordActivity = true },
+		"ClockPeriod":     func(sc *Scenario) { sc.System.ClockPeriod *= 2 },
+		"DefaultMaster":   func(sc *Scenario) { sc.System.WithDefaultMaster = false },
+		"SlaveRegionSize": func(sc *Scenario) { sc.System.SlaveRegionSize = 0x2000 },
+	}
+	for name, mut := range muts {
+		sc := hashableScenario()
+		mut(&sc)
+		k, ok := sc.CanonicalKey()
+		if !ok {
+			t.Errorf("%s: mutated scenario unexpectedly unhashable", name)
+			continue
+		}
+		if k == base {
+			t.Errorf("%s: mutation did not change the canonical key", name)
+		}
+	}
+	// Workload seed must separate otherwise identical traffic configs.
+	wa, wb := hashableScenario(), hashableScenario()
+	wa.Workloads = []workload.Config{{Seed: 1, NumSequences: 2, PairsMin: 1, PairsMax: 2, AddrSize: 64}}
+	wb.Workloads = []workload.Config{{Seed: 2, NumSequences: 2, PairsMin: 1, PairsMax: 2, AddrSize: 64}}
+	ka, _ := wa.CanonicalKey()
+	kb, _ := wb.CanonicalKey()
+	if ka == kb {
+		t.Error("workload seed change did not change the canonical key")
+	}
+}
+
+func TestCanonicalKeyUnhashable(t *testing.T) {
+	cases := map[string]func(*Scenario){
+		"Setup":      func(sc *Scenario) { sc.Setup = func(*core.System) error { return nil } },
+		"KeepSystem": func(sc *Scenario) { sc.KeepSystem = true },
+		"Models":     func(sc *Scenario) { sc.Analyzer.Models = &power.Models{} },
+		"Trace": func(sc *Scenario) {
+			tr, _ := metrics.NewTrace(metrics.TraceConfig{Window: 1e-6})
+			sc.Analyzer.Trace = tr
+		},
+	}
+	for name, mut := range cases {
+		sc := hashableScenario()
+		mut(&sc)
+		if k, ok := sc.CanonicalKey(); ok {
+			t.Errorf("%s: scenario with out-of-band state hashed to %s, want unhashable", name, k)
+		}
+	}
+	// SkipAnalyzer makes analyzer-side state irrelevant: a Trace on a
+	// skipped analyzer does not block hashing.
+	sc := hashableScenario()
+	sc.SkipAnalyzer = true
+	sc.Analyzer.Models = &power.Models{}
+	if _, ok := sc.CanonicalKey(); !ok {
+		t.Error("SkipAnalyzer scenario with Models set must still be hashable")
+	}
+}
+
+// TestCanonicalKeyAddressesIdenticalResults is the property the serving
+// result cache relies on: equal keys imply byte-identical results.
+func TestCanonicalKeyAddressesIdenticalResults(t *testing.T) {
+	a := RunOne(context.Background(), hashableScenario())
+	b := RunOne(context.Background(), hashableScenario())
+	if a.Err != nil || b.Err != nil {
+		t.Fatalf("runs failed: %v / %v", a.Err, b.Err)
+	}
+	if a.Report.TotalEnergy != b.Report.TotalEnergy {
+		t.Errorf("same canonical scenario, different energies: %g vs %g",
+			a.Report.TotalEnergy, b.Report.TotalEnergy)
+	}
+	if a.Beats != b.Beats {
+		t.Errorf("same canonical scenario, different beats: %d vs %d", a.Beats, b.Beats)
+	}
+}
+
+func TestRunnerHooks(t *testing.T) {
+	scs := make([]Scenario, 4)
+	for i := range scs {
+		scs[i] = hashableScenario()
+		scs[i].Cycles = 200
+	}
+	var mu sync.Mutex
+	started := map[int]bool{}
+	var done []int
+	r := NewRunner(2)
+	r.OnStart = func(i int) {
+		mu.Lock()
+		started[i] = true
+		mu.Unlock()
+	}
+	r.OnDone = func(res Result) {
+		mu.Lock()
+		done = append(done, res.Index)
+		mu.Unlock()
+	}
+	results := r.Run(context.Background(), scs)
+	if err := FirstError(results); err != nil {
+		t.Fatal(err)
+	}
+	if len(started) != len(scs) || len(done) != len(scs) {
+		t.Errorf("hooks fired for %d starts / %d dones, want %d each", len(started), len(done), len(scs))
+	}
+}

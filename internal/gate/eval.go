@@ -153,6 +153,8 @@ func (e *Eval) evalGate(g *Gate) bool {
 		}
 		return e.val[g.In[0]]
 	}
+	// Unreachable: Drive rejects unknown kinds at construction and
+	// Validate re-checks every gate before an Eval is created.
 	panic(fmt.Sprintf("gate: evalGate on %v", g.Kind))
 }
 

@@ -45,6 +45,13 @@ func (k Kind) String() string {
 	return fmt.Sprintf("KIND(%d)", uint8(k))
 }
 
+// valid reports whether k is one of the declared gate kinds. Unknown
+// kinds are rejected when the netlist is built (Drive/AddGate) and again
+// in Validate, so the evaluator never sees one — a malformed
+// characterization request must surface as an error, not a panic, in a
+// long-lived process.
+func (k Kind) valid() bool { return k <= Dff }
+
 // arity returns the required input count, or -1 for variadic (>=2).
 func (k Kind) arity() int {
 	switch k {
@@ -162,6 +169,9 @@ func (n *Netlist) MustGate(kind Kind, name string, in ...NetID) NetID {
 
 // Drive attaches a gate to an existing output net.
 func (n *Netlist) Drive(kind Kind, out NetID, in ...NetID) error {
+	if !kind.valid() {
+		return fmt.Errorf("gate: unknown gate kind %s", kind)
+	}
 	if int(out) >= len(n.nets) || out < 0 {
 		return fmt.Errorf("gate: net %d out of range", out)
 	}
@@ -190,6 +200,14 @@ func (n *Netlist) Drive(kind Kind, out NetID, in ...NetID) error {
 // driver and the combinational part is acyclic. It returns the levelized
 // combinational gate order used by the evaluator.
 func (n *Netlist) Validate() ([]int, error) {
+	// Re-check gate kinds: Drive already rejects unknown kinds, but a
+	// netlist assembled through a decoder or future construction path must
+	// not reach the evaluator with one.
+	for _, g := range n.gates {
+		if !g.Kind.valid() {
+			return nil, fmt.Errorf("gate: unknown gate kind %s driving %q", g.Kind, n.nets[g.Out].name)
+		}
+	}
 	isInput := make([]bool, len(n.nets))
 	for _, id := range n.inputs {
 		isInput[id] = true

@@ -52,6 +52,28 @@ func TestNetlistArityErrors(t *testing.T) {
 	}
 }
 
+func TestNetlistUnknownKindError(t *testing.T) {
+	nl := NewNetlist("t")
+	a := nl.AddInput("a")
+	if _, err := nl.AddGate(Kind(200), "y", a); err == nil {
+		t.Error("AddGate with an unknown kind must fail")
+	}
+	out := nl.AddNet("out")
+	if err := nl.Drive(Kind(200), out, a); err == nil {
+		t.Error("Drive with an unknown kind must fail")
+	}
+	// A netlist assembled behind Drive's back must still be caught before
+	// the evaluator can reach the unknown kind.
+	nl.gates = append(nl.gates, Gate{Kind: Kind(200), In: []NetID{a}, Out: out})
+	nl.nets[out].driver = len(nl.gates) - 1
+	if _, err := nl.Validate(); err == nil {
+		t.Error("Validate must reject an unknown gate kind")
+	}
+	if _, err := NewEval(nl, Tech{VDD: 1, CPD: 1e-15, COut: 1e-15}); err == nil {
+		t.Error("NewEval must reject a netlist with an unknown gate kind")
+	}
+}
+
 func TestNetlistMultipleDriverError(t *testing.T) {
 	nl := NewNetlist("t")
 	a := nl.AddInput("a")

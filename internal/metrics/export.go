@@ -16,6 +16,9 @@ import (
 // midpoint), power, window energy, cumulative energy and cycle count,
 // plus one power column per sub-block when PerBlock was enabled.
 func (t *Trace) WriteCSV(w io.Writer) error {
+	if err := t.Finish(); err != nil {
+		return err
+	}
 	windows := t.Windows()
 	header := "t_s,power_W,energy_J,cum_energy_J,cycles"
 	if t.cfg.PerBlock {
@@ -56,6 +59,9 @@ type windowJSON struct {
 // per-block and per-instruction window energies when recorded, followed
 // by a final summary object {"summary": ...}.
 func (t *Trace) WriteJSONL(w io.Writer) error {
+	if err := t.Finish(); err != nil {
+		return err
+	}
 	enc := json.NewEncoder(w)
 	for _, win := range t.Windows() {
 		obj := windowJSON{
@@ -92,6 +98,9 @@ func (t *Trace) WriteJSONL(w io.Writer) error {
 // stepping once per window. Any waveform viewer renders these as analog
 // power plots.
 func (t *Trace) WriteVCD(w io.Writer) error {
+	if err := t.Finish(); err != nil {
+		return err
+	}
 	windows := t.Windows()
 	aw := vcd.NewAnalogWriter(w)
 	total := aw.AddReal("power.total")

@@ -87,12 +87,19 @@ type Window struct {
 // read the windows, series and summary statistics afterwards.
 //
 // A Trace is single-run: the first read accessor finalizes the
-// in-progress window, after which observing further cycles panics. Use
-// one Trace per simulation.
+// in-progress window, after which further observed cycles are dropped
+// and recorded as a sticky error (returned by Finish, Err and every
+// exporter). Use one Trace per simulation.
 type Trace struct {
 	cfg      TraceConfig
 	started  bool
 	finished bool
+	// err is the sticky misuse error: set the first time a cycle arrives
+	// after finalization and never cleared. A mis-attached observer in a
+	// long-lived process must not kill it, so the condition is reported
+	// from Finish/the exporters instead of panicking; the offending
+	// samples are dropped and every accumulator keeps its finalized value.
+	err error
 
 	// Current-window accumulators. Per-instruction energy is indexed by
 	// From*NumStates+To — a flat array instead of a map, so the per-cycle
@@ -182,7 +189,10 @@ func (t *Trace) Config() TraceConfig { return t.cfg }
 // time order (the settled-cycle stream guarantees this).
 func (t *Trace) ObserveCycle(s Sample) {
 	if t.finished {
-		panic("metrics: Trace observed a cycle after finalization; use one Trace per run")
+		if t.err == nil {
+			t.err = fmt.Errorf("metrics: Trace observed cycle %d after finalization; use one Trace per run", s.Cycle)
+		}
+		return
 	}
 	tsec := s.Time.Seconds()
 	if !t.started {
@@ -278,6 +288,20 @@ func (t *Trace) finalize() {
 		t.flush()
 	}
 }
+
+// Finish finalizes the trace (closing the in-progress window) and
+// returns the sticky misuse error, if any: non-nil when cycles were
+// observed after an earlier finalization and dropped. Reading accessors
+// never fail — the recorded data stays valid — but one-shot consumers
+// (CLIs, exporters) should surface this error so a mis-attached observer
+// is noticed.
+func (t *Trace) Finish() error {
+	t.finalize()
+	return t.err
+}
+
+// Err returns the sticky misuse error without finalizing the trace.
+func (t *Trace) Err() error { return t.err }
 
 // Energy returns the total recorded energy, joules. It is accumulated
 // sample by sample in stream order, so it matches the analyzer report's

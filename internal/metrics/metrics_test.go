@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"io"
 	"math"
 	"strings"
 	"testing"
@@ -126,16 +127,41 @@ func keys(m map[string]*stats.Series) []string {
 	return out
 }
 
-func TestObserveAfterFinalizePanics(t *testing.T) {
+func TestObserveAfterFinalizeStickyError(t *testing.T) {
 	tr, _ := NewTrace(TraceConfig{Window: 100e-9})
 	tr.ObserveCycle(sampleAt(10, power.Write, 1e-12))
-	_ = tr.Windows() // finalizes
-	defer func() {
-		if recover() == nil {
-			t.Error("ObserveCycle after finalization must panic")
-		}
-	}()
+	if err := tr.Finish(); err != nil {
+		t.Fatalf("Finish on a well-used trace: %v", err)
+	}
+	wantEnergy := tr.Energy()
+	wantWindows := len(tr.Windows())
+	// A mis-attached observer delivering cycles after finalization must
+	// not panic (it would kill a long-lived server); the cycles are
+	// dropped and the condition surfaces as a sticky error.
 	tr.ObserveCycle(sampleAt(20, power.Write, 1e-12))
+	tr.ObserveBatch([]Sample{sampleAt(30, power.Read, 2e-12)})
+	if tr.Err() == nil {
+		t.Fatal("Err after post-finalization ObserveCycle = nil, want sticky error")
+	}
+	if err := tr.Finish(); err == nil {
+		t.Error("Finish = nil, want the sticky error")
+	}
+	if got := tr.Energy(); got != wantEnergy {
+		t.Errorf("dropped samples changed Energy: %g, want %g", got, wantEnergy)
+	}
+	if got := len(tr.Windows()); got != wantWindows {
+		t.Errorf("dropped samples changed window count: %d, want %d", got, wantWindows)
+	}
+	// One-shot consumers observe the misuse through the exporters.
+	if err := tr.WriteCSV(io.Discard); err == nil {
+		t.Error("WriteCSV after misuse = nil, want the sticky error")
+	}
+	if err := tr.WriteJSONL(io.Discard); err == nil {
+		t.Error("WriteJSONL after misuse = nil, want the sticky error")
+	}
+	if err := tr.WriteVCD(io.Discard); err == nil {
+		t.Error("WriteVCD after misuse = nil, want the sticky error")
+	}
 }
 
 func TestWriteCSV(t *testing.T) {

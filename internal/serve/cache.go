@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cache is a bounded LRU result cache, content-addressed by the
+// scenario's canonical key. Values are the marshaled ResultWire bytes of
+// a successful run: storing the serialized form (rather than the struct)
+// is what makes a cache hit byte-identical to the fresh response — the
+// same bytes are embedded either way, with no second marshal involved.
+//
+// Only successful, canonicalizable results are stored; failures and
+// cancellations must re-run (a deadline hit under load says nothing
+// about the scenario itself).
+type cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key   string
+	value []byte
+}
+
+// newCache creates a cache holding at most max entries; max <= 0
+// disables caching (every lookup misses, stores are dropped).
+func newCache(max int) *cache {
+	return &cache{max: max, entries: map[string]*list.Element{}, lru: list.New()}
+}
+
+// get returns the cached bytes for key and whether they were present.
+func (c *cache) get(key string) ([]byte, bool) {
+	if c.max <= 0 || key == "" {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).value, true
+}
+
+// put stores value under key, evicting the least recently used entry
+// when full. Callers must not mutate value afterwards.
+func (c *cache) put(key string, value []byte) {
+	if c.max <= 0 || key == "" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// Deterministic runs make re-stores identical; keep the first.
+		c.lru.MoveToFront(el)
+		return
+	}
+	for c.lru.Len() >= c.max {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, value: value})
+}
+
+// size returns the current entry count.
+func (c *cache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Job states.
+const (
+	JobQueued    = "queued"    // admitted, waiting for a runner slot
+	JobRunning   = "running"   // executing on the runner
+	JobDone      = "done"      // finished; Response holds the batch result
+	JobCancelled = "cancelled" // cancelled before or during execution; partial results kept
+)
+
+// job is one asynchronous batch. The response of a finished job — even
+// one cancelled mid-flight by a deadline or drain — is the same
+// RunResponse a synchronous request would have returned, so completed
+// scenarios are never dropped.
+type job struct {
+	id     string
+	total  int
+	status atomic.Value // string
+	// completed counts scenarios that finished executing (hooked into
+	// the runner), readable while the job is mid-flight.
+	completed atomic.Int64
+
+	mu       sync.Mutex
+	response []byte // marshaled RunResponse, set exactly once
+	done     chan struct{}
+}
+
+func (j *job) finish(status string, response []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	select {
+	case <-j.done:
+		return // already finished
+	default:
+	}
+	j.status.Store(status)
+	j.response = response
+	close(j.done)
+}
+
+// JobStatus is the body of GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID        string `json:"id"`
+	Status    string `json:"status"`
+	Total     int    `json:"total"`
+	Completed int    `json:"completed"`
+	// Response is the finished batch, present once Status is done or
+	// cancelled.
+	Response *RunResponse `json:"response,omitempty"`
+}
+
+// jobRegistry tracks async jobs by id. Finished jobs are retained up to
+// a bounded count and evicted oldest-first — the registry of a draining
+// daemon must not grow without bound.
+type jobRegistry struct {
+	mu       sync.Mutex
+	next     uint64
+	jobs     map[string]*job
+	finished []string // finish order, for eviction
+	maxKeep  int
+}
+
+func newJobRegistry(maxKeep int) *jobRegistry {
+	if maxKeep < 1 {
+		maxKeep = 1
+	}
+	return &jobRegistry{jobs: map[string]*job{}, maxKeep: maxKeep}
+}
+
+// create registers a new queued job for a batch of total scenarios.
+func (r *jobRegistry) create(total int) *job {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.next++
+	j := &job{id: fmt.Sprintf("job-%06d", r.next), total: total, done: make(chan struct{})}
+	j.status.Store(JobQueued)
+	r.jobs[j.id] = j
+	return j
+}
+
+// get looks a job up by id.
+func (r *jobRegistry) get(id string) (*job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	return j, ok
+}
+
+// retire records a finished job for bounded retention, evicting the
+// oldest finished jobs beyond the cap.
+func (r *jobRegistry) retire(j *job) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.finished = append(r.finished, j.id)
+	for len(r.finished) > r.maxKeep {
+		evict := r.finished[0]
+		r.finished = r.finished[1:]
+		delete(r.jobs, evict)
+	}
+}

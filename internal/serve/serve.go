@@ -1,0 +1,511 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ahbpower/internal/engine"
+)
+
+// Config parameterizes a Server. The zero value is usable: every field
+// falls back to the documented default.
+type Config struct {
+	// Workers is the engine worker-pool size per batch; default
+	// runtime.GOMAXPROCS(0) so a container CPU quota is respected.
+	Workers int
+	// MaxConcurrent bounds how many batches execute at once; default 2.
+	// Each batch already parallelizes across Workers, so a small number
+	// of concurrent batches saturates the pool without thrashing.
+	MaxConcurrent int
+	// MaxQueue bounds how many admitted requests may wait for a batch
+	// slot; beyond it the server answers 503 with Retry-After
+	// (backpressure instead of unbounded memory growth). Fully cached
+	// batches bypass the queue entirely. Default 256.
+	MaxQueue int
+	// CacheEntries bounds the content-addressed result cache; 0 means
+	// the default 4096, negative disables caching.
+	CacheEntries int
+	// MaxScenarios bounds the batch size of one request; default 1024.
+	MaxScenarios int
+	// MaxCycles bounds the per-scenario cycle count; default 50M. An
+	// admission-time guard: a request that would pin a worker for
+	// minutes is rejected up front, not cancelled halfway.
+	MaxCycles uint64
+	// MaxBodyBytes bounds the request body; default 16 MB.
+	MaxBodyBytes int64
+	// DefaultTimeout and MaxTimeout bound the per-request deadline
+	// (defaults 60s and 10m). A request's timeout_ms is clamped to
+	// MaxTimeout; 0 selects DefaultTimeout.
+	DefaultTimeout, MaxTimeout time.Duration
+	// JobsKeep bounds how many finished async jobs stay queryable;
+	// default 256.
+	JobsKeep int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 256
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 4096
+	}
+	if c.MaxScenarios <= 0 {
+		c.MaxScenarios = 1024
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 50_000_000
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+	if c.JobsKeep <= 0 {
+		c.JobsKeep = 256
+	}
+	return c
+}
+
+// Server serves scenario batches over HTTP on top of engine.Runner. Use
+// New, mount Handler on an http.Server, and call Drain on shutdown.
+type Server struct {
+	cfg   Config
+	cache *cache
+	jobs  *jobRegistry
+
+	// slots is the batch-execution semaphore; waiting counts requests
+	// blocked in admission (the bounded queue).
+	slots   chan struct{}
+	waiting atomic.Int64
+
+	// draining flags that no new work is accepted; runCtx is cancelled
+	// when in-flight runs must stop (drain grace expired).
+	draining   atomic.Bool
+	runCtx     context.Context
+	cancelRuns context.CancelFunc
+	inflight   sync.WaitGroup
+
+	ctr  counters
+	vars *expvar.Map
+}
+
+// counters are the expvar-exported serving metrics.
+type counters struct {
+	requests         expvar.Int // POST /v1/run requests accepted for processing
+	badRequests      expvar.Int
+	rejectedBusy     expvar.Int // 503: admission queue full
+	rejectedDraining expvar.Int // 503: draining
+	batches          expvar.Int // batches executed to completion
+	scenariosRun     expvar.Int
+	scenariosFailed  expvar.Int
+	cacheHits        expvar.Int
+	cacheMisses      expvar.Int
+	jobsCreated      expvar.Int
+	latencySum       expvar.Float // seconds, completed batches
+	latencyCount     expvar.Int
+	running          expvar.Int // gauge: batches executing
+	queued           expvar.Int // gauge: requests waiting for a slot
+	cacheSize        expvar.Int // gauge
+}
+
+// New builds a server from the configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: newCache(cfg.CacheEntries),
+		jobs:  newJobRegistry(cfg.JobsKeep),
+		slots: make(chan struct{}, cfg.MaxConcurrent),
+	}
+	s.runCtx, s.cancelRuns = context.WithCancel(context.Background())
+	s.vars = new(expvar.Map).Init()
+	for name, v := range map[string]expvar.Var{
+		"requests_total":    &s.ctr.requests,
+		"bad_requests":      &s.ctr.badRequests,
+		"rejected_busy":     &s.ctr.rejectedBusy,
+		"rejected_draining": &s.ctr.rejectedDraining,
+		"batches_total":     &s.ctr.batches,
+		"scenarios_run":     &s.ctr.scenariosRun,
+		"scenarios_failed":  &s.ctr.scenariosFailed,
+		"cache_hits":        &s.ctr.cacheHits,
+		"cache_misses":      &s.ctr.cacheMisses,
+		"jobs_created":      &s.ctr.jobsCreated,
+		"latency_sum_s":     &s.ctr.latencySum,
+		"latency_count":     &s.ctr.latencyCount,
+		"batches_running":   &s.ctr.running,
+		"queue_waiting":     &s.ctr.queued,
+		"cache_size":        &s.ctr.cacheSize,
+	} {
+		s.vars.Set(name, v)
+	}
+	return s
+}
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/run        run a scenario batch (async with {"async": true})
+//	GET  /v1/jobs/{id}  poll an async job
+//	GET  /healthz       liveness/readiness (503 while draining)
+//	GET  /metrics       serving counters (expvar JSON)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// Draining reports whether the server has stopped accepting work.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain stops accepting new requests, lets in-flight batches finish for
+// up to grace, then cancels whatever is still running and waits for it
+// to unwind. Batches cancelled by the drain still record their partial
+// results (completed scenarios are never dropped), and async jobs stay
+// queryable until the process exits. Safe to call more than once.
+func (s *Server) Drain(grace time.Duration) {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	if grace > 0 {
+		select {
+		case <-done:
+		case <-time.After(grace):
+		}
+	}
+	// Cancel stragglers (and release admission waiters), then wait: a
+	// cancelled run stops at the next cycle-slice boundary.
+	s.cancelRuns()
+	<-done
+}
+
+// MetricsJSON renders the serving counters as the same JSON body
+// /metrics serves — the drain-time flush target for the daemon's log.
+func (s *Server) MetricsJSON() string {
+	s.syncGauges()
+	return s.vars.String()
+}
+
+func (s *Server) syncGauges() {
+	s.ctr.queued.Set(s.waiting.Load())
+	s.ctr.cacheSize.Set(int64(s.cache.size()))
+}
+
+var (
+	errBusy     = errors.New("serve: admission queue full")
+	errDraining = errors.New("serve: draining")
+)
+
+// acquire admits one batch: it waits for an execution slot unless the
+// bounded queue is full, the server is draining, or ctx ends first. On
+// success the returned release function must be called when the batch
+// finishes.
+func (s *Server) acquire(ctx context.Context) (release func(), err error) {
+	if s.draining.Load() {
+		return nil, errDraining
+	}
+	if s.waiting.Add(1) > int64(s.cfg.MaxQueue) {
+		s.waiting.Add(-1)
+		return nil, errBusy
+	}
+	defer s.waiting.Add(-1)
+	select {
+	case s.slots <- struct{}{}:
+		return func() { <-s.slots }, nil
+	case <-s.runCtx.Done():
+		return nil, errDraining
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// timeout resolves a request's deadline from its timeout_ms.
+func (s *Server) timeout(ms int64) time.Duration {
+	d := time.Duration(ms) * time.Millisecond
+	if d <= 0 {
+		d = s.cfg.DefaultTimeout
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// decodeRun parses and validates a run request into engine scenarios and
+// their canonical cache keys ("" = uncacheable).
+func (s *Server) decodeRun(r *http.Request) (*RunRequest, []engine.Scenario, []string, error) {
+	var req RunRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, nil, nil, fmt.Errorf("decoding request: %w", err)
+	}
+	if len(req.Scenarios) == 0 {
+		return nil, nil, nil, errors.New("request has no scenarios")
+	}
+	if len(req.Scenarios) > s.cfg.MaxScenarios {
+		return nil, nil, nil, fmt.Errorf("request has %d scenarios, limit %d", len(req.Scenarios), s.cfg.MaxScenarios)
+	}
+	scenarios := make([]engine.Scenario, len(req.Scenarios))
+	keys := make([]string, len(req.Scenarios))
+	for i := range req.Scenarios {
+		sc, err := req.Scenarios[i].Scenario(i)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if sc.Cycles > s.cfg.MaxCycles {
+			return nil, nil, nil, fmt.Errorf("scenario %q: %d cycles exceeds the per-scenario limit %d", sc.Name, sc.Cycles, s.cfg.MaxCycles)
+		}
+		scenarios[i] = sc
+		keys[i], _ = sc.CanonicalKey()
+	}
+	return &req, scenarios, keys, nil
+}
+
+// handleRun serves POST /v1/run.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.reject(w, &s.ctr.rejectedDraining, "server is draining")
+		return
+	}
+	req, scenarios, keys, err := s.decodeRun(r)
+	if err != nil {
+		s.ctr.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	s.ctr.requests.Add(1)
+	if req.Async {
+		s.startJob(w, req, scenarios, keys)
+		return
+	}
+
+	// Merge the request context with the server's run context so a drain
+	// cancels in-flight synchronous batches too.
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
+	defer cancel()
+	stop := context.AfterFunc(s.runCtx, cancel)
+	defer stop()
+
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	resp, err := s.runBatch(ctx, scenarios, keys, req.NoCache, nil)
+	if err != nil {
+		// The batch needed the runner but was never admitted: 503 with
+		// backpressure advice, body still carrying any cache hits plus
+		// the admission error per unexecuted scenario.
+		s.rejectAcquire(w, err, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// startJob answers an async run: 202 with a job id, batch execution in
+// the background under the server's (not the request's) lifetime.
+func (s *Server) startJob(w http.ResponseWriter, req *RunRequest, scenarios []engine.Scenario, keys []string) {
+	j := s.jobs.create(len(scenarios))
+	s.ctr.jobsCreated.Add(1)
+	s.inflight.Add(1)
+	go func() {
+		defer s.inflight.Done()
+		defer s.jobs.retire(j)
+		ctx, cancel := context.WithTimeout(s.runCtx, s.timeout(req.TimeoutMS))
+		defer cancel()
+		j.status.Store(JobRunning)
+		resp, err := s.runBatch(ctx, scenarios, keys, req.NoCache, func(engine.Result) {
+			j.completed.Add(1)
+		})
+		b, _ := json.Marshal(resp)
+		status := JobDone
+		if err != nil || ctx.Err() != nil {
+			status = JobCancelled
+		}
+		j.finish(status, b)
+	}()
+	writeJSON(w, http.StatusAccepted, map[string]string{
+		"job_id": j.id,
+		"status": JobQueued,
+		"url":    "/v1/jobs/" + j.id,
+	})
+}
+
+// handleJob serves GET /v1/jobs/{id}.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown job"})
+		return
+	}
+	st := JobStatus{
+		ID:        j.id,
+		Status:    j.status.Load().(string),
+		Total:     j.total,
+		Completed: int(j.completed.Load()),
+	}
+	j.mu.Lock()
+	raw := j.response
+	j.mu.Unlock()
+	if raw != nil {
+		var resp RunResponse
+		if err := json.Unmarshal(raw, &resp); err == nil {
+			st.Response = &resp
+		}
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.syncGauges()
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, s.vars.String())
+}
+
+// runBatch is the shared execution path of sync requests and async
+// jobs: resolve cache hits, admit the batch only if anything actually
+// needs the runner (a fully cached batch never occupies a slot), run
+// the misses, marshal and cache the fresh results, and assemble the
+// response in input order. A non-nil error means the batch needed the
+// runner and was never admitted (queue full, draining, or ctx ended
+// while queued); the response then carries the cache hits plus one
+// admission error per unexecuted scenario.
+func (s *Server) runBatch(ctx context.Context, scenarios []engine.Scenario, keys []string, noCache bool, onDone func(engine.Result)) (RunResponse, error) {
+	start := time.Now()
+
+	results := make([]json.RawMessage, len(scenarios))
+	var resp RunResponse
+	var missIdx []int
+	for i := range scenarios {
+		if keys[i] == "" {
+			resp.Batch.Uncacheable++
+			missIdx = append(missIdx, i)
+			continue
+		}
+		if !noCache {
+			if b, ok := s.cache.get(keys[i]); ok {
+				s.ctr.cacheHits.Add(1)
+				resp.Batch.CacheHits++
+				results[i] = b
+				if onDone != nil {
+					onDone(engine.Result{Index: i, Scenario: scenarios[i]})
+				}
+				continue
+			}
+		}
+		s.ctr.cacheMisses.Add(1)
+		resp.Batch.CacheMisses++
+		missIdx = append(missIdx, i)
+	}
+
+	var admissionErr error
+	if len(missIdx) > 0 {
+		release, err := s.acquire(ctx)
+		if err != nil {
+			admissionErr = err
+			resp.Batch.Failed = len(missIdx)
+			for _, i := range missIdx {
+				b, _ := json.Marshal(ResultWire{Name: scenarios[i].Name, Key: keys[i], Error: err.Error()})
+				results[i] = b
+			}
+		} else {
+			s.ctr.running.Add(1)
+			miss := make([]engine.Scenario, len(missIdx))
+			for n, i := range missIdx {
+				miss[n] = scenarios[i]
+			}
+			runner := engine.NewRunner(s.cfg.Workers)
+			runner.OnDone = onDone
+			res, batch := runner.RunMetered(ctx, miss)
+			release()
+			s.ctr.running.Add(-1)
+			resp.Batch.BatchMetricsWire = batch.Wire()
+			for n, i := range missIdx {
+				b, err := json.Marshal(resultWire(&res[n], keys[i]))
+				if err != nil {
+					// Marshaling plain data cannot fail; keep the
+					// scenario's slot valid regardless.
+					b, _ = json.Marshal(ResultWire{Name: scenarios[i].Name, Error: err.Error()})
+				}
+				results[i] = b
+				s.ctr.scenariosRun.Add(1)
+				if res[n].Err != nil {
+					s.ctr.scenariosFailed.Add(1)
+				} else {
+					s.cache.put(keys[i], b)
+				}
+			}
+		}
+	}
+	resp.Results = results
+	resp.Batch.Scenarios = len(scenarios)
+	if admissionErr == nil {
+		s.ctr.batches.Add(1)
+		s.ctr.latencySum.Add(time.Since(start).Seconds())
+		s.ctr.latencyCount.Add(1)
+	}
+	return resp, admissionErr
+}
+
+// reject answers 503 with backpressure advice.
+func (s *Server) reject(w http.ResponseWriter, ctr *expvar.Int, msg string) {
+	ctr.Add(1)
+	// Retry-After scales with queue pressure: an empty queue clears in
+	// about a batch, a full one in several.
+	after := 1 + int(s.waiting.Load())/max(1, s.cfg.MaxConcurrent)
+	w.Header().Set("Retry-After", strconv.Itoa(after))
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": msg})
+}
+
+// rejectAcquire answers a failed admission with 503 + Retry-After; the
+// body is the batch response runBatch assembled (cache hits intact, the
+// admission error on every scenario that never ran).
+func (s *Server) rejectAcquire(w http.ResponseWriter, err error, resp RunResponse) {
+	switch {
+	case errors.Is(err, errBusy):
+		s.ctr.rejectedBusy.Add(1)
+	case errors.Is(err, errDraining):
+		s.ctr.rejectedDraining.Add(1)
+		// Otherwise the request's own context ended while queued (client
+		// gone or deadline spent waiting).
+	}
+	after := 1 + int(s.waiting.Load())/max(1, s.cfg.MaxConcurrent)
+	w.Header().Set("Retry-After", strconv.Itoa(after))
+	writeJSON(w, http.StatusServiceUnavailable, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the connection is the only failure mode here
+}

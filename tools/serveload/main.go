@@ -1,0 +1,331 @@
+// Command serveload drives an ahbserved daemon at a target request rate
+// and reports latency percentiles and error rate — the serving
+// equivalent of the benchmark suite, with the same role in CI:
+// BENCH_serve.json is the checked-in baseline and -gate fails the run
+// when p95 regresses beyond the threshold or any request misbehaves.
+//
+// Usage:
+//
+//	serveload -addr http://localhost:8097 -rps 100 -duration 5s \
+//	          -gate BENCH_serve.json -threshold 100
+//
+// Requests are scenario batches; -distinct controls how many distinct
+// canonical scenarios rotate through the run (1 = everything after the
+// first request is a cache hit; large values measure fresh-run latency).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+type result struct {
+	latency time.Duration
+	status  int
+	err     error
+}
+
+// report is the machine-readable summary; BENCH_serve.json stores the
+// baseline in the same shape (only the gated fields are required).
+type report struct {
+	Requests     int     `json:"requests"`
+	Errors       int     `json:"errors"`
+	ErrorRate    float64 `json:"error_rate"`
+	AchievedRPS  float64 `json:"achieved_rps"`
+	P50Ms        float64 `json:"p50_ms"`
+	P95Ms        float64 `json:"p95_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	MaxMs        float64 `json:"max_ms"`
+	CacheableHit bool    `json:"-"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8097", "daemon base URL")
+	rps := flag.Float64("rps", 50, "target request rate per second")
+	duration := flag.Duration("duration", 5*time.Second, "load duration")
+	concurrency := flag.Int("concurrency", 256, "maximum outstanding requests")
+	cycles := flag.Uint64("cycles", 2000, "cycles per scenario")
+	perReq := flag.Int("scenarios", 1, "scenarios per request")
+	distinct := flag.Int("distinct", 8, "distinct canonical scenarios rotated through the run")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+	wait := flag.Duration("wait", 15*time.Second, "how long to wait for /healthz before starting")
+	gate := flag.String("gate", "", "baseline JSON (e.g. BENCH_serve.json); exit 1 on regression")
+	threshold := flag.Float64("threshold", 100, "allowed p95 regression over the baseline, percent")
+	jsonOut := flag.String("o", "", "write the JSON report to this file")
+	flag.Parse()
+
+	if err := waitReady(*addr, *wait); err != nil {
+		fatal(err)
+	}
+	client := &http.Client{Timeout: *timeout}
+	bodies := requestBodies(*distinct, *perReq, *cycles)
+
+	var (
+		mu      sync.Mutex
+		results []result
+		wg      sync.WaitGroup
+	)
+	sem := make(chan struct{}, *concurrency)
+	interval := time.Duration(float64(time.Second) / *rps)
+	start := time.Now()
+	deadline := start.Add(*duration)
+	for n := 0; ; n++ {
+		now := time.Now()
+		if now.After(deadline) {
+			break
+		}
+		if next := start.Add(time.Duration(n) * interval); next.After(now) {
+			time.Sleep(time.Until(next))
+		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			// Concurrency cap reached: the server is slower than the
+			// target rate; count the dropped send as an error rather
+			// than queueing unboundedly in the client.
+			mu.Lock()
+			results = append(results, result{err: fmt.Errorf("client concurrency cap %d reached", *concurrency)})
+			mu.Unlock()
+			continue
+		}
+		wg.Add(1)
+		go func(body []byte) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			r := oneRequest(client, *addr+"/v1/run", body)
+			mu.Lock()
+			results = append(results, r)
+			mu.Unlock()
+		}(bodies[n%len(bodies)])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := summarize(results, elapsed)
+	fmt.Printf("serveload: %d requests in %s (%.1f rps achieved, target %.1f)\n",
+		rep.Requests, elapsed.Round(time.Millisecond), rep.AchievedRPS, *rps)
+	fmt.Printf("latency p50=%.1fms p95=%.1fms p99=%.1fms max=%.1fms\n",
+		rep.P50Ms, rep.P95Ms, rep.P99Ms, rep.MaxMs)
+	fmt.Printf("errors %d (%.2f%%)\n", rep.Errors, 100*rep.ErrorRate)
+	for _, r := range results {
+		if r.err != nil {
+			fmt.Printf("first error: %v\n", r.err)
+			break
+		}
+	}
+	if *jsonOut != "" {
+		b, _ := json.MarshalIndent(rep, "", "  ")
+		if err := os.WriteFile(*jsonOut, append(b, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *gate != "" {
+		baseline, err := loadBaseline(*gate)
+		if err != nil {
+			fatal(err)
+		}
+		if err := gateCheck(rep, baseline, *threshold); err != nil {
+			fmt.Fprintln(os.Stderr, "serveload: GATE FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("gate ok: p95 %.1fms within %.0f%% of baseline %.1fms, error rate %.2f%% <= %.2f%%\n",
+			rep.P95Ms, *threshold, baseline.P95Ms, 100*rep.ErrorRate, 100*baseline.ErrorRate)
+	}
+}
+
+// waitReady polls /healthz until it answers 200.
+func waitReady(addr string, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := http.Get(addr + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err == nil {
+				return fmt.Errorf("daemon at %s not ready within %s", addr, wait)
+			}
+			return fmt.Errorf("daemon at %s not reachable within %s: %w", addr, wait, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// requestBodies pre-marshals the rotating request set. Distinct seeds
+// produce distinct canonical scenarios (distinct cache keys).
+func requestBodies(distinct, perReq int, cycles uint64) [][]byte {
+	if distinct < 1 {
+		distinct = 1
+	}
+	if perReq < 1 {
+		perReq = 1
+	}
+	bodies := make([][]byte, distinct)
+	for d := range bodies {
+		var req struct {
+			Scenarios []map[string]any `json:"scenarios"`
+		}
+		for k := 0; k < perReq; k++ {
+			req.Scenarios = append(req.Scenarios, map[string]any{
+				"name":   fmt.Sprintf("load-%d-%d", d, k),
+				"cycles": cycles,
+				"workloads": []map[string]any{{
+					"seed":      d*1000 + k,
+					"sequences": 4,
+					"pairs_min": 4, "pairs_max": 12,
+					"idle_min": 5, "idle_max": 20,
+					"addr_size": 12288,
+				}},
+			})
+		}
+		bodies[d], _ = json.Marshal(req)
+	}
+	return bodies
+}
+
+// oneRequest performs one POST /v1/run and validates the response shape.
+func oneRequest(client *http.Client, url string, body []byte) result {
+	t0 := time.Now()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return result{latency: time.Since(t0), err: err}
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	lat := time.Since(t0)
+	if err != nil {
+		return result{latency: lat, status: resp.StatusCode, err: err}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return result{latency: lat, status: resp.StatusCode,
+			err: fmt.Errorf("status %d: %s", resp.StatusCode, truncate(raw, 200))}
+	}
+	var parsed struct {
+		Results []struct {
+			Error string `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		return result{latency: lat, status: resp.StatusCode, err: fmt.Errorf("bad response body: %w", err)}
+	}
+	if len(parsed.Results) == 0 {
+		return result{latency: lat, status: resp.StatusCode, err: fmt.Errorf("response has no results")}
+	}
+	for _, r := range parsed.Results {
+		if r.Error != "" {
+			return result{latency: lat, status: resp.StatusCode, err: fmt.Errorf("scenario error: %s", r.Error)}
+		}
+	}
+	return result{latency: lat, status: resp.StatusCode}
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) > n {
+		return string(b[:n]) + "..."
+	}
+	return string(b)
+}
+
+// summarize folds the raw results into the report.
+func summarize(results []result, elapsed time.Duration) report {
+	rep := report{Requests: len(results)}
+	if elapsed > 0 {
+		rep.AchievedRPS = float64(len(results)) / elapsed.Seconds()
+	}
+	lats := make([]float64, 0, len(results))
+	for _, r := range results {
+		if r.err != nil {
+			rep.Errors++
+			continue
+		}
+		lats = append(lats, float64(r.latency)/float64(time.Millisecond))
+	}
+	if rep.Requests > 0 {
+		rep.ErrorRate = float64(rep.Errors) / float64(rep.Requests)
+	}
+	rep.P50Ms = percentile(lats, 50)
+	rep.P95Ms = percentile(lats, 95)
+	rep.P99Ms = percentile(lats, 99)
+	if len(lats) > 0 {
+		max := lats[0]
+		for _, v := range lats {
+			if v > max {
+				max = v
+			}
+		}
+		rep.MaxMs = max
+	}
+	return rep
+}
+
+// percentile returns the p-th percentile of vs (nearest-rank), or 0 for
+// an empty slice.
+func percentile(vs []float64, p float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	rank := int(math.Ceil(p / 100 * float64(len(s))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s) {
+		rank = len(s)
+	}
+	return s[rank-1]
+}
+
+// loadBaseline reads a baseline report (only gated fields required).
+func loadBaseline(path string) (report, error) {
+	var b report
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return b, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if b.P95Ms <= 0 {
+		return b, fmt.Errorf("baseline %s has no positive p95_ms", path)
+	}
+	return b, nil
+}
+
+// gateCheck fails when head p95 exceeds the baseline by more than
+// threshold percent, or when the error rate exceeds the baseline's
+// allowance. Zero requests is always a failure — a gate that measured
+// nothing must not pass.
+func gateCheck(head, baseline report, threshold float64) error {
+	if head.Requests == 0 {
+		return fmt.Errorf("no requests were sent")
+	}
+	if head.ErrorRate > baseline.ErrorRate {
+		return fmt.Errorf("error rate %.2f%% exceeds allowed %.2f%%",
+			100*head.ErrorRate, 100*baseline.ErrorRate)
+	}
+	limit := baseline.P95Ms * (1 + threshold/100)
+	if head.P95Ms > limit {
+		return fmt.Errorf("p95 %.1fms exceeds limit %.1fms (baseline %.1fms + %.0f%%)",
+			head.P95Ms, limit, baseline.P95Ms, threshold)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "serveload:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPercentile(t *testing.T) {
+	vs := []float64{5, 1, 4, 2, 3} // sorted: 1 2 3 4 5
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{50, 3}, {95, 5}, {99, 5}, {100, 5}, {1, 1}, {20, 1},
+	}
+	for _, c := range cases {
+		if got := percentile(vs, c.p); got != c.want {
+			t.Errorf("percentile(%v, %g) = %g, want %g", vs, c.p, got, c.want)
+		}
+	}
+	if got := percentile(nil, 95); got != 0 {
+		t.Errorf("percentile(nil) = %g, want 0", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	results := []result{
+		{latency: 10 * time.Millisecond},
+		{latency: 20 * time.Millisecond},
+		{latency: 30 * time.Millisecond},
+		{err: errFake},
+	}
+	rep := summarize(results, 2*time.Second)
+	if rep.Requests != 4 || rep.Errors != 1 {
+		t.Errorf("requests=%d errors=%d, want 4/1", rep.Requests, rep.Errors)
+	}
+	if rep.ErrorRate != 0.25 {
+		t.Errorf("error rate %g, want 0.25", rep.ErrorRate)
+	}
+	if rep.AchievedRPS != 2 {
+		t.Errorf("achieved rps %g, want 2", rep.AchievedRPS)
+	}
+	if rep.P50Ms != 20 || rep.MaxMs != 30 {
+		t.Errorf("p50=%g max=%g, want 20/30", rep.P50Ms, rep.MaxMs)
+	}
+}
+
+var errFake = &fakeErr{}
+
+type fakeErr struct{}
+
+func (*fakeErr) Error() string { return "fake" }
+
+func TestGateCheck(t *testing.T) {
+	baseline := report{P95Ms: 100, ErrorRate: 0}
+	ok := report{Requests: 50, P95Ms: 120, ErrorRate: 0}
+	if err := gateCheck(ok, baseline, 50); err != nil {
+		t.Errorf("within threshold must pass: %v", err)
+	}
+	slow := report{Requests: 50, P95Ms: 151, ErrorRate: 0}
+	if err := gateCheck(slow, baseline, 50); err == nil {
+		t.Error("p95 beyond threshold must fail")
+	}
+	errs := report{Requests: 50, P95Ms: 50, Errors: 1, ErrorRate: 0.02}
+	if err := gateCheck(errs, baseline, 50); err == nil {
+		t.Error("nonzero error rate against a zero-error baseline must fail")
+	}
+	empty := report{}
+	if err := gateCheck(empty, baseline, 50); err == nil {
+		t.Error("zero requests must fail the gate")
+	}
+}
