@@ -28,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"ahbpower/internal/engine"
 	"ahbpower/internal/serve"
 )
 
@@ -42,6 +43,8 @@ func main() {
 	timeout := flag.Duration("timeout", 60*time.Second, "default per-request deadline")
 	maxTimeout := flag.Duration("max-timeout", 10*time.Minute, "maximum per-request deadline")
 	drainGrace := flag.Duration("drain-grace", 15*time.Second, "time in-flight batches may finish after SIGTERM before cancellation")
+	degradeAt := flag.Float64("degrade-at", 0.75, "queue-pressure fraction that enters degraded mode (negative disables)")
+	retries := flag.Int("retries", 2, "execution attempts per scenario for transient failures (1 disables retry)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "ahbserved: ", log.LstdFlags)
@@ -54,6 +57,8 @@ func main() {
 		MaxCycles:      *maxCycles,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		DegradeAt:      *degradeAt,
+		Retry:          engine.RetryPolicy{MaxAttempts: *retries},
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

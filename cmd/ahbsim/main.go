@@ -19,6 +19,7 @@ import (
 	"ahbpower/internal/core"
 	"ahbpower/internal/engine"
 	"ahbpower/internal/experiments"
+	"ahbpower/internal/fault"
 	"ahbpower/internal/metrics"
 	"ahbpower/internal/power"
 )
@@ -32,6 +33,7 @@ func main() {
 	modelFile := flag.String("models", "", "load characterized macromodels from a JSON file (see examples/characterize)")
 	traceFile := flag.String("trace", "", "record a power trace to this file (.csv, .jsonl or .vcd by extension)")
 	window := flag.Float64("window", 100e-9, "power-trace window duration in seconds")
+	faultsFile := flag.String("faults", "", "inject faults from this JSON plan file (see internal/fault)")
 	exp := flag.String("exp", "", "run a named experiment instead: table1, figures, overhead, validation, granularity, styles, parametric, burst, pattern, dpm, cosim, impl, buses, all")
 	flag.Parse()
 
@@ -85,16 +87,29 @@ func main() {
 		acfg.Trace = trace
 	}
 
+	var plan *fault.Plan
+	if *faultsFile != "" {
+		var err error
+		if plan, err = fault.LoadFile(*faultsFile); err != nil {
+			fatal(err)
+		}
+	}
+
 	// Ctrl-C cancels the run mid-simulation; the trace keeps what it saw.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	res := engine.RunOne(ctx, engine.Scenario{
+	// A one-worker runner (rather than RunOne) so fault plans with
+	// fail_first get the engine's retry policy, as they would in a sweep.
+	runner := engine.NewRunner(1)
+	runner.Retry = engine.DefaultRetryPolicy()
+	res := runner.Run(ctx, []engine.Scenario{{
 		Name:     "ahbsim",
 		System:   cfg,
 		Analyzer: acfg,
 		Cycles:   *cycles,
-	})
+		Faults:   plan,
+	}})[0]
 	if errors.Is(res.Err, context.Canceled) {
 		// Interrupted mid-run: keep the partial trace, skip the report.
 		fmt.Fprintln(os.Stderr, "ahbsim: interrupted")
@@ -111,6 +126,14 @@ func main() {
 	}
 	if len(res.Violations) > 0 {
 		fmt.Fprintf(os.Stderr, "protocol violations: %d (first: %v)\n", len(res.Violations), res.Violations[0])
+	}
+	if res.Faults != nil {
+		fmt.Printf("injected faults: errors=%d retries=%d splits=%d wait_states=%d addr_flips=%d data_flips=%d\n",
+			res.Faults.Errors, res.Faults.Retries, res.Faults.Splits,
+			res.Faults.WaitStates, res.Faults.AddrFlips, res.Faults.DataFlips)
+	}
+	if res.Attempts > 1 {
+		fmt.Printf("attempts: %d (transient failures retried)\n", res.Attempts)
 	}
 
 	r := res.Report

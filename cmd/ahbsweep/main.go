@@ -20,6 +20,7 @@ import (
 	"ahbpower/internal/amba/ahb"
 	"ahbpower/internal/core"
 	"ahbpower/internal/engine"
+	"ahbpower/internal/fault"
 )
 
 func main() {
@@ -29,6 +30,7 @@ func main() {
 	waits := flag.String("waits", "0,1,2", "comma-separated slave wait states")
 	policies := flag.String("policies", "sticky,fixed,rr", "comma-separated arbitration policies")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel scenario workers")
+	faultsFile := flag.String("faults", "", "inject faults from this JSON plan file into every configuration (see internal/fault)")
 	out := flag.String("o", "", "output file (default stdout)")
 	showMetrics := flag.Bool("metrics", false, "print batch run metrics (throughput, utilization, latency) to stderr")
 	flag.Parse()
@@ -63,11 +65,25 @@ func main() {
 		Policies: pols,
 	}
 
+	var plan *fault.Plan
+	if *faultsFile != "" {
+		var err error
+		if plan, err = fault.LoadFile(*faultsFile); err != nil {
+			fatal(err)
+		}
+	}
+	scens := grid.Scenarios()
+	for i := range scens {
+		scens[i].Faults = plan
+	}
+
 	// Ctrl-C abandons queued scenarios; completed rows are still printed.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	results, batch := engine.NewRunner(*workers).RunMetered(ctx, grid.Scenarios())
+	runner := engine.NewRunner(*workers)
+	runner.Retry = engine.DefaultRetryPolicy()
+	results, batch := runner.RunMetered(ctx, scens)
 	if *showMetrics {
 		fmt.Fprintln(os.Stderr, batch.Format())
 	}
@@ -84,7 +100,14 @@ func main() {
 			fatal(res.Err)
 		}
 		if len(res.Violations) > 0 {
-			fatal(fmt.Errorf("protocol violation in %s: %v", res.Scenario.Name, res.Violations[0]))
+			// Injected faults are supposed to trip the protocol monitor;
+			// only a fault-free sweep treats a violation as fatal.
+			if plan.Active() {
+				fmt.Fprintf(os.Stderr, "ahbsweep: %s: %d protocol violations under fault injection (first: %v)\n",
+					res.Scenario.Name, len(res.Violations), res.Violations[0])
+			} else {
+				fatal(fmt.Errorf("protocol violation in %s: %v", res.Scenario.Name, res.Violations[0]))
+			}
 		}
 		cfg, r := res.Scenario.System, res.Report
 		if _, err := fmt.Fprintf(w, "%d,%d,%d,%s,%d,%d,%g,%g,%.3f,%.2f,%.2f\n",

@@ -443,14 +443,18 @@ func (b *Bus) buildDefaultSlave() {
 // SplitMask exposes the arbiter's split mask (for monitors and tests).
 func (b *Bus) SplitMask() uint16 { return b.splitMask }
 
-// maskSplit records that master m received a SPLIT and must not be granted
-// until resumed.
-func (b *Bus) maskSplit(m uint8) {
+// MaskSplit records that master m received a SPLIT and must not be granted
+// until resumed. Split-capable slaves (and the fault injector) call it on
+// the cycle they issue the SPLIT response.
+func (b *Bus) MaskSplit(m uint8) {
 	b.splitMask |= 1 << uint(m)
 }
 
-// watchSplitResume wires a slave's split-resume signal into the arbiter.
-func (b *Bus) watchSplitResume(s int) {
+// WatchSplitResume wires slave s's split-resume signal (HSPLITx) into the
+// arbiter: any bit pulsed on SplitRes unmasks the corresponding master.
+// Idempotent registration is the caller's concern; each call adds a
+// watcher.
+func (b *Bus) WatchSplitResume(s int) {
 	b.S[s].SplitRes.Watch(func(_, now uint16) {
 		b.splitMask &^= now
 	})

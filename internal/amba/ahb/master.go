@@ -119,7 +119,20 @@ type Master struct {
 	keepRes   bool
 	stats     MasterStats
 	onResult  func(Result)
+	onDrive   func(*BeatDrive)
 	splitWait bool
+}
+
+// BeatDrive is the mutable view of a beat the instant before its address
+// phase goes on the bus. An OnDrive hook may rewrite Addr and (for writes)
+// Data; the mutated values are what the master drives and what it re-issues
+// on RETRY/SPLIT — the fault injector's bit-flip channel.
+type BeatDrive struct {
+	Trans uint8
+	Beat  int // beat index within the op
+	Write bool
+	Addr  uint32
+	Data  uint32
 }
 
 // flight is one beat in the bus pipeline.
@@ -157,6 +170,11 @@ func (m *Master) KeepResults(keep bool) { m.keepRes = keep }
 
 // OnResult registers a callback invoked at every completed beat.
 func (m *Master) OnResult(fn func(Result)) { m.onResult = fn }
+
+// OnDrive registers a callback invoked just before every NONSEQ/SEQ beat is
+// driven onto the address bus, with a mutable BeatDrive. Mutations stick:
+// the beat keeps the altered address/data through wait states and re-issue.
+func (m *Master) OnDrive(fn func(*BeatDrive)) { m.onDrive = fn }
 
 // Results returns the recorded beats (empty unless KeepResults(true)).
 func (m *Master) Results() []Result { return m.results }
@@ -432,6 +450,14 @@ func (m *Master) sizeOf(op *Op) uint8 {
 
 // driveFlight puts a beat on the address bus.
 func (m *Master) driveFlight(f *flight) {
+	if m.onDrive != nil && (f.trans == TransNonseq || f.trans == TransSeq) {
+		bd := BeatDrive{Trans: f.trans, Beat: f.beatIdx, Write: f.write, Addr: f.addr, Data: f.data}
+		m.onDrive(&bd)
+		f.addr = bd.Addr
+		if f.write {
+			f.data = bd.Data & m.bus.DataMask()
+		}
+	}
 	m.addrPhase = f
 	m.ports.Trans.Write(f.trans)
 	m.ports.Addr.Write(f.addr)

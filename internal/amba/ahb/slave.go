@@ -249,7 +249,7 @@ func NewSplitSlave(b *Bus, idx, holdCycles int) (*SplitSlave, error) {
 		holdCycles = 1
 	}
 	s := &SplitSlave{bus: b, idx: idx, ports: &b.S[idx], HoldCycles: holdCycles, mem: map[uint32]uint32{}}
-	b.watchSplitResume(idx)
+	b.WatchSplitResume(idx)
 	b.K.MethodNoInit(fmt.Sprintf("%s.splitslave%d", b.Cfg.Name, idx), s.tick, b.Clk.Posedge())
 	return s, nil
 }
@@ -294,7 +294,7 @@ func (s *SplitSlave) tick() {
 			// phase now: the address-phase master of the sampled cycle.
 			m := s.bus.HMaster.Read()
 			s.heldMask = 1 << uint(m)
-			s.bus.maskSplit(m)
+			s.bus.MaskSplit(m)
 			return
 		}
 		s.primed = false

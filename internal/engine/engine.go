@@ -17,6 +17,7 @@ import (
 
 	"ahbpower/internal/amba/ahb"
 	"ahbpower/internal/core"
+	"ahbpower/internal/fault"
 	"ahbpower/internal/metrics"
 	"ahbpower/internal/power"
 	"ahbpower/internal/workload"
@@ -52,6 +53,16 @@ type Scenario struct {
 	// inspection. Leave false in large sweeps so memory is reclaimed as
 	// scenarios complete.
 	KeepSystem bool
+	// Faults, when non-nil, is the deterministic fault-injection plan
+	// compiled onto the system after the workload is loaded (see
+	// internal/fault). Plans participate in CanonicalKey, so faulty runs
+	// cache correctly.
+	Faults *fault.Plan
+	// Timeout, when positive, bounds this scenario's wall-clock execution.
+	// On expiry the run stops at the next cycle-slice boundary and the
+	// scenario fails with a timeout-classed error; timeouts are never
+	// retried (a deterministic simulation would only time out again).
+	Timeout time.Duration
 }
 
 // Result is the outcome of one scenario. On success Report and the
@@ -88,9 +99,18 @@ type Result struct {
 	Metrics metrics.RunMetrics
 	// System is the built system, retained only when Scenario.KeepSystem.
 	System *core.System
+	// Attempts is the number of execution attempts made (>1 when the
+	// runner retried transient failures). Zero for scenarios abandoned
+	// before starting.
+	Attempts int
+	// Faults holds the injector's per-kind counters when the scenario
+	// carried an active fault plan.
+	Faults *fault.Stats
 	// Err captures any failure: construction, workload generation, attach,
-	// simulation, or a panic inside the scenario. One failed scenario
-	// never aborts the rest of a batch.
+	// simulation, or a panic inside the scenario. Runner batches wrap it
+	// in a *ScenarioError carrying the failure class and attempt count;
+	// scenarios abandoned before starting keep the raw context error. One
+	// failed scenario never aborts the rest of a batch.
 	Err error
 }
 
@@ -117,6 +137,9 @@ type Runner struct {
 	// cancelled ones. Scenarios abandoned before starting (batch
 	// cancellation) do not trigger it.
 	OnDone func(Result)
+	// Retry bounds how transiently failed scenarios are re-attempted.
+	// The zero value runs each scenario exactly once.
+	Retry RetryPolicy
 }
 
 // NewRunner returns a runner with the given pool size (minimum 1).
@@ -165,7 +188,7 @@ func (r *Runner) Run(ctx context.Context, scenarios []Scenario) []Result {
 				if r.OnStart != nil {
 					r.OnStart(i)
 				}
-				results[i] = Execute(ctx, i, scenarios[i])
+				results[i] = r.runScenario(ctx, i, scenarios[i])
 				executed[i] = true
 				if r.OnDone != nil {
 					r.OnDone(results[i])
@@ -242,23 +265,42 @@ func RunOne(ctx context.Context, sc Scenario) Result {
 }
 
 // Execute builds and runs one scenario, capturing any failure — including
-// a panic anywhere in the model stack — in Result.Err.
-func Execute(ctx context.Context, index int, sc Scenario) (res Result) {
-	res = Result{Index: index, Scenario: sc}
+// a panic anywhere in the model stack — in Result.Err. It is a single
+// attempt: fault-plan FailFirst failures and other transient errors come
+// back as-is; retrying is the Runner's job.
+func Execute(ctx context.Context, index int, sc Scenario) Result {
+	return executeAttempt(ctx, index, sc, 0)
+}
+
+// executeAttempt is Execute with an attempt number, so a fault plan's
+// FailFirst knob can fail early attempts and the retry loop can report
+// attempt counts.
+func executeAttempt(ctx context.Context, index int, sc Scenario, attempt int) (res Result) {
+	res = Result{Index: index, Scenario: sc, Attempts: attempt + 1}
 	defer func() {
 		if p := recover(); p != nil {
 			res.Err = fmt.Errorf("engine: scenario %q panicked: %v", sc.Name, p)
 		}
 	}()
-	if ctx != nil {
-		if err := ctx.Err(); err != nil {
-			res.Err = err
-			return res
-		}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
 	}
 	if sc.Cycles == 0 {
 		res.Err = fmt.Errorf("engine: scenario %q: Cycles must be positive", sc.Name)
 		return res
+	}
+	if sc.Faults != nil && attempt < sc.Faults.FailFirst {
+		res.Err = fmt.Errorf("engine: scenario %q: %w", sc.Name, &fault.InjectedFault{Attempt: attempt})
+		return res
+	}
+	if sc.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, sc.Timeout)
+		defer cancel()
 	}
 	buildStart := time.Now()
 	sys, err := core.NewSystem(sc.System)
@@ -289,6 +331,14 @@ func Execute(ctx context.Context, index int, sc Scenario) (res Result) {
 			return res
 		}
 	}
+	var inj *fault.Injector
+	if sc.Faults.Active() {
+		inj, err = fault.Attach(sys.Bus, sys.Masters, sc.Faults)
+		if err != nil {
+			res.Err = fmt.Errorf("engine: scenario %q: %w", sc.Name, err)
+			return res
+		}
+	}
 	build := time.Since(buildStart)
 	start := time.Now()
 	if err := sys.RunContext(ctx, sc.Cycles); err != nil {
@@ -306,6 +356,10 @@ func Execute(ctx context.Context, index int, sc Scenario) (res Result) {
 	res.Counts = sys.Monitor.Counts()
 	for _, m := range sys.Masters {
 		res.Beats += m.Stats().Beats
+	}
+	if inj != nil {
+		st := inj.Stats()
+		res.Faults = &st
 	}
 	if sc.KeepSystem {
 		res.System = sys

@@ -10,7 +10,8 @@ import (
 // hashVersion tags the canonical encoding. Bump it whenever a field is
 // added to the encoding or its meaning changes, so stale cache entries
 // keyed by an older scheme can never be returned for a new scenario.
-const hashVersion = "ahbpower/engine.Scenario/v1"
+// v2: fault plans and per-scenario timeouts joined the encoding.
+const hashVersion = "ahbpower/engine.Scenario/v2"
 
 // CanonicalKey returns a content-addressed key for the scenario: the
 // hex SHA-256 of a canonical binary encoding of every field that can
@@ -76,6 +77,26 @@ func (sc *Scenario) CanonicalKey() (key string, ok bool) {
 		e.i64(int64(w.BurstBeats))
 	}
 	e.u64(sc.Cycles)
+	e.i64(int64(sc.Timeout))
+
+	e.bool(sc.Faults != nil)
+	if sc.Faults != nil {
+		p := sc.Faults
+		e.i64(p.Seed)
+		e.i64(int64(p.FailFirst))
+		e.u64(uint64(len(p.Rules)))
+		for _, r := range p.Rules {
+			e.u64(uint64(r.Kind))
+			e.i64(int64(r.Slave))
+			e.i64(int64(r.Master))
+			e.f64(r.Prob)
+			e.i64(int64(r.Count))
+			e.i64(int64(r.Retries))
+			e.i64(int64(r.Waits))
+			e.i64(int64(r.Hold))
+			e.u64(uint64(r.Mask))
+		}
+	}
 	return hex.EncodeToString(h.Sum(nil)), true
 }
 

@@ -4,8 +4,10 @@ import (
 	"context"
 	"sync"
 	"testing"
+	"time"
 
 	"ahbpower/internal/core"
+	"ahbpower/internal/fault"
 	"ahbpower/internal/metrics"
 	"ahbpower/internal/power"
 	"ahbpower/internal/workload"
@@ -39,17 +41,19 @@ func TestCanonicalKeySensitivity(t *testing.T) {
 	bsc := hashableScenario()
 	base, _ := bsc.CanonicalKey()
 	muts := map[string]func(*Scenario){
-		"Name":            func(sc *Scenario) { sc.Name = "other" },
-		"Cycles":          func(sc *Scenario) { sc.Cycles = 501 },
-		"NumSlaves":       func(sc *Scenario) { sc.System.NumSlaves = 4 },
-		"DataWidth":       func(sc *Scenario) { sc.System.DataWidth = 16 },
-		"SlaveWaits":      func(sc *Scenario) { sc.System.SlaveWaits = 1 },
-		"Policy":          func(sc *Scenario) { sc.System.Policy++ },
-		"Style":           func(sc *Scenario) { sc.Analyzer.Style = core.StylePrivate },
-		"Tech":            func(sc *Scenario) { sc.Analyzer.Tech = power.Tech{VDD: 1.2, CPD: 1e-15, CO: 2e-15} },
-		"DPM":             func(sc *Scenario) { sc.Analyzer.DPM = &core.DPMConfig{IdleThreshold: 4} },
-		"SkipAnalyzer":    func(sc *Scenario) { sc.SkipAnalyzer = true },
-		"Workloads":       func(sc *Scenario) { sc.Workloads = []workload.Config{{Seed: 1, NumSequences: 2, PairsMin: 1, PairsMax: 2, AddrSize: 64}} },
+		"Name":         func(sc *Scenario) { sc.Name = "other" },
+		"Cycles":       func(sc *Scenario) { sc.Cycles = 501 },
+		"NumSlaves":    func(sc *Scenario) { sc.System.NumSlaves = 4 },
+		"DataWidth":    func(sc *Scenario) { sc.System.DataWidth = 16 },
+		"SlaveWaits":   func(sc *Scenario) { sc.System.SlaveWaits = 1 },
+		"Policy":       func(sc *Scenario) { sc.System.Policy++ },
+		"Style":        func(sc *Scenario) { sc.Analyzer.Style = core.StylePrivate },
+		"Tech":         func(sc *Scenario) { sc.Analyzer.Tech = power.Tech{VDD: 1.2, CPD: 1e-15, CO: 2e-15} },
+		"DPM":          func(sc *Scenario) { sc.Analyzer.DPM = &core.DPMConfig{IdleThreshold: 4} },
+		"SkipAnalyzer": func(sc *Scenario) { sc.SkipAnalyzer = true },
+		"Workloads": func(sc *Scenario) {
+			sc.Workloads = []workload.Config{{Seed: 1, NumSequences: 2, PairsMin: 1, PairsMax: 2, AddrSize: 64}}
+		},
 		"RecordActivity":  func(sc *Scenario) { sc.Analyzer.RecordActivity = true },
 		"ClockPeriod":     func(sc *Scenario) { sc.System.ClockPeriod *= 2 },
 		"DefaultMaster":   func(sc *Scenario) { sc.System.WithDefaultMaster = false },
@@ -67,6 +71,46 @@ func TestCanonicalKeySensitivity(t *testing.T) {
 			t.Errorf("%s: mutation did not change the canonical key", name)
 		}
 	}
+	// v2 fields: a fault plan and a per-scenario timeout are simulation
+	// inputs and must separate keys.
+	fmuts := map[string]func(*Scenario){
+		"Faults":    func(sc *Scenario) { sc.Faults = &fault.Plan{Seed: 1} },
+		"FaultSeed": func(sc *Scenario) { sc.Faults = &fault.Plan{Seed: 2} },
+		"FaultRule": func(sc *Scenario) {
+			sc.Faults = &fault.Plan{Seed: 1, Rules: []fault.Rule{{Kind: fault.KindError, Slave: -1, Master: -1, Count: 1}}}
+		},
+		"FaultRuleArg": func(sc *Scenario) {
+			sc.Faults = &fault.Plan{Seed: 1, Rules: []fault.Rule{{Kind: fault.KindError, Slave: -1, Master: -1, Count: 2}}}
+		},
+		"FailFirst": func(sc *Scenario) { sc.Faults = &fault.Plan{Seed: 1, FailFirst: 1} },
+		"Timeout":   func(sc *Scenario) { sc.Timeout = time.Second },
+	}
+	seen := map[string]string{"base": base}
+	for name, mut := range fmuts {
+		sc := hashableScenario()
+		mut(&sc)
+		k, ok := sc.CanonicalKey()
+		if !ok {
+			t.Errorf("%s: fault-carrying scenario must stay hashable", name)
+			continue
+		}
+		for other, ko := range seen {
+			if k == ko {
+				t.Errorf("%s collides with %s", name, other)
+			}
+		}
+		seen[name] = k
+	}
+	// Identical plans hash identically.
+	fa, fb := hashableScenario(), hashableScenario()
+	fa.Faults = &fault.Plan{Seed: 9, Rules: []fault.Rule{{Kind: fault.KindSplit, Slave: -1, Master: -1, Hold: 3}}}
+	fb.Faults = &fault.Plan{Seed: 9, Rules: []fault.Rule{{Kind: fault.KindSplit, Slave: -1, Master: -1, Hold: 3}}}
+	fka, _ := fa.CanonicalKey()
+	fkb, _ := fb.CanonicalKey()
+	if fka != fkb {
+		t.Error("identical fault plans hash differently")
+	}
+
 	// Workload seed must separate otherwise identical traffic configs.
 	wa, wb := hashableScenario(), hashableScenario()
 	wa.Workloads = []workload.Config{{Seed: 1, NumSequences: 2, PairsMin: 1, PairsMax: 2, AddrSize: 64}}

@@ -1,0 +1,187 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"ahbpower/internal/core"
+	"ahbpower/internal/fault"
+	"ahbpower/internal/workload"
+)
+
+// fastRetry is a test policy with negligible wall-clock cost.
+func fastRetry(attempts int) RetryPolicy {
+	return RetryPolicy{MaxAttempts: attempts, BaseBackoff: time.Millisecond,
+		MaxBackoff: 2 * time.Millisecond, Jitter: 0.2}
+}
+
+func TestTransientFailureRetriedToSuccess(t *testing.T) {
+	sc := Scenario{
+		Name:   "transient",
+		System: core.PaperSystem(),
+		Cycles: 400,
+		Faults: &fault.Plan{Seed: 1, FailFirst: 1},
+	}
+	r := NewRunner(1)
+	r.Retry = fastRetry(3)
+	res := r.Run(context.Background(), []Scenario{sc})[0]
+	if res.Err != nil {
+		t.Fatalf("transient failure must succeed after retry: %v", res.Err)
+	}
+	if res.Attempts != 2 {
+		t.Errorf("attempts=%d, want 2 (one injected failure, one success)", res.Attempts)
+	}
+	if res.Report == nil {
+		t.Error("successful retry must carry a report")
+	}
+}
+
+func TestTransientFailureExhaustsBudget(t *testing.T) {
+	sc := Scenario{
+		Name:   "stubborn",
+		System: core.PaperSystem(),
+		Cycles: 400,
+		Faults: &fault.Plan{Seed: 1, FailFirst: 10},
+	}
+	r := NewRunner(1)
+	r.Retry = fastRetry(2)
+	res := r.Run(context.Background(), []Scenario{sc})[0]
+	var se *ScenarioError
+	if !errors.As(res.Err, &se) {
+		t.Fatalf("want *ScenarioError, got %v", res.Err)
+	}
+	if se.Class != ClassTransient || se.Attempts != 2 {
+		t.Errorf("class=%v attempts=%d, want transient/2", se.Class, se.Attempts)
+	}
+	var inj *fault.InjectedFault
+	if !errors.As(res.Err, &inj) {
+		t.Errorf("underlying injected fault not reachable via errors.As: %v", res.Err)
+	}
+}
+
+func TestZeroPolicyRunsOnce(t *testing.T) {
+	sc := Scenario{
+		Name:   "once",
+		System: core.PaperSystem(),
+		Cycles: 400,
+		Faults: &fault.Plan{Seed: 1, FailFirst: 1},
+	}
+	res := NewRunner(1).Run(context.Background(), []Scenario{sc})[0]
+	var se *ScenarioError
+	if !errors.As(res.Err, &se) {
+		t.Fatalf("want *ScenarioError, got %v", res.Err)
+	}
+	if se.Attempts != 1 {
+		t.Errorf("zero policy made %d attempts, want 1", se.Attempts)
+	}
+}
+
+func TestPermanentFailureTypedAndIsolated(t *testing.T) {
+	bad := core.PaperSystem()
+	bad.NumActiveMasters = 0 // construction must fail deterministically
+	scs := []Scenario{
+		{Name: "ok-a", System: core.PaperSystem(), Cycles: 400},
+		{Name: "broken", System: bad, Cycles: 400},
+		{Name: "ok-b", System: core.PaperSystem(), Cycles: 400},
+	}
+	r := NewRunner(2)
+	r.Retry = fastRetry(3)
+	results := r.Run(context.Background(), scs)
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Errorf("healthy scenarios failed: %v / %v", results[0].Err, results[2].Err)
+	}
+	var se *ScenarioError
+	if !errors.As(results[1].Err, &se) {
+		t.Fatalf("want *ScenarioError, got %v", results[1].Err)
+	}
+	if se.Class != ClassPermanent {
+		t.Errorf("class=%v, want permanent", se.Class)
+	}
+	if se.Attempts != 1 {
+		t.Errorf("permanent failure retried: %d attempts", se.Attempts)
+	}
+	if se.Name != "broken" || se.Index != 1 {
+		t.Errorf("identity %q/%d, want broken/1", se.Name, se.Index)
+	}
+}
+
+func TestScenarioTimeoutClassifiedNotRetried(t *testing.T) {
+	// A tiny explicit workload keeps construction cheap; the huge cycle
+	// count makes the simulation loop itself outlast the timeout.
+	sc := Scenario{
+		Name:   "slow",
+		System: core.PaperSystem(),
+		Workloads: []workload.Config{
+			{Seed: 1, NumSequences: 2, PairsMin: 1, PairsMax: 2, AddrSize: 64},
+		},
+		Cycles:  200_000_000,
+		Timeout: 50 * time.Millisecond,
+	}
+	r := NewRunner(1)
+	r.Retry = fastRetry(3)
+	start := time.Now()
+	res := r.Run(context.Background(), []Scenario{sc})[0]
+	if !errors.Is(res.Err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline error, got %v", res.Err)
+	}
+	var se *ScenarioError
+	if !errors.As(res.Err, &se) {
+		t.Fatalf("want *ScenarioError, got %v", res.Err)
+	}
+	if se.Class != ClassTimeout {
+		t.Errorf("class=%v, want timeout", se.Class)
+	}
+	if se.Attempts != 1 {
+		t.Errorf("timeout retried: %d attempts", se.Attempts)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("timeout took %v to fire", elapsed)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want FailureClass
+	}{
+		{context.Canceled, ClassCanceled},
+		{context.DeadlineExceeded, ClassTimeout},
+		{fmt.Errorf("wrap: %w", context.DeadlineExceeded), ClassTimeout},
+		{&fault.InjectedFault{}, ClassTransient},
+		{fmt.Errorf("wrap: %w", &fault.InjectedFault{}), ClassTransient},
+		{errors.New("boom"), ClassPermanent},
+		{&ScenarioError{Class: ClassTransient, Err: errors.New("x")}, ClassTransient},
+		// Context sentinels outrank the transient marker.
+		{fmt.Errorf("%w after %w", context.Canceled, &fault.InjectedFault{}), ClassCanceled},
+	}
+	for i, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("case %d: Classify(%v) = %v, want %v", i, c.err, got, c.want)
+		}
+	}
+}
+
+func TestScenarioErrorMessage(t *testing.T) {
+	se := &ScenarioError{Name: "x", Class: ClassTransient, Attempts: 3, Err: errors.New("boom")}
+	msg := se.Error()
+	for _, want := range []string{"boom", "transient", "3 attempt"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestBackoffBoundsAndJitter(t *testing.T) {
+	pol := RetryPolicy{MaxAttempts: 5, BaseBackoff: 10 * time.Millisecond,
+		MaxBackoff: 40 * time.Millisecond, Jitter: 0}.normalized()
+	wants := []time.Duration{10, 20, 40, 40}
+	for i, w := range wants {
+		if got := pol.backoff(i, nil); got != w*time.Millisecond {
+			t.Errorf("backoff(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+}

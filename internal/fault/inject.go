@@ -1,0 +1,295 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ahbpower/internal/amba/ahb"
+)
+
+// PRNG derivation tags, one per interceptor family (see subSeed).
+const (
+	tagSlave  = 0x736c6176 // "slav"
+	tagMaster = 0x6d617374 // "mast"
+)
+
+// Stats counts the faults an Injector actually fired. All counters are
+// deterministic functions of (plan, scenario), so they participate in the
+// chaos harness's replay-identity check.
+type Stats struct {
+	Errors     uint64 `json:"errors,omitempty"`
+	Retries    uint64 `json:"retries,omitempty"`
+	Splits     uint64 `json:"splits,omitempty"`
+	WaitStates uint64 `json:"wait_states,omitempty"`
+	AddrFlips  uint64 `json:"addr_flips,omitempty"`
+	DataFlips  uint64 `json:"data_flips,omitempty"`
+}
+
+// Total returns the total number of injected fault events.
+func (s *Stats) Total() uint64 {
+	return s.Errors + s.Retries + s.Splits + s.WaitStates + s.AddrFlips + s.DataFlips
+}
+
+// Injector is a Plan compiled onto one built system. Create with Attach;
+// read Stats after the run.
+type Injector struct {
+	bus   *ahb.Bus
+	plan  *Plan
+	stats Stats
+}
+
+// Stats returns the injection counters accumulated so far.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// ruleState is the runtime of one rule, shared across every interceptor
+// the rule targets so Count budgets are plan-global.
+type ruleState struct {
+	r     Rule
+	fired int
+}
+
+// tryFire consumes one firing opportunity: budget check first (no PRNG
+// draw once exhausted, keeping streams stable), then the probability draw.
+func (rs *ruleState) tryFire(rng *rand.Rand) bool {
+	if rs.r.Count > 0 && rs.fired >= rs.r.Count {
+		return false
+	}
+	if p := rs.r.prob(); p < 1 && rng.Float64() >= p {
+		return false
+	}
+	rs.fired++
+	return true
+}
+
+// Attach compiles the plan onto a built system: one response interceptor
+// per targeted slave and one drive hook per targeted active master. It
+// must run after the system is fully built (masters and slaves attached)
+// and before the simulation starts — interceptor processes registered
+// after the slaves are what lets their signal writes deterministically
+// override the slaves' in the same evaluation phase.
+func Attach(bus *ahb.Bus, masters []*ahb.Master, plan *Plan) (*Injector, error) {
+	if plan == nil {
+		return nil, fmt.Errorf("fault: nil plan")
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	for i, r := range plan.Rules {
+		if r.Kind.slaveSide() && r.Slave >= bus.Cfg.NumSlaves {
+			return nil, fmt.Errorf("fault: rule %d (%s): slave %d out of range (have %d)", i, r.Kind, r.Slave, bus.Cfg.NumSlaves)
+		}
+		if !r.Kind.slaveSide() && r.Master >= len(masters) {
+			return nil, fmt.Errorf("fault: rule %d (%s): master %d out of range (have %d)", i, r.Kind, r.Master, len(masters))
+		}
+	}
+	in := &Injector{bus: bus, plan: plan}
+	states := make([]*ruleState, len(plan.Rules))
+	for i := range plan.Rules {
+		states[i] = &ruleState{r: plan.Rules[i]}
+	}
+	for s := 0; s < bus.Cfg.NumSlaves; s++ {
+		var rules []*ruleState
+		split := false
+		for i, r := range plan.Rules {
+			if r.Kind.slaveSide() && (r.Slave == -1 || r.Slave == s) {
+				rules = append(rules, states[i])
+				split = split || r.Kind == KindSplit
+			}
+		}
+		if len(rules) == 0 {
+			continue
+		}
+		si := &slaveInjector{
+			in: in, bus: bus, idx: s, rules: rules,
+			rng: rand.New(rand.NewSource(subSeed(plan.Seed, tagSlave, uint64(s)))),
+		}
+		if split {
+			bus.WatchSplitResume(s)
+		}
+		bus.K.MethodNoInit(fmt.Sprintf("%s.fault.s%d", bus.Cfg.Name, s), si.tick, bus.Clk.Posedge())
+	}
+	for mIdx, m := range masters {
+		var rules []*ruleState
+		for i, r := range plan.Rules {
+			if !r.Kind.slaveSide() && (r.Master == -1 || r.Master == mIdx) {
+				rules = append(rules, states[i])
+			}
+		}
+		if len(rules) == 0 {
+			continue
+		}
+		mi := &masterInjector{
+			in: in, rules: rules,
+			rng: rand.New(rand.NewSource(subSeed(plan.Seed, tagMaster, uint64(mIdx)))),
+		}
+		m.OnDrive(mi.hook)
+	}
+	return in, nil
+}
+
+// slaveInjector forces responses on one slave's output ports. Its process
+// runs after the slave's own tick in the same evaluation phase (later
+// registration id), so "last write wins" makes its ReadyOut/Resp writes
+// authoritative. Every forced window is self-terminating: the injector
+// itself drives the release cycle (HREADY high), so a wait-state-free
+// memory slave underneath can never deadlock waiting for ready.
+type slaveInjector struct {
+	in    *Injector
+	bus   *ahb.Bus
+	idx   int
+	rng   *rand.Rand
+	rules []*ruleState
+
+	// Forced-response window: lowLeft more not-ready cycles, then one
+	// release cycle driving resp with HREADY high.
+	active  bool
+	lowLeft int
+	resp    uint8
+
+	// pendingRetries continues a KindRetry firing across the master's
+	// re-attempts without fresh probability draws.
+	pendingRetries int
+
+	// Split-resume bookkeeping: after resumeIn cycles, pulse SplitRes
+	// with resumeMask for one cycle.
+	resumeIn   int
+	resumeMask uint16
+	clearRes   bool
+}
+
+func (si *slaveInjector) tick() {
+	b := si.bus
+	ports := &b.S[si.idx]
+
+	// Split-resume countdown runs independently of the response window.
+	if si.resumeIn > 0 {
+		si.resumeIn--
+		if si.resumeIn == 0 {
+			ports.SplitRes.Write(si.resumeMask)
+			si.resumeMask = 0
+			si.clearRes = true
+		}
+	} else if si.clearRes {
+		ports.SplitRes.Write(0)
+		si.clearRes = false
+	}
+
+	if si.active {
+		if si.lowLeft > 0 {
+			si.lowLeft--
+			ports.ReadyOut.Write(false)
+			ports.Resp.Write(si.resp)
+			return
+		}
+		// Release: second cycle of a two-cycle response (resp held) or the
+		// end of a wait stretch (resp OKAY).
+		ports.ReadyOut.Write(true)
+		ports.Resp.Write(si.resp)
+		si.active = false
+		return
+	}
+
+	// A new transfer is latched by the slave at this edge exactly when the
+	// bus was ready and the slave is selected with an active HTRANS —
+	// mirror that condition to decide whether there is anything to fault.
+	if !b.HReady.Read() {
+		return
+	}
+	t := b.HTrans.Read()
+	if !b.Sel[si.idx].Read() || (t != ahb.TransNonseq && t != ahb.TransSeq) {
+		return
+	}
+	if si.pendingRetries > 0 {
+		si.pendingRetries--
+		si.begin(ahb.RespRetry, 0)
+		si.in.stats.Retries++
+		return
+	}
+	m := b.HMaster.Read()
+	for _, rs := range si.rules {
+		if !rs.tryFire(si.rng) {
+			continue
+		}
+		switch rs.r.Kind {
+		case KindError:
+			si.begin(ahb.RespError, 0)
+			si.in.stats.Errors++
+		case KindRetry:
+			si.begin(ahb.RespRetry, 0)
+			si.pendingRetries = rs.retries() - 1
+			si.in.stats.Retries++
+		case KindSplit:
+			si.begin(ahb.RespSplit, 0)
+			b.MaskSplit(m)
+			si.resumeMask |= 1 << uint(m)
+			si.resumeIn = rs.hold()
+			si.in.stats.Splits++
+		case KindWaits:
+			w := rs.waits()
+			si.begin(ahb.RespOkay, w-1)
+			si.in.stats.WaitStates += uint64(w)
+		}
+		return // at most one firing per latched transfer
+	}
+}
+
+// begin opens a forced-response window: ready low with resp now, lowExtra
+// more low cycles, then the release cycle.
+func (si *slaveInjector) begin(resp uint8, lowExtra int) {
+	ports := &si.bus.S[si.idx]
+	ports.ReadyOut.Write(false)
+	ports.Resp.Write(resp)
+	si.resp = resp
+	si.lowLeft = lowExtra
+	si.active = true
+}
+
+// retries returns the effective per-firing retry count of a KindRetry rule.
+func (rs *ruleState) retries() int {
+	if rs.r.Retries < 1 {
+		return 1
+	}
+	return rs.r.Retries
+}
+
+// waits returns the effective wait-state count of a KindWaits rule.
+func (rs *ruleState) waits() int {
+	if rs.r.Waits < 1 {
+		return 1
+	}
+	return rs.r.Waits
+}
+
+// hold returns the effective mask window of a KindSplit rule.
+func (rs *ruleState) hold() int {
+	if rs.r.Hold < 1 {
+		return 4
+	}
+	return rs.r.Hold
+}
+
+// masterInjector corrupts beats at the master's drive hook: address and
+// write-data XOR flips that perturb the HD terms of the decoder and mux
+// macromodels.
+type masterInjector struct {
+	in    *Injector
+	rng   *rand.Rand
+	rules []*ruleState
+}
+
+func (mi *masterInjector) hook(bd *ahb.BeatDrive) {
+	for _, rs := range mi.rules {
+		switch rs.r.Kind {
+		case KindAddrFlip:
+			if rs.tryFire(mi.rng) {
+				bd.Addr ^= rs.r.mask()
+				mi.in.stats.AddrFlips++
+			}
+		case KindDataFlip:
+			if bd.Write && rs.tryFire(mi.rng) {
+				bd.Data ^= rs.r.mask()
+				mi.in.stats.DataFlips++
+			}
+		}
+	}
+}

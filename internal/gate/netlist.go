@@ -88,6 +88,9 @@ type Netlist struct {
 	gates   []Gate
 	inputs  []NetID
 	outputs []NetID
+	// err is the first structural error recorded by MustGate; it makes
+	// Validate fail, so a malformed build cannot reach the evaluator.
+	err error
 }
 
 // NewNetlist creates an empty netlist.
@@ -157,15 +160,22 @@ func (n *Netlist) AddGate(kind Kind, name string, in ...NetID) (NetID, error) {
 	return out, nil
 }
 
-// MustGate is AddGate that panics on structural errors; intended for
-// generator code whose structure is correct by construction.
+// MustGate is AddGate for generator code whose structure is correct by
+// construction: it always returns the freshly created output net, and a
+// structural error is recorded on the netlist instead of panicking — the
+// first one sticks, Err exposes it, and Validate fails with it, so a
+// malformed build surfaces as an error in a long-lived process rather
+// than unwinding it.
 func (n *Netlist) MustGate(kind Kind, name string, in ...NetID) NetID {
-	id, err := n.AddGate(kind, name, in...)
-	if err != nil {
-		panic(err)
+	out := n.AddNet(name)
+	if err := n.Drive(kind, out, in...); err != nil && n.err == nil {
+		n.err = fmt.Errorf("gate: netlist %q: %w", n.Name, err)
 	}
-	return id
+	return out
 }
+
+// Err returns the first structural error recorded by MustGate, or nil.
+func (n *Netlist) Err() error { return n.err }
 
 // Drive attaches a gate to an existing output net.
 func (n *Netlist) Drive(kind Kind, out NetID, in ...NetID) error {
@@ -200,6 +210,10 @@ func (n *Netlist) Drive(kind Kind, out NetID, in ...NetID) error {
 // driver and the combinational part is acyclic. It returns the levelized
 // combinational gate order used by the evaluator.
 func (n *Netlist) Validate() ([]int, error) {
+	// A MustGate error invalidates the whole netlist; surface it first.
+	if n.err != nil {
+		return nil, n.err
+	}
 	// Re-check gate kinds: Drive already rejects unknown kinds, but a
 	// netlist assembled through a decoder or future construction path must
 	// not reach the evaluator with one.

@@ -149,13 +149,34 @@ func TestNetlistBadNetIDs(t *testing.T) {
 	}
 }
 
-func TestMustGatePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("MustGate must panic on error")
-		}
-	}()
+func TestMustGateRecordsError(t *testing.T) {
 	nl := NewNetlist("t")
 	a := nl.AddInput("a")
-	nl.MustGate(And, "y", a)
+	y := nl.MustGate(And, "y", a) // AND needs >= 2 inputs
+	if int(y) >= nl.NumNets() {
+		t.Errorf("MustGate returned out-of-range net %d", y)
+	}
+	if nl.Err() == nil {
+		t.Fatal("structural error not recorded")
+	}
+	first := nl.Err()
+	nl.MustGate(Mux2, "z", a) // wrong arity again; first error must stick
+	if nl.Err() != first {
+		t.Error("later error replaced the sticky first error")
+	}
+	if _, err := nl.Validate(); err == nil {
+		t.Error("Validate must fail on a netlist with a recorded error")
+	} else if !strings.Contains(err.Error(), "at least 2 inputs") {
+		t.Errorf("Validate error %q does not carry the original cause", err)
+	}
+	// A clean build stays clean.
+	ok := NewNetlist("ok")
+	b, c := ok.AddInput("b"), ok.AddInput("c")
+	ok.MarkOutput(ok.MustGate(And, "y", b, c))
+	if ok.Err() != nil {
+		t.Errorf("clean build recorded error: %v", ok.Err())
+	}
+	if _, err := ok.Validate(); err != nil {
+		t.Errorf("clean build failed validation: %v", err)
+	}
 }

@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// degradeResponse mirrors the envelope fields the degradation tests
+// assert on.
+type degradeResponse struct {
+	Results []json.RawMessage `json:"results"`
+	Batch   struct {
+		Scenarios       int      `json:"scenarios"`
+		CacheHits       int      `json:"cache_hits"`
+		CacheMisses     int      `json:"cache_misses"`
+		Degraded        bool     `json:"degraded"`
+		DegradedActions []string `json:"degraded_actions"`
+	} `json:"batch"`
+}
+
+func decodeDegrade(t *testing.T, body []byte) degradeResponse {
+	t.Helper()
+	var resp degradeResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("decoding response: %v\n%s", err, body)
+	}
+	return resp
+}
+
+func hasAction(actions []string, prefix string) bool {
+	for _, a := range actions {
+		if len(a) >= len(prefix) && a[:len(prefix)] == prefix {
+			return true
+		}
+	}
+	return false
+}
+
+// TestDegradedModeShedsTraceOptions forces degraded mode through the test
+// seam and asserts trace-heavy analyzer options are shed, the scenario
+// still succeeds, and the envelope + counters report the degradation.
+func TestDegradedModeShedsTraceOptions(t *testing.T) {
+	s := New(Config{Workers: 2})
+	s.degradeHook = func() bool { return true }
+	h := s.Handler()
+
+	body := `{"scenarios":[{"name":"traced","cycles":1500,
+		"analyzer":{"record_activity":true,"trace_window_s":1e-6},
+		"workloads":[{"seed":3,"sequences":3,"pairs_min":2,"pairs_max":5,"idle_min":2,"idle_max":6,"addr_size":4096}]}]}`
+	rr := post(h, body)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rr.Code, rr.Body.String())
+	}
+	resp := decodeDegrade(t, rr.Body.Bytes())
+	if !resp.Batch.Degraded {
+		t.Error("envelope must flag degraded mode")
+	}
+	if !hasAction(resp.Batch.DegradedActions, "shed_trace_options:1") {
+		t.Errorf("actions %v missing shed_trace_options:1", resp.Batch.DegradedActions)
+	}
+	var res wireResult
+	if err := json.Unmarshal(resp.Results[0], &res); err != nil || res.Error != "" {
+		t.Errorf("shed scenario must still succeed: err=%v wire=%+v", err, res)
+	}
+	if s.ctr.degradedBatches.Value() != 1 || s.ctr.degradedTraceShed.Value() != 1 {
+		t.Errorf("counters degraded_batches=%d degraded_trace_shed=%d, want 1/1",
+			s.ctr.degradedBatches.Value(), s.ctr.degradedTraceShed.Value())
+	}
+
+	// The shed scenario runs (and caches) under the same canonical key as
+	// its explicitly-untraced twin: a later healthy request for the plain
+	// scenario must hit the cache.
+	s.degradeHook = func() bool { return false }
+	plain := `{"scenarios":[{"name":"traced","cycles":1500,
+		"workloads":[{"seed":3,"sequences":3,"pairs_min":2,"pairs_max":5,"idle_min":2,"idle_max":6,"addr_size":4096}]}]}`
+	rr2 := post(h, plain)
+	resp2 := decodeDegrade(t, rr2.Body.Bytes())
+	if resp2.Batch.CacheHits != 1 {
+		t.Errorf("plain twin of shed scenario: hits=%d, want 1 (re-keying broken?)", resp2.Batch.CacheHits)
+	}
+	if resp2.Batch.Degraded {
+		t.Error("healthy batch must not be flagged degraded")
+	}
+}
+
+// TestDegradedModeServesCacheDespiteNoCache warms the cache, then posts
+// the same batch with no_cache under pressure: the server may serve the
+// still-valid cached bytes, and must say so.
+func TestDegradedModeServesCacheDespiteNoCache(t *testing.T) {
+	s := New(Config{Workers: 2})
+	h := s.Handler()
+	body := `{"scenarios":[` + scenarioJSON("pressure", 1500, 11) + `]}`
+
+	warm := decodeDegrade(t, post(h, body).Body.Bytes())
+	if warm.Batch.CacheMisses != 1 {
+		t.Fatalf("warm-up misses=%d, want 1", warm.Batch.CacheMisses)
+	}
+
+	s.degradeHook = func() bool { return true }
+	rr := post(h, `{"no_cache":true,"scenarios":[`+scenarioJSON("pressure", 1500, 11)+`]}`)
+	resp := decodeDegrade(t, rr.Body.Bytes())
+	if !resp.Batch.Degraded || resp.Batch.CacheHits != 1 {
+		t.Fatalf("degraded no_cache request: degraded=%v hits=%d, want true/1",
+			resp.Batch.Degraded, resp.Batch.CacheHits)
+	}
+	if !hasAction(resp.Batch.DegradedActions, "served_from_cache_despite_no_cache") {
+		t.Errorf("actions %v missing cache-override marker", resp.Batch.DegradedActions)
+	}
+	if string(warm.Results[0]) != string(resp.Results[0]) {
+		t.Error("degraded cached bytes differ from the fresh run")
+	}
+	if s.ctr.degradedCacheServed.Value() != 1 {
+		t.Errorf("degraded_cache_served=%d, want 1", s.ctr.degradedCacheServed.Value())
+	}
+}
+
+// TestFaultPlanOverTheWire runs a faulted scenario through the HTTP
+// layer: injector counters come back in the payload, the injected
+// transient failure is retried by the server's policy, and the cached
+// replay is byte-identical.
+func TestFaultPlanOverTheWire(t *testing.T) {
+	s := New(Config{Workers: 2})
+	h := s.Handler()
+	body := `{"scenarios":[{"name":"faulty","cycles":2000,
+		"faults":{"seed":5,"fail_first":1,"rules":[{"kind":"error","count":2}]},
+		"workloads":[{"seed":9,"sequences":4,"pairs_min":2,"pairs_max":6,"idle_min":2,"idle_max":8,"addr_size":4096}]}]}`
+
+	rr := post(h, body)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rr.Code, rr.Body.String())
+	}
+	resp := decodeDegrade(t, rr.Body.Bytes())
+	var res struct {
+		Name     string `json:"name"`
+		Error    string `json:"error"`
+		Attempts int    `json:"attempts"`
+		Faults   struct {
+			Errors uint64 `json:"errors"`
+		} `json:"faults"`
+	}
+	if err := json.Unmarshal(resp.Results[0], &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Error != "" {
+		t.Fatalf("faulted scenario failed despite retry policy: %s", res.Error)
+	}
+	if res.Attempts != 2 {
+		t.Errorf("attempts=%d, want 2 (fail_first=1 + default retry)", res.Attempts)
+	}
+	if res.Faults.Errors != 2 {
+		t.Errorf("injected errors=%d, want 2", res.Faults.Errors)
+	}
+	if s.ctr.scenariosRetried.Value() != 1 {
+		t.Errorf("scenarios_retried=%d, want 1", s.ctr.scenariosRetried.Value())
+	}
+
+	second := decodeDegrade(t, post(h, body).Body.Bytes())
+	if second.Batch.CacheHits != 1 {
+		t.Fatalf("faulted scenario not cached: hits=%d", second.Batch.CacheHits)
+	}
+	if string(resp.Results[0]) != string(second.Results[0]) {
+		t.Error("cached faulted result not byte-identical")
+	}
+}
+
+// TestInvalidFaultPlanRejected asserts plan schema errors surface as 400s.
+func TestInvalidFaultPlanRejected(t *testing.T) {
+	s := New(Config{Workers: 1})
+	h := s.Handler()
+	rr := post(h, `{"scenarios":[{"name":"bad","cycles":100,
+		"faults":{"rules":[{"kind":"addr-flip","slave":1}]}}]}`)
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", rr.Code, rr.Body.String())
+	}
+}

@@ -49,6 +49,17 @@ type Config struct {
 	// JobsKeep bounds how many finished async jobs stay queryable;
 	// default 256.
 	JobsKeep int
+	// DegradeAt is the queue-pressure fraction (waiting / MaxQueue) at
+	// which the server enters degraded mode: trace-heavy analyzer options
+	// are shed and still-valid cached results may be served even for
+	// no_cache requests, with the degradation reported in the response
+	// envelope. 0 selects the default 0.75; negative disables degradation.
+	DegradeAt float64
+	// Retry is the engine retry policy applied to every batch (transient
+	// injected failures re-attempted with capped exponential backoff).
+	// A zero MaxAttempts selects the default (2 attempts, 25ms → 250ms,
+	// ±20% jitter); a negative MaxAttempts disables retries.
+	Retry engine.RetryPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -82,6 +93,15 @@ func (c Config) withDefaults() Config {
 	if c.JobsKeep <= 0 {
 		c.JobsKeep = 256
 	}
+	if c.DegradeAt == 0 {
+		c.DegradeAt = 0.75
+	}
+	if c.Retry.MaxAttempts == 0 {
+		c.Retry = engine.RetryPolicy{MaxAttempts: 2, BaseBackoff: 25 * time.Millisecond,
+			MaxBackoff: 250 * time.Millisecond, Jitter: 0.2}
+	} else if c.Retry.MaxAttempts < 0 {
+		c.Retry = engine.RetryPolicy{}
+	}
 	return c
 }
 
@@ -106,6 +126,10 @@ type Server struct {
 
 	ctr  counters
 	vars *expvar.Map
+
+	// degradeHook overrides the queue-pressure signal in tests; nil means
+	// the real degradedNow.
+	degradeHook func() bool
 }
 
 // counters are the expvar-exported serving metrics.
@@ -125,6 +149,11 @@ type counters struct {
 	running          expvar.Int // gauge: batches executing
 	queued           expvar.Int // gauge: requests waiting for a slot
 	cacheSize        expvar.Int // gauge
+
+	degradedBatches     expvar.Int // batches that ran in degraded mode
+	degradedTraceShed   expvar.Int // scenarios whose trace options were shed
+	degradedCacheServed expvar.Int // cache hits served despite no_cache
+	scenariosRetried    expvar.Int // scenarios that needed >1 attempt
 }
 
 // New builds a server from the configuration.
@@ -154,6 +183,11 @@ func New(cfg Config) *Server {
 		"batches_running":   &s.ctr.running,
 		"queue_waiting":     &s.ctr.queued,
 		"cache_size":        &s.ctr.cacheSize,
+
+		"degraded_batches":      &s.ctr.degradedBatches,
+		"degraded_trace_shed":   &s.ctr.degradedTraceShed,
+		"degraded_cache_served": &s.ctr.degradedCacheServed,
+		"scenarios_retried":     &s.ctr.scenariosRetried,
 	} {
 		s.vars.Set(name, v)
 	}
@@ -218,6 +252,18 @@ var (
 	errBusy     = errors.New("serve: admission queue full")
 	errDraining = errors.New("serve: draining")
 )
+
+// degradedNow reports whether new batches should run in degraded mode:
+// the admission queue has filled past the configured pressure fraction.
+func (s *Server) degradedNow() bool {
+	if s.degradeHook != nil {
+		return s.degradeHook()
+	}
+	if s.cfg.DegradeAt < 0 {
+		return false
+	}
+	return float64(s.waiting.Load()) >= s.cfg.DegradeAt*float64(s.cfg.MaxQueue)
+}
 
 // acquire admits one batch: it waits for an execution slot unless the
 // bounded queue is full, the server is draining, or ctx ends first. On
@@ -404,6 +450,39 @@ func (s *Server) runBatch(ctx context.Context, scenarios []engine.Scenario, keys
 
 	results := make([]json.RawMessage, len(scenarios))
 	var resp RunResponse
+
+	// Degraded mode: under queue pressure the batch sheds load it is
+	// allowed to shed — trace-heavy analyzer options are dropped (the
+	// energy answer is unchanged; only optional instrumentation goes) and
+	// still-valid cached results are served even when the request said
+	// no_cache. Both actions are reported in the response envelope.
+	degraded := s.degradedNow()
+	cacheOverride := false
+	if degraded {
+		s.ctr.degradedBatches.Add(1)
+		resp.Batch.Degraded = true
+		shed := 0
+		for i := range scenarios {
+			sc := &scenarios[i]
+			if !sc.SkipAnalyzer && (sc.Analyzer.RecordActivity || sc.Analyzer.TraceWindow > 0) {
+				sc.Analyzer.RecordActivity = false
+				sc.Analyzer.TraceWindow = 0
+				keys[i], _ = sc.CanonicalKey() // re-key: the shed scenario is what runs
+				shed++
+			}
+		}
+		if shed > 0 {
+			s.ctr.degradedTraceShed.Add(int64(shed))
+			resp.Batch.DegradedActions = append(resp.Batch.DegradedActions,
+				fmt.Sprintf("shed_trace_options:%d", shed))
+		}
+		if noCache {
+			noCache = false
+			cacheOverride = true
+			resp.Batch.DegradedActions = append(resp.Batch.DegradedActions, "served_from_cache_despite_no_cache")
+		}
+	}
+
 	var missIdx []int
 	for i := range scenarios {
 		if keys[i] == "" {
@@ -415,6 +494,9 @@ func (s *Server) runBatch(ctx context.Context, scenarios []engine.Scenario, keys
 			if b, ok := s.cache.get(keys[i]); ok {
 				s.ctr.cacheHits.Add(1)
 				resp.Batch.CacheHits++
+				if cacheOverride {
+					s.ctr.degradedCacheServed.Add(1)
+				}
 				results[i] = b
 				if onDone != nil {
 					onDone(engine.Result{Index: i, Scenario: scenarios[i]})
@@ -445,10 +527,16 @@ func (s *Server) runBatch(ctx context.Context, scenarios []engine.Scenario, keys
 			}
 			runner := engine.NewRunner(s.cfg.Workers)
 			runner.OnDone = onDone
+			runner.Retry = s.cfg.Retry
 			res, batch := runner.RunMetered(ctx, miss)
 			release()
 			s.ctr.running.Add(-1)
 			resp.Batch.BatchMetricsWire = batch.Wire()
+			for n := range res {
+				if res[n].Attempts > 1 {
+					s.ctr.scenariosRetried.Add(1)
+				}
+			}
 			for n, i := range missIdx {
 				b, err := json.Marshal(resultWire(&res[n], keys[i]))
 				if err != nil {

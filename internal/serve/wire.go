@@ -19,6 +19,7 @@ import (
 	"ahbpower/internal/amba/ahb"
 	"ahbpower/internal/core"
 	"ahbpower/internal/engine"
+	"ahbpower/internal/fault"
 	"ahbpower/internal/metrics"
 	"ahbpower/internal/power"
 	"ahbpower/internal/sim"
@@ -59,6 +60,10 @@ type ScenarioSpec struct {
 	Workloads []WorkloadSpec `json:"workloads,omitempty"`
 	// Cycles is the number of bus clock cycles to simulate. Required.
 	Cycles uint64 `json:"cycles"`
+	// Faults is an optional deterministic fault-injection plan (see
+	// internal/fault). Plans participate in the canonical cache key, so
+	// faulty runs cache like clean ones.
+	Faults *fault.Plan `json:"faults,omitempty"`
 }
 
 // SystemSpec is the wire form of core.SystemConfig.
@@ -77,10 +82,14 @@ type SystemSpec struct {
 
 // AnalyzerSpec is the wire form of core.AnalyzerConfig.
 type AnalyzerSpec struct {
-	Style          string    `json:"style,omitempty"` // global|local|private, default global
-	Tech           *TechSpec `json:"tech,omitempty"`
-	RecordActivity bool      `json:"record_activity,omitempty"`
-	DPM            *DPMSpec  `json:"dpm,omitempty"`
+	Style string    `json:"style,omitempty"` // global|local|private, default global
+	Tech  *TechSpec `json:"tech,omitempty"`
+	// TraceWindow enables windowed power-trace recording with the given
+	// window in seconds. Trace recording is a degradable option: under
+	// queue pressure the server may shed it (see BatchWire.Degraded).
+	TraceWindow    float64  `json:"trace_window_s,omitempty"`
+	RecordActivity bool     `json:"record_activity,omitempty"`
+	DPM            *DPMSpec `json:"dpm,omitempty"`
 }
 
 // TechSpec overrides the technology constants.
@@ -186,6 +195,7 @@ func (s *ScenarioSpec) Scenario(index int) (engine.Scenario, error) {
 		if s.Analyzer.Tech != nil {
 			sc.Analyzer.Tech = power.Tech{VDD: s.Analyzer.Tech.VDD, CPD: s.Analyzer.Tech.CPD, CO: s.Analyzer.Tech.CO}
 		}
+		sc.Analyzer.TraceWindow = s.Analyzer.TraceWindow
 		sc.Analyzer.RecordActivity = s.Analyzer.RecordActivity
 		if s.Analyzer.DPM != nil {
 			sc.Analyzer.DPM = &core.DPMConfig{
@@ -193,6 +203,12 @@ func (s *ScenarioSpec) Scenario(index int) (engine.Scenario, error) {
 				WakeEnergy:    s.Analyzer.DPM.WakeEnergy,
 			}
 		}
+	}
+	if s.Faults != nil {
+		if err := s.Faults.Validate(); err != nil {
+			return sc, fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+		sc.Faults = s.Faults
 	}
 	for _, w := range s.Workloads {
 		pat, err := parsePattern(w.Pattern)
@@ -250,6 +266,15 @@ type ResultWire struct {
 	Counts     map[string]uint64 `json:"counts,omitempty"`
 	Violations []string          `json:"violations,omitempty"`
 
+	// Faults carries the injector's per-kind counters when the scenario
+	// ran with an active fault plan. Injection is deterministic, so the
+	// counters are part of the byte-identity guarantee like energies.
+	Faults *fault.Stats `json:"faults,omitempty"`
+	// Attempts is the number of execution attempts (>1 when the runner
+	// retried an injected transient failure). Deterministic for a fixed
+	// server retry policy; omitted for single-attempt runs.
+	Attempts int `json:"attempts,omitempty"`
+
 	DPM *DPMWire `json:"dpm,omitempty"`
 }
 
@@ -281,6 +306,10 @@ func resultWire(res *engine.Result, key string) ResultWire {
 	w.Beats = res.Beats
 	w.PJPerBeat = res.PJPerBeat()
 	w.Counts = res.Counts
+	w.Faults = res.Faults
+	if res.Attempts > 1 {
+		w.Attempts = res.Attempts
+	}
 	for _, v := range res.Violations {
 		w.Violations = append(w.Violations, v.Error())
 	}
@@ -335,4 +364,9 @@ type BatchWire struct {
 	CacheMisses int `json:"cache_misses"`
 	// Uncacheable counts scenarios with no canonical key.
 	Uncacheable int `json:"uncacheable,omitempty"`
+	// Degraded reports that the batch ran in degraded mode (queue pressure
+	// past the configured threshold); DegradedActions lists what the server
+	// actually shed or overrode for this batch.
+	Degraded        bool     `json:"degraded,omitempty"`
+	DegradedActions []string `json:"degraded_actions,omitempty"`
 }

@@ -1,0 +1,450 @@
+// Command chaos is the fault-injection soak harness: it sweeps many
+// randomized-but-seeded fault plans (fault.RandomPlan) through the batch
+// engine, asserting on every run the invariants that must survive any
+// injected fault — energy conservation, no deadline hangs, byte-identical
+// replay — plus control scenarios proving the engine's failure taxonomy:
+// a permanent failure surfaces as a typed per-scenario error without
+// poisoning its batch, and a transient injected failure succeeds after a
+// retry. With -addr it additionally soaks a live ahbserved daemon over
+// HTTP and asserts the same replay identity through the wire format.
+//
+// Usage:
+//
+//	chaos -seeds 64 -seed 1 -cycles 1500 -timeout 30s \
+//	      -addr http://localhost:8098 -o chaos_report.json
+//
+// Exit status is 1 when any invariant was violated, 0 on a clean soak.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"time"
+
+	"ahbpower/internal/amba/ahb"
+	"ahbpower/internal/core"
+	"ahbpower/internal/engine"
+	"ahbpower/internal/fault"
+)
+
+type config struct {
+	seeds   int
+	seed    int64
+	cycles  uint64
+	workers int
+	timeout time.Duration
+	addr    string
+	verbose bool
+}
+
+// soakReport is the machine-readable outcome written by -o.
+type soakReport struct {
+	Seeds       int      `json:"seeds"`
+	Cycles      uint64   `json:"cycles"`
+	Scenarios   int      `json:"scenarios"`
+	Retried     int      `json:"retried"`
+	FaultEvents uint64   `json:"fault_events"`
+	ReplayOK    bool     `json:"replay_ok"`
+	ControlsOK  bool     `json:"controls_ok"`
+	DaemonOK    bool     `json:"daemon_ok,omitempty"`
+	Violations  []string `json:"violations"`
+	ElapsedMs   float64  `json:"elapsed_ms"`
+}
+
+func main() {
+	var cfg config
+	flag.IntVar(&cfg.seeds, "seeds", 64, "number of randomized fault plans to soak")
+	flag.Int64Var(&cfg.seed, "seed", 1, "base seed; plan i uses seed+i")
+	flag.Uint64Var(&cfg.cycles, "cycles", 1500, "bus cycles per scenario")
+	flag.IntVar(&cfg.workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	flag.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-scenario deadline; an expiry is a hang and a violation")
+	flag.StringVar(&cfg.addr, "addr", "", "ahbserved base URL; when set, also soak the daemon over HTTP")
+	flag.BoolVar(&cfg.verbose, "v", false, "log each scenario outcome")
+	jsonOut := flag.String("o", "", "write the JSON report to this file")
+	flag.Parse()
+
+	rep := runSoak(cfg, os.Stdout)
+	fmt.Printf("chaos: %d scenarios over %d seeds, %d retried, %d fault events, replay_ok=%v controls_ok=%v",
+		rep.Scenarios, rep.Seeds, rep.Retried, rep.FaultEvents, rep.ReplayOK, rep.ControlsOK)
+	if cfg.addr != "" {
+		fmt.Printf(" daemon_ok=%v", rep.DaemonOK)
+	}
+	fmt.Printf(" (%.1fs)\n", rep.ElapsedMs/1000)
+	for _, v := range rep.Violations {
+		fmt.Println("VIOLATION:", v)
+	}
+	if *jsonOut != "" {
+		b, _ := json.MarshalIndent(rep, "", "  ")
+		if err := os.WriteFile(*jsonOut, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "chaos:", err)
+			os.Exit(1)
+		}
+	}
+	if len(rep.Violations) > 0 {
+		fmt.Printf("chaos: FAILED with %d violations\n", len(rep.Violations))
+		os.Exit(1)
+	}
+	fmt.Println("chaos: PASSED")
+}
+
+// runSoak executes the whole soak — randomized sweep, replay, control
+// scenarios, optional daemon phase — and folds everything into a report.
+func runSoak(cfg config, logw io.Writer) soakReport {
+	if cfg.workers < 1 {
+		cfg.workers = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	rep := soakReport{Seeds: cfg.seeds, Cycles: cfg.cycles, Violations: []string{}}
+
+	scens, plans := buildScenarios(cfg)
+	rep.Scenarios = len(scens)
+	runner := engine.NewRunner(cfg.workers)
+	runner.Retry = engine.DefaultRetryPolicy()
+	results := runner.Run(context.Background(), scens)
+	for i := range results {
+		res := &results[i]
+		rep.Violations = append(rep.Violations, checkResult(res, plans[i])...)
+		if res.Err == nil && res.Attempts > 1 {
+			rep.Retried++
+		}
+		if res.Faults != nil {
+			rep.FaultEvents += res.Faults.Total()
+		}
+		if cfg.verbose {
+			fmt.Fprintf(logw, "chaos: %s attempts=%d faults=%d err=%v\n",
+				res.Scenario.Name, res.Attempts, faultTotal(res), res.Err)
+		}
+	}
+
+	// Replay: the identical batch must reproduce byte-identical outcomes.
+	replay := engine.NewRunner(cfg.workers)
+	replay.Retry = engine.DefaultRetryPolicy()
+	again := replay.Run(context.Background(), buildScenariosOnly(cfg))
+	a, b := fingerprint(results), fingerprint(again)
+	rep.ReplayOK = bytes.Equal(a, b)
+	if !rep.ReplayOK {
+		rep.Violations = append(rep.Violations, "replay fingerprint differs between identical batches")
+	}
+
+	ctl := controlChecks(cfg)
+	rep.ControlsOK = len(ctl) == 0
+	rep.Violations = append(rep.Violations, ctl...)
+
+	if cfg.addr != "" {
+		dm := daemonPhase(cfg)
+		rep.DaemonOK = len(dm) == 0
+		rep.Violations = append(rep.Violations, dm...)
+	}
+	rep.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
+	return rep
+}
+
+func faultTotal(res *engine.Result) uint64 {
+	if res.Faults == nil {
+		return 0
+	}
+	return res.Faults.Total()
+}
+
+// buildScenarios derives one scenario per seed: a seed-determined random
+// fault plan on the paper system, with the arbitration policy varied by
+// seed so all three arbiters face injected faults.
+func buildScenarios(cfg config) ([]engine.Scenario, []*fault.Plan) {
+	scens := make([]engine.Scenario, cfg.seeds)
+	plans := make([]*fault.Plan, cfg.seeds)
+	for i := range scens {
+		seed := cfg.seed + int64(i)
+		sys := core.PaperSystem()
+		sys.Policy = policyFor(seed)
+		plans[i] = fault.RandomPlan(seed)
+		scens[i] = engine.Scenario{
+			Name:    fmt.Sprintf("chaos-%d", seed),
+			System:  sys,
+			Cycles:  cfg.cycles,
+			Faults:  plans[i],
+			Timeout: cfg.timeout,
+		}
+	}
+	return scens, plans
+}
+
+func buildScenariosOnly(cfg config) []engine.Scenario {
+	s, _ := buildScenarios(cfg)
+	return s
+}
+
+// policyFor rotates the arbitration policy across seeds.
+func policyFor(seed int64) ahb.ArbPolicy {
+	switch seed % 3 {
+	case 1:
+		return ahb.PolicyFixed
+	case 2:
+		return ahb.PolicyRoundRobin
+	}
+	return ahb.PolicySticky
+}
+
+// checkResult applies the per-run invariants: the scenario must complete
+// (no hang, no unexpected failure), FailFirst plans must show exactly the
+// expected attempt count, the protocol monitor must stay clean, and both
+// energy decompositions must balance against the total.
+func checkResult(res *engine.Result, plan *fault.Plan) []string {
+	var v []string
+	name := res.Scenario.Name
+	if res.Err != nil {
+		if engine.Classify(res.Err) == engine.ClassTimeout {
+			v = append(v, fmt.Sprintf("%s: hang — per-scenario deadline expired: %v", name, res.Err))
+		} else {
+			v = append(v, fmt.Sprintf("%s: unexpected failure: %v", name, res.Err))
+		}
+		return v
+	}
+	want := 1 + plan.FailFirst
+	if res.Attempts != want {
+		v = append(v, fmt.Sprintf("%s: attempts=%d, want %d (fail_first=%d)", name, res.Attempts, want, plan.FailFirst))
+	}
+	// Injected faults (flipped addresses, forced responses) are supposed to
+	// trip the protocol monitor — those show up in the replay fingerprint
+	// instead. Violations are only a finding when nothing was injected.
+	if !plan.Active() && len(res.Violations) > 0 {
+		v = append(v, fmt.Sprintf("%s: %d protocol violations on a fault-free run (first: %v)",
+			name, len(res.Violations), res.Violations[0]))
+	}
+	if plan.Active() && res.Faults == nil {
+		v = append(v, fmt.Sprintf("%s: active plan produced no injector stats", name))
+	}
+	if err := conservation(res.Report); err != nil {
+		v = append(v, fmt.Sprintf("%s: %v", name, err))
+	}
+	return v
+}
+
+// conservation checks both energy decompositions of a report against its
+// total: per-instruction table rows and per-block shares.
+func conservation(rep *core.Report) error {
+	if rep == nil {
+		return errors.New("no report")
+	}
+	tol := 1e-9*rep.TotalEnergy + 1e-12
+	var sum float64
+	for _, row := range rep.Table {
+		sum += row.TotalEnergy
+	}
+	if math.Abs(sum-rep.TotalEnergy) > tol {
+		return fmt.Errorf("instruction table sums to %g J, total is %g J", sum, rep.TotalEnergy)
+	}
+	var bsum float64
+	for _, e := range rep.BlockEnergy {
+		bsum += e
+	}
+	if math.Abs(bsum-rep.TotalEnergy) > tol {
+		return fmt.Errorf("block energies sum to %g J, total is %g J", bsum, rep.TotalEnergy)
+	}
+	return nil
+}
+
+// fingerprint folds a batch's observable outcome into canonical bytes:
+// bit-exact energies, beat and event counters, injector stats and attempt
+// counts. Two runs of the same batch must produce identical fingerprints.
+func fingerprint(results []engine.Result) []byte {
+	type fp struct {
+		Name     string            `json:"name"`
+		Energy   uint64            `json:"energy_bits"`
+		Blocks   map[string]uint64 `json:"block_bits"`
+		Beats    uint64            `json:"beats"`
+		Counts   map[string]uint64 `json:"counts"`
+		Faults   *fault.Stats      `json:"faults,omitempty"`
+		Attempts int               `json:"attempts"`
+		Protocol int               `json:"protocol_violations"`
+		Err      string            `json:"err,omitempty"`
+	}
+	fps := make([]fp, len(results))
+	for i := range results {
+		res := &results[i]
+		f := fp{Name: res.Scenario.Name, Beats: res.Beats, Counts: res.Counts,
+			Faults: res.Faults, Attempts: res.Attempts, Protocol: len(res.Violations)}
+		if res.Err != nil {
+			f.Err = res.Err.Error()
+		}
+		if res.Report != nil {
+			f.Energy = math.Float64bits(res.Report.TotalEnergy)
+			f.Blocks = make(map[string]uint64, len(res.Report.BlockEnergy))
+			for k, e := range res.Report.BlockEnergy {
+				f.Blocks[k] = math.Float64bits(e)
+			}
+		}
+		fps[i] = f
+	}
+	b, _ := json.Marshal(fps) // map keys marshal sorted, so this is canonical
+	return b
+}
+
+// controlChecks proves the failure taxonomy on known-bad scenarios: a
+// permanent failure comes back as a typed, classified error while its
+// batch neighbors complete, and a transient injected failure is retried
+// to success.
+func controlChecks(cfg config) []string {
+	var v []string
+	good := func(name string, seed int64) engine.Scenario {
+		return engine.Scenario{Name: name, System: core.PaperSystem(), Cycles: cfg.cycles, Timeout: cfg.timeout,
+			Faults: &fault.Plan{Seed: seed}}
+	}
+	broken := core.PaperSystem()
+	broken.NumActiveMasters = 0 // rejected by core.NewSystem: deterministic, permanent
+	scens := []engine.Scenario{
+		good("ctl-neighbor-a", 1),
+		{Name: "ctl-permanent", System: broken, Cycles: cfg.cycles, Timeout: cfg.timeout},
+		good("ctl-neighbor-b", 2),
+		{Name: "ctl-transient", System: core.PaperSystem(), Cycles: cfg.cycles, Timeout: cfg.timeout,
+			Faults: &fault.Plan{Seed: 3, FailFirst: 1}},
+	}
+	runner := engine.NewRunner(cfg.workers)
+	runner.Retry = engine.DefaultRetryPolicy()
+	results := runner.Run(context.Background(), scens)
+
+	var se *engine.ScenarioError
+	perm := results[1]
+	switch {
+	case perm.Err == nil:
+		v = append(v, "control: permanent scenario did not fail")
+	case !errors.As(perm.Err, &se):
+		v = append(v, fmt.Sprintf("control: permanent failure not typed: %v", perm.Err))
+	default:
+		if se.Class != engine.ClassPermanent {
+			v = append(v, fmt.Sprintf("control: permanent failure classified %s", se.Class))
+		}
+		if se.Attempts != 1 {
+			v = append(v, fmt.Sprintf("control: permanent failure attempted %d times", se.Attempts))
+		}
+		if se.Name != "ctl-permanent" || se.Index != 1 {
+			v = append(v, fmt.Sprintf("control: typed error misattributed: name=%q index=%d", se.Name, se.Index))
+		}
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		v = append(v, fmt.Sprintf("control: batch poisoned by permanent failure: a=%v b=%v",
+			results[0].Err, results[2].Err))
+	}
+	tr := results[3]
+	if tr.Err != nil {
+		v = append(v, fmt.Sprintf("control: transient scenario failed despite retry policy: %v", tr.Err))
+	} else if tr.Attempts != 2 {
+		v = append(v, fmt.Sprintf("control: transient scenario attempts=%d, want 2", tr.Attempts))
+	}
+	return v
+}
+
+// daemonPhase soaks a live ahbserved: the same faulted batch is posted
+// fresh, from cache, and with no_cache recompute, and all three must
+// return byte-identical result payloads. 503 admission rejections are
+// retried honoring Retry-After.
+func daemonPhase(cfg config) []string {
+	var v []string
+	client := &http.Client{Timeout: cfg.timeout + 30*time.Second}
+	var scens []map[string]any
+	for i := 0; i < 3; i++ {
+		seed := cfg.seed + int64(i)
+		scens = append(scens, map[string]any{
+			"name":   fmt.Sprintf("chaos-wire-%d", seed),
+			"cycles": cfg.cycles,
+			"faults": fault.RandomPlan(seed),
+		})
+	}
+	body, _ := json.Marshal(map[string]any{"scenarios": scens})
+	recompute, _ := json.Marshal(map[string]any{"scenarios": scens, "no_cache": true})
+
+	post := func(label string, b []byte) ([]json.RawMessage, bool) {
+		raw, err := postWithRetry(client, cfg.addr+"/v1/run", b, 5, 2*time.Second)
+		if err != nil {
+			v = append(v, fmt.Sprintf("daemon: %s request failed: %v", label, err))
+			return nil, false
+		}
+		var resp struct {
+			Results []json.RawMessage `json:"results"`
+		}
+		if err := json.Unmarshal(raw, &resp); err != nil {
+			v = append(v, fmt.Sprintf("daemon: %s response malformed: %v", label, err))
+			return nil, false
+		}
+		for _, r := range resp.Results {
+			var one struct {
+				Name  string `json:"name"`
+				Error string `json:"error"`
+			}
+			if json.Unmarshal(r, &one) == nil && one.Error != "" {
+				v = append(v, fmt.Sprintf("daemon: %s scenario %q failed: %s", label, one.Name, one.Error))
+				return nil, false
+			}
+		}
+		return resp.Results, true
+	}
+	fresh, ok := post("fresh", body)
+	if !ok {
+		return v
+	}
+	cached, ok := post("cached", body)
+	if ok && !sameResults(fresh, cached) {
+		v = append(v, "daemon: cached replay differs from the fresh run")
+	}
+	recomputed, ok := post("no_cache", recompute)
+	if ok && !sameResults(fresh, recomputed) {
+		v = append(v, "daemon: no_cache recompute differs from the fresh run")
+	}
+	return v
+}
+
+func sameResults(a, b []json.RawMessage) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// postWithRetry POSTs JSON, retrying 503 admission rejections with
+// exponential backoff and honoring the daemon's Retry-After hint, each
+// sleep capped at rcap.
+func postWithRetry(client *http.Client, url string, body []byte, attempts int, rcap time.Duration) ([]byte, error) {
+	backoff := 100 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		raw, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		if resp.StatusCode == http.StatusOK {
+			return raw, nil
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable || attempt >= attempts {
+			return nil, fmt.Errorf("status %d: %.200s", resp.StatusCode, raw)
+		}
+		sleep := backoff
+		if s, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && s >= 0 {
+			if ra := time.Duration(s) * time.Second; ra > sleep {
+				sleep = ra
+			}
+		}
+		if sleep > rcap {
+			sleep = rcap
+		}
+		time.Sleep(sleep)
+		backoff *= 2
+	}
+}

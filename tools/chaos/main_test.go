@@ -1,0 +1,56 @@
+package main
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"ahbpower/internal/engine"
+	"ahbpower/internal/fault"
+)
+
+// TestSoakSmallSweepClean runs a compressed soak — fewer seeds, shorter
+// runs — and demands a perfectly clean report: every invariant the full
+// CI soak checks must already hold at this scale.
+func TestSoakSmallSweepClean(t *testing.T) {
+	cfg := config{seeds: 6, seed: 100, cycles: 600, timeout: 30 * time.Second}
+	rep := runSoak(cfg, io.Discard)
+	if len(rep.Violations) != 0 {
+		t.Fatalf("soak violations: %v", rep.Violations)
+	}
+	if !rep.ReplayOK || !rep.ControlsOK {
+		t.Errorf("replay_ok=%v controls_ok=%v, want true/true", rep.ReplayOK, rep.ControlsOK)
+	}
+	if rep.Scenarios != 6 {
+		t.Errorf("scenarios=%d, want 6", rep.Scenarios)
+	}
+}
+
+// TestFingerprintDiscriminates guards the replay check itself: the
+// fingerprint must be order-stable yet change when an outcome changes.
+func TestFingerprintDiscriminates(t *testing.T) {
+	res := []engine.Result{{Scenario: engine.Scenario{Name: "a"}, Beats: 10, Attempts: 1}}
+	base := string(fingerprint(res))
+	if base != string(fingerprint(res)) {
+		t.Fatal("fingerprint not deterministic")
+	}
+	res[0].Beats = 11
+	if base == string(fingerprint(res)) {
+		t.Error("fingerprint blind to a beat-count change")
+	}
+}
+
+// TestCheckResultFlagsFailures exercises the violation paths directly.
+func TestCheckResultFlagsFailures(t *testing.T) {
+	plan := &fault.Plan{Seed: 1}
+	res := &engine.Result{Scenario: engine.Scenario{Name: "x"},
+		Err: &engine.ScenarioError{Name: "x", Class: engine.ClassPermanent, Attempts: 1,
+			Err: io.ErrUnexpectedEOF}}
+	if v := checkResult(res, plan); len(v) != 1 {
+		t.Errorf("failed scenario must yield one violation, got %v", v)
+	}
+	res = &engine.Result{Scenario: engine.Scenario{Name: "x"}, Attempts: 1}
+	if v := checkResult(res, plan); len(v) == 0 {
+		t.Error("successful result with no report must flag missing conservation evidence")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -31,7 +32,16 @@ import (
 type result struct {
 	latency time.Duration
 	status  int
+	retries int // 503 rounds absorbed before the final outcome
 	err     error
+}
+
+// retryPolicy bounds how oneRequest reacts to 503 admission rejections:
+// up to max extra attempts, sleeping the larger of the doubling backoff
+// and the server's Retry-After hint, each sleep capped at cap.
+type retryPolicy struct {
+	max int
+	cap time.Duration
 }
 
 // report is the machine-readable summary; BENCH_serve.json stores the
@@ -40,6 +50,8 @@ type report struct {
 	Requests     int     `json:"requests"`
 	Errors       int     `json:"errors"`
 	ErrorRate    float64 `json:"error_rate"`
+	Retried      int     `json:"retried"`       // requests that succeeded after >=1 retry
+	RetriesTotal int     `json:"retries_total"` // 503 rounds absorbed across all requests
 	AchievedRPS  float64 `json:"achieved_rps"`
 	P50Ms        float64 `json:"p50_ms"`
 	P95Ms        float64 `json:"p95_ms"`
@@ -60,6 +72,8 @@ func main() {
 	wait := flag.Duration("wait", 15*time.Second, "how long to wait for /healthz before starting")
 	gate := flag.String("gate", "", "baseline JSON (e.g. BENCH_serve.json); exit 1 on regression")
 	threshold := flag.Float64("threshold", 100, "allowed p95 regression over the baseline, percent")
+	retries := flag.Int("retries", 4, "extra attempts after a 503 admission rejection")
+	retryCap := flag.Duration("retry-cap", 2*time.Second, "upper bound on a single retry sleep")
 	jsonOut := flag.String("o", "", "write the JSON report to this file")
 	flag.Parse()
 
@@ -101,7 +115,7 @@ func main() {
 		go func(body []byte) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			r := oneRequest(client, *addr+"/v1/run", body)
+			r := oneRequest(client, *addr+"/v1/run", body, retryPolicy{max: *retries, cap: *retryCap})
 			mu.Lock()
 			results = append(results, r)
 			mu.Unlock()
@@ -115,7 +129,8 @@ func main() {
 		rep.Requests, elapsed.Round(time.Millisecond), rep.AchievedRPS, *rps)
 	fmt.Printf("latency p50=%.1fms p95=%.1fms p99=%.1fms max=%.1fms\n",
 		rep.P50Ms, rep.P95Ms, rep.P99Ms, rep.MaxMs)
-	fmt.Printf("errors %d (%.2f%%)\n", rep.Errors, 100*rep.ErrorRate)
+	fmt.Printf("errors %d (%.2f%%), retried %d ok after %d 503 rounds\n",
+		rep.Errors, 100*rep.ErrorRate, rep.Retried, rep.RetriesTotal)
 	for _, r := range results {
 		if r.err != nil {
 			fmt.Printf("first error: %v\n", r.err)
@@ -137,8 +152,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "serveload: GATE FAILED:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("gate ok: p95 %.1fms within %.0f%% of baseline %.1fms, error rate %.2f%% <= %.2f%%\n",
-			rep.P95Ms, *threshold, baseline.P95Ms, 100*rep.ErrorRate, 100*baseline.ErrorRate)
+		fmt.Printf("gate ok: p95 %.1fms within %.0f%% of baseline %.1fms, error rate %.2f%% <= %.2f%% (%d retried, not failed)\n",
+			rep.P95Ms, *threshold, baseline.P95Ms, 100*rep.ErrorRate, 100*baseline.ErrorRate, rep.Retried)
 	}
 }
 
@@ -197,21 +212,54 @@ func requestBodies(distinct, perReq int, cycles uint64) [][]byte {
 }
 
 // oneRequest performs one POST /v1/run and validates the response shape.
-func oneRequest(client *http.Client, url string, body []byte) result {
+// A 503 is the daemon's admission control saying "later", not a broken
+// request, so it is retried with exponential backoff, honoring the
+// Retry-After hint when the server sends one; only exhausting the retry
+// budget turns it into a hard error. The reported latency spans the
+// whole exchange, sleeps included — that is what a caller experiences.
+func oneRequest(client *http.Client, url string, body []byte, rp retryPolicy) result {
 	t0 := time.Now()
+	backoff := 100 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		r, retryAfter := postOnce(client, url, body)
+		r.retries = attempt
+		r.latency = time.Since(t0)
+		if r.status != http.StatusServiceUnavailable || attempt >= rp.max {
+			return r
+		}
+		sleep := backoff
+		if retryAfter > sleep {
+			sleep = retryAfter
+		}
+		if rp.cap > 0 && sleep > rp.cap {
+			sleep = rp.cap
+		}
+		time.Sleep(sleep)
+		backoff *= 2
+	}
+}
+
+// postOnce is a single POST exchange; oneRequest wraps it in the retry
+// loop. retryAfter carries the parsed Retry-After header on a 503.
+func postOnce(client *http.Client, url string, body []byte) (r result, retryAfter time.Duration) {
 	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return result{latency: time.Since(t0), err: err}
+		r.err = err
+		return r, 0
 	}
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(resp.Body)
-	lat := time.Since(t0)
+	r.status = resp.StatusCode
 	if err != nil {
-		return result{latency: lat, status: resp.StatusCode, err: err}
+		r.err = err
+		return r, 0
 	}
 	if resp.StatusCode != http.StatusOK {
-		return result{latency: lat, status: resp.StatusCode,
-			err: fmt.Errorf("status %d: %s", resp.StatusCode, truncate(raw, 200))}
+		if s, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && s >= 0 {
+			retryAfter = time.Duration(s) * time.Second
+		}
+		r.err = fmt.Errorf("status %d: %s", resp.StatusCode, truncate(raw, 200))
+		return r, retryAfter
 	}
 	var parsed struct {
 		Results []struct {
@@ -219,17 +267,20 @@ func oneRequest(client *http.Client, url string, body []byte) result {
 		} `json:"results"`
 	}
 	if err := json.Unmarshal(raw, &parsed); err != nil {
-		return result{latency: lat, status: resp.StatusCode, err: fmt.Errorf("bad response body: %w", err)}
+		r.err = fmt.Errorf("bad response body: %w", err)
+		return r, 0
 	}
 	if len(parsed.Results) == 0 {
-		return result{latency: lat, status: resp.StatusCode, err: fmt.Errorf("response has no results")}
+		r.err = fmt.Errorf("response has no results")
+		return r, 0
 	}
-	for _, r := range parsed.Results {
-		if r.Error != "" {
-			return result{latency: lat, status: resp.StatusCode, err: fmt.Errorf("scenario error: %s", r.Error)}
+	for _, res := range parsed.Results {
+		if res.Error != "" {
+			r.err = fmt.Errorf("scenario error: %s", res.Error)
+			return r, 0
 		}
 	}
-	return result{latency: lat, status: resp.StatusCode}
+	return r, 0
 }
 
 func truncate(b []byte, n int) string {
@@ -247,9 +298,13 @@ func summarize(results []result, elapsed time.Duration) report {
 	}
 	lats := make([]float64, 0, len(results))
 	for _, r := range results {
+		rep.RetriesTotal += r.retries
 		if r.err != nil {
 			rep.Errors++
 			continue
+		}
+		if r.retries > 0 {
+			rep.Retried++
 		}
 		lats = append(lats, float64(r.latency)/float64(time.Millisecond))
 	}

@@ -1,6 +1,10 @@
 package main
 
 import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -68,5 +72,116 @@ func TestGateCheck(t *testing.T) {
 	empty := report{}
 	if err := gateCheck(empty, baseline, 50); err == nil {
 		t.Error("zero requests must fail the gate")
+	}
+}
+
+const okBody = `{"results":[{"name":"s","total_energy_j":1}],"batch":{"scenarios":1}}`
+
+// flakyServer rejects the first n requests with 503 + Retry-After, then
+// answers 200 — the shape ahbserved's admission control produces under
+// transient overload.
+func flakyServer(n int32, retryAfter string) (*httptest.Server, *int32) {
+	var calls int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(&calls, 1) <= n {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			http.Error(w, `{"error":"queue full"}`, http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, okBody)
+	}))
+	return srv, &calls
+}
+
+func TestOneRequestRetriesOn503(t *testing.T) {
+	srv, calls := flakyServer(2, "")
+	defer srv.Close()
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	r := oneRequest(client, srv.URL+"/v1/run", []byte(`{}`), retryPolicy{max: 4, cap: time.Second})
+	if r.err != nil {
+		t.Fatalf("request must succeed after retries: %v", r.err)
+	}
+	if r.retries != 2 {
+		t.Errorf("retries=%d, want 2", r.retries)
+	}
+	if got := atomic.LoadInt32(calls); got != 3 {
+		t.Errorf("server saw %d calls, want 3", got)
+	}
+}
+
+func TestOneRequestHonorsRetryAfter(t *testing.T) {
+	srv, _ := flakyServer(1, "1")
+	defer srv.Close()
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	// Retry-After: 1 (second) beats the 100ms starting backoff but is
+	// clamped by the cap, so the stall sits in [cap, ~1s).
+	capSleep := 300 * time.Millisecond
+	t0 := time.Now()
+	r := oneRequest(client, srv.URL+"/v1/run", []byte(`{}`), retryPolicy{max: 2, cap: capSleep})
+	elapsed := time.Since(t0)
+	if r.err != nil {
+		t.Fatalf("request must succeed after retry: %v", r.err)
+	}
+	if elapsed < capSleep {
+		t.Errorf("elapsed %v shorter than the capped Retry-After sleep %v", elapsed, capSleep)
+	}
+	if elapsed > 900*time.Millisecond {
+		t.Errorf("elapsed %v suggests the cap was ignored (Retry-After was 1s)", elapsed)
+	}
+}
+
+func TestOneRequestExhaustsRetryBudget(t *testing.T) {
+	srv, calls := flakyServer(100, "")
+	defer srv.Close()
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	r := oneRequest(client, srv.URL+"/v1/run", []byte(`{}`), retryPolicy{max: 2, cap: 50 * time.Millisecond})
+	if r.err == nil {
+		t.Fatal("exhausted budget must surface as an error")
+	}
+	if r.status != http.StatusServiceUnavailable {
+		t.Errorf("status=%d, want 503", r.status)
+	}
+	if r.retries != 2 {
+		t.Errorf("retries=%d, want 2", r.retries)
+	}
+	if got := atomic.LoadInt32(calls); got != 3 {
+		t.Errorf("server saw %d calls, want 3 (1 + 2 retries)", got)
+	}
+}
+
+func TestOneRequestNoRetryOnHardError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"bad request"}`, http.StatusBadRequest)
+	}))
+	defer srv.Close()
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	r := oneRequest(client, srv.URL+"/v1/run", []byte(`{}`), retryPolicy{max: 4, cap: time.Second})
+	if r.err == nil || r.retries != 0 {
+		t.Errorf("400 must fail immediately without retries: err=%v retries=%d", r.err, r.retries)
+	}
+}
+
+func TestSummarizeSeparatesRetriedFromFailed(t *testing.T) {
+	results := []result{
+		{latency: 10 * time.Millisecond},
+		{latency: 250 * time.Millisecond, retries: 2},
+		{retries: 3, status: 503, err: errFake},
+		{err: errFake},
+	}
+	rep := summarize(results, time.Second)
+	if rep.Requests != 4 || rep.Errors != 2 {
+		t.Errorf("requests=%d errors=%d, want 4/2", rep.Requests, rep.Errors)
+	}
+	if rep.Retried != 1 {
+		t.Errorf("retried=%d, want 1 (only successes count as retried)", rep.Retried)
+	}
+	if rep.RetriesTotal != 5 {
+		t.Errorf("retries_total=%d, want 5", rep.RetriesTotal)
 	}
 }
