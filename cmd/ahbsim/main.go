@@ -18,6 +18,7 @@ import (
 
 	"ahbpower/internal/core"
 	"ahbpower/internal/engine"
+	"ahbpower/internal/exec"
 	"ahbpower/internal/experiments"
 	"ahbpower/internal/fault"
 	"ahbpower/internal/metrics"
@@ -35,7 +36,12 @@ func main() {
 	window := flag.Float64("window", 100e-9, "power-trace window duration in seconds")
 	faultsFile := flag.String("faults", "", "inject faults from this JSON plan file (see internal/fault)")
 	exp := flag.String("exp", "", "run a named experiment instead: table1, figures, overhead, validation, granularity, styles, parametric, burst, pattern, dpm, cosim, impl, buses, all")
+	backend := flag.String("backend", "", "execution backend: event, compiled or auto (default: engine chooses; results are identical either way)")
 	flag.Parse()
+
+	if !exec.ValidName(*backend) {
+		fatal(fmt.Errorf("unknown -backend %q (want event, compiled or auto)", *backend))
+	}
 
 	if *exp != "" {
 		if err := runExperiments(*exp, *cycles); err != nil {
@@ -109,6 +115,7 @@ func main() {
 		Analyzer: acfg,
 		Cycles:   *cycles,
 		Faults:   plan,
+		Backend:  *backend,
 	}})[0]
 	if errors.Is(res.Err, context.Canceled) {
 		// Interrupted mid-run: keep the partial trace, skip the report.
@@ -123,6 +130,9 @@ func main() {
 	}
 	if res.Err != nil {
 		fatal(res.Err)
+	}
+	if res.BackendFallback != "" {
+		fmt.Fprintf(os.Stderr, "backend: compiled unavailable (%s), ran on the event kernel\n", res.BackendFallback)
 	}
 	if len(res.Violations) > 0 {
 		fmt.Fprintf(os.Stderr, "protocol violations: %d (first: %v)\n", len(res.Violations), res.Violations[0])

@@ -20,6 +20,7 @@ import (
 	"ahbpower/internal/amba/ahb"
 	"ahbpower/internal/core"
 	"ahbpower/internal/engine"
+	"ahbpower/internal/exec"
 	"ahbpower/internal/fault"
 )
 
@@ -33,7 +34,12 @@ func main() {
 	faultsFile := flag.String("faults", "", "inject faults from this JSON plan file into every configuration (see internal/fault)")
 	out := flag.String("o", "", "output file (default stdout)")
 	showMetrics := flag.Bool("metrics", false, "print batch run metrics (throughput, utilization, latency) to stderr")
+	backend := flag.String("backend", "", "execution backend for every configuration: event, compiled or auto (results are identical either way)")
 	flag.Parse()
+
+	if !exec.ValidName(*backend) {
+		fatal(fmt.Errorf("unknown -backend %q (want event, compiled or auto)", *backend))
+	}
 
 	w := os.Stdout
 	var closeOut func() error
@@ -75,6 +81,7 @@ func main() {
 	scens := grid.Scenarios()
 	for i := range scens {
 		scens[i].Faults = plan
+		scens[i].Backend = *backend
 	}
 
 	// Ctrl-C abandons queued scenarios; completed rows are still printed.

@@ -176,6 +176,11 @@ type Bus struct {
 
 	splitMask uint16 // masters currently split-masked from arbitration
 
+	// combWaves holds the bus's combinational processes in topological
+	// evaluation order (mux wave, then the decoder that reads the muxed
+	// address), for straight-line execution by a flat stepper.
+	combWaves [][]*sim.Process
+
 	hub        probe.Hub[CycleInfo]
 	cycles     uint64
 	lastMaster uint8
@@ -249,21 +254,32 @@ func New(k *sim.Kernel, cfg Config) (*Bus, error) {
 	b.defResp = sim.NewSignal[uint8](k, n+".defresp", RespOkay)
 	b.lastMaster = uint8(cfg.DefaultMaster)
 
-	b.buildDecoder()
-	b.buildM2S()
-	b.buildS2M()
+	decoder := b.buildDecoder()
+	m2sAddr, m2sWdata := b.buildM2S()
+	s2m := b.buildS2M()
 	b.buildArbiter()
 	b.buildDefaultSlave()
 	b.buildCycleProbe()
+	// Topological order for flat execution: the muxes read only registered
+	// (edge-written) signals, the decoder reads the muxed address/control.
+	b.combWaves = [][]*sim.Process{{m2sAddr, m2sWdata, s2m}, {decoder}}
 	return b, nil
+}
+
+// NewFlat returns a straight-line cycle stepper over the built bus: the
+// compiled execution backend. It must be called after every master, slave
+// and injector is attached (their processes join the posedge schedule) and
+// before the simulation starts; the returned stepper then owns the kernel.
+func (b *Bus) NewFlat() (*sim.Flat, error) {
+	return sim.NewFlat(b.K, b.Clk, b.combWaves)
 }
 
 // buildDecoder creates the combinational address decoder: HSELx lines and
 // the selected-slave index. Unmapped addresses select the internal default
 // slave (-2).
-func (b *Bus) buildDecoder() {
+func (b *Bus) buildDecoder() *sim.Process {
 	sens := []sim.Trigger{b.HAddr.Changed(), b.HTrans.Changed()}
-	b.K.Method(b.Cfg.Name+".decoder", func() {
+	return b.K.Method(b.Cfg.Name+".decoder", func() {
 		addr := b.HAddr.Read()
 		idx := -2
 		for _, r := range b.Cfg.Regions {
@@ -281,7 +297,7 @@ func (b *Bus) buildDecoder() {
 
 // buildM2S creates the masters-to-slaves multiplexer: address/control
 // selected by HMASTER, write data selected by the data-phase owner.
-func (b *Bus) buildM2S() {
+func (b *Bus) buildM2S() (addrProc, wdataProc *sim.Process) {
 	var sens []sim.Trigger
 	for m := range b.M {
 		p := &b.M[m]
@@ -289,7 +305,7 @@ func (b *Bus) buildM2S() {
 			p.Size.Changed(), p.Burst.Changed(), p.Prot.Changed())
 	}
 	sens = append(sens, b.HMaster.Changed())
-	b.K.Method(b.Cfg.Name+".mux_m2s_addr", func() {
+	addrProc = b.K.Method(b.Cfg.Name+".mux_m2s_addr", func() {
 		m := int(b.HMaster.Read())
 		if m >= len(b.M) {
 			m = 0
@@ -308,25 +324,26 @@ func (b *Bus) buildM2S() {
 		dsens = append(dsens, b.M[m].Wdata.Changed())
 	}
 	dsens = append(dsens, b.DataMaster.Changed())
-	b.K.Method(b.Cfg.Name+".mux_m2s_wdata", func() {
+	wdataProc = b.K.Method(b.Cfg.Name+".mux_m2s_wdata", func() {
 		m := int(b.DataMaster.Read())
 		if m >= len(b.M) {
 			m = 0
 		}
 		b.HWdata.Write(b.M[m].Wdata.Read() & b.DataMask())
 	}, dsens...)
+	return addrProc, wdataProc
 }
 
 // buildS2M creates the slaves-to-masters multiplexer: read data, response
 // and ready selected by the data-phase slave; idle bus reads ready/OKAY.
-func (b *Bus) buildS2M() {
+func (b *Bus) buildS2M() *sim.Process {
 	var sens []sim.Trigger
 	for s := range b.S {
 		p := &b.S[s]
 		sens = append(sens, p.ReadyOut.Changed(), p.Resp.Changed(), p.Rdata.Changed())
 	}
 	sens = append(sens, b.DataSlave.Changed(), b.defReady.Changed(), b.defResp.Changed())
-	b.K.Method(b.Cfg.Name+".mux_s2m", func() {
+	return b.K.Method(b.Cfg.Name+".mux_s2m", func() {
 		ds := b.DataSlave.Read()
 		switch {
 		case ds >= 0 && ds < len(b.S):

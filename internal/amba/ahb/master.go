@@ -121,6 +121,31 @@ type Master struct {
 	onResult  func(Result)
 	onDrive   func(*BeatDrive)
 	splitWait bool
+
+	// spare recycles completed flights: one flight is consumed per data
+	// beat, and allocating each one dominates the master's per-cycle cost
+	// on long runs. Flights are returned after completeBeat, the only
+	// point where a flight dies with no remaining reference.
+	spare []*flight
+}
+
+// newFlight returns a zeroed flight, reusing a recycled one when
+// available.
+func (m *Master) newFlight() *flight {
+	if n := len(m.spare); n > 0 {
+		f := m.spare[n-1]
+		m.spare = m.spare[:n-1]
+		*f = flight{}
+		return f
+	}
+	return new(flight)
+}
+
+// recycle returns a dead flight to the spare pool. The caller must hold
+// the only reference.
+func (m *Master) recycle(f *flight) {
+	f.op = nil // release the script op while pooled
+	m.spare = append(m.spare, f)
 }
 
 // BeatDrive is the mutable view of a beat the instant before its address
@@ -229,9 +254,11 @@ func (m *Master) tick() {
 			switch resp {
 			case RespOkay:
 				m.completeBeat(f, RespOkay)
+				m.recycle(f)
 			case RespError:
 				m.stats.Errors++
 				m.completeBeat(f, RespError)
+				m.recycle(f)
 			default:
 				// Second cycle of RETRY/SPLIT reached without the first
 				// having been observed (cannot normally happen).
@@ -319,9 +346,10 @@ func (m *Master) driveNext(granted bool) {
 	if len(m.rewind) > 0 {
 		f := m.rewind[0]
 		m.rewind = m.rewind[1:]
-		nf := &flight{op: f.op, beatIdx: f.beatIdx, addr: f.addr, write: f.write,
-			size: f.size, burst: BurstIncr, trans: TransNonseq, data: f.data}
-		m.driveFlight(nf)
+		// Re-issue the same flight in place; nothing else references it
+		// once it leaves the rewind queue.
+		f.burst, f.trans = BurstIncr, TransNonseq
+		m.driveFlight(f)
 		return
 	}
 
@@ -408,7 +436,8 @@ func (m *Master) advanceIdle() {
 
 // flightFor builds the flight for the current beat of op.
 func (m *Master) flightFor(op *Op) *flight {
-	f := &flight{op: op, beatIdx: m.beat, write: op.Kind == OpWrite, size: op.Size}
+	f := m.newFlight()
+	f.op, f.beatIdx, f.write, f.size = op, m.beat, op.Kind == OpWrite, op.Size
 	if f.size == 0 && m.bus.Cfg.DataWidth == 32 {
 		f.size = Size32
 	}

@@ -116,14 +116,23 @@ func (e ProtocolError) Error() string {
 type Monitor struct {
 	bus       *Bus
 	errs      []ProtocolError
-	prev      *CycleInfo
-	counts    map[string]uint64
+	prev      CycleInfo
+	havePrev  bool
+	counts    monitorCounts
 	burstBase uint32
+}
+
+// monitorCounts holds the per-event counters as plain fields: the monitor
+// bumps one or two of them every settled cycle, and a map increment on
+// that path (hash + lookup per event) is measurable across a whole sweep.
+// Counts materializes the map form.
+type monitorCounts struct {
+	idle, busy, nonseq, seq, handover, wait uint64
 }
 
 // NewMonitor attaches a protocol monitor to the bus-cycle stream.
 func NewMonitor(b *Bus) *Monitor {
-	m := &Monitor{bus: b, counts: map[string]uint64{}}
+	m := &Monitor{bus: b}
 	b.Observe(m)
 	return m
 }
@@ -132,7 +141,27 @@ func NewMonitor(b *Bus) *Monitor {
 func (m *Monitor) Errors() []ProtocolError { return m.errs }
 
 // Counts returns per-event counters (transfers, waits, handovers, ...).
-func (m *Monitor) Counts() map[string]uint64 { return m.counts }
+// Only events observed at least once appear, matching map-increment
+// semantics.
+func (m *Monitor) Counts() map[string]uint64 {
+	out := map[string]uint64{}
+	for _, c := range []struct {
+		name string
+		n    uint64
+	}{
+		{"idle", m.counts.idle},
+		{"busy", m.counts.busy},
+		{"nonseq", m.counts.nonseq},
+		{"seq", m.counts.seq},
+		{"handover", m.counts.handover},
+		{"wait", m.counts.wait},
+	} {
+		if c.n > 0 {
+			out[c.name] = c.n
+		}
+	}
+	return out
+}
 
 func (m *Monitor) fail(c uint64, rule, format string, args ...any) {
 	m.errs = append(m.errs, ProtocolError{Cycle: c, Rule: rule, Desc: fmt.Sprintf(format, args...)})
@@ -141,26 +170,21 @@ func (m *Monitor) fail(c uint64, rule, format string, args ...any) {
 // ObserveCycle implements probe.Observer: it checks one settled bus cycle
 // against the protocol rules.
 func (m *Monitor) ObserveCycle(ci CycleInfo) {
-	defer func() {
-		cc := ci
-		m.prev = &cc
-	}()
-
 	switch ci.Trans {
 	case TransIdle:
-		m.counts["idle"]++
+		m.counts.idle++
 	case TransBusy:
-		m.counts["busy"]++
+		m.counts.busy++
 	case TransNonseq:
-		m.counts["nonseq"]++
+		m.counts.nonseq++
 	case TransSeq:
-		m.counts["seq"]++
+		m.counts.seq++
 	}
 	if ci.Handover {
-		m.counts["handover"]++
+		m.counts.handover++
 	}
 	if !ci.Ready {
-		m.counts["wait"]++
+		m.counts.wait++
 	}
 
 	// Alignment rule: active transfers must be size-aligned.
@@ -170,10 +194,11 @@ func (m *Monitor) ObserveCycle(ci CycleInfo) {
 		}
 	}
 
-	if m.prev == nil {
+	if !m.havePrev {
+		m.prev, m.havePrev = ci, true
 		return
 	}
-	p := m.prev
+	p := &m.prev
 
 	// A response other than OKAY must be a two-cycle response: first
 	// cycle with HREADY low.
@@ -227,4 +252,5 @@ func (m *Monitor) ObserveCycle(ci CycleInfo) {
 	if ci.Handover && !p.Ready {
 		m.fail(ci.Cycle, "handover-wait", "HMASTER changed while HREADY low")
 	}
+	m.prev = ci
 }

@@ -184,26 +184,40 @@ func (s *System) Run(n uint64) error {
 // simulated time. On cancellation the context's error is returned and
 // the system stays resumable from the cycle it reached.
 func (s *System) RunContext(ctx context.Context, n uint64) error {
+	return s.RunContextStepped(ctx, n, func(c uint64) error {
+		return s.K.RunCycles(s.Bus.Clk, c)
+	})
+}
+
+// RunContextStepped is the execution seam RunContext is built on: it
+// advances the simulation by n bus cycles using step to execute each slice
+// of cycles, with the same chunking, cancellation and end-of-run hook
+// semantics regardless of which execution backend supplies step. Backends
+// (internal/exec) plug their cycle steppers in here, so observers flush
+// and cancellation boundaries are identical across backends — a
+// prerequisite for bit-identical partial results under mid-run
+// cancellation.
+func (s *System) RunContextStepped(ctx context.Context, n uint64, step func(uint64) error) error {
 	defer func() {
 		for _, fn := range s.runEndHooks {
 			fn()
 		}
 	}()
 	if ctx == nil || ctx.Done() == nil {
-		return s.K.RunCycles(s.Bus.Clk, n)
+		return step(n)
 	}
 	for n > 0 {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		step := uint64(runChunk)
-		if n < step {
-			step = n
+		c := uint64(runChunk)
+		if n < c {
+			c = n
 		}
-		if err := s.K.RunCycles(s.Bus.Clk, step); err != nil {
+		if err := step(c); err != nil {
 			return err
 		}
-		n -= step
+		n -= c
 	}
 	return nil
 }

@@ -17,6 +17,7 @@ import (
 
 	"ahbpower/internal/amba/ahb"
 	"ahbpower/internal/core"
+	"ahbpower/internal/exec"
 	"ahbpower/internal/fault"
 	"ahbpower/internal/metrics"
 	"ahbpower/internal/power"
@@ -63,6 +64,26 @@ type Scenario struct {
 	// scenario fails with a timeout-classed error; timeouts are never
 	// retried (a deterministic simulation would only time out again).
 	Timeout time.Duration
+	// Backend is an execution hint: "", "event", "compiled" or "auto"
+	// (see internal/exec). It selects how cycles are advanced, never what
+	// they compute — results are bit-identical across backends — so it is
+	// deliberately excluded from CanonicalKey and a cached result answers
+	// the scenario regardless of the backend that produced it. A
+	// "compiled"/"auto" hint falls back to the event backend, with the
+	// reason surfaced in Result.BackendFallback, when the scenario uses
+	// features the compiled stepper cannot honor.
+	Backend string
+}
+
+// ExecTraits derives the backend-selection traits of the scenario (see
+// exec.Traits).
+func (sc *Scenario) ExecTraits() exec.Traits {
+	return exec.Traits{
+		HasSetup:          sc.Setup != nil,
+		HasDPM:            !sc.SkipAnalyzer && sc.Analyzer.DPM != nil,
+		DeltaInstrumented: !sc.SkipAnalyzer && sc.Analyzer.Style == core.StylePrivate,
+		ClockPeriod:       sc.System.ClockPeriod,
+	}
 }
 
 // Result is the outcome of one scenario. On success Report and the
@@ -103,6 +124,15 @@ type Result struct {
 	// runner retried transient failures). Zero for scenarios abandoned
 	// before starting.
 	Attempts int
+	// Backend is the execution backend that actually ran the scenario
+	// ("event" or "compiled"). Empty for scenarios that never reached
+	// execution. An execution detail, not part of the result identity:
+	// supported scenarios produce bit-identical results on every backend.
+	Backend string
+	// BackendFallback is the surfaced reason the compiled backend was
+	// requested but the event backend ran instead; empty when no fallback
+	// happened.
+	BackendFallback string
 	// Faults holds the injector's per-kind counters when the scenario
 	// carried an active fault plan.
 	Faults *fault.Stats
@@ -297,6 +327,13 @@ func executeAttempt(ctx context.Context, index int, sc Scenario, attempt int) (r
 		res.Err = fmt.Errorf("engine: scenario %q: %w", sc.Name, &fault.InjectedFault{Attempt: attempt})
 		return res
 	}
+	backend, fallback, err := exec.Select(sc.Backend, sc.ExecTraits())
+	if err != nil {
+		res.Err = fmt.Errorf("engine: scenario %q: %w", sc.Name, err)
+		return res
+	}
+	res.Backend = backend.Name()
+	res.BackendFallback = fallback
 	if sc.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, sc.Timeout)
@@ -341,7 +378,7 @@ func executeAttempt(ctx context.Context, index int, sc Scenario, attempt int) (r
 	}
 	build := time.Since(buildStart)
 	start := time.Now()
-	if err := sys.RunContext(ctx, sc.Cycles); err != nil {
+	if err := backend.Run(ctx, sys, sc.Cycles); err != nil {
 		res.Err = fmt.Errorf("engine: scenario %q: %w", sc.Name, err)
 		return res
 	}

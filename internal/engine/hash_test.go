@@ -122,6 +122,29 @@ func TestCanonicalKeySensitivity(t *testing.T) {
 	}
 }
 
+// TestCanonicalKeyIgnoresBackend pins the cache-sharing contract: the
+// execution backend is a hint about *how* a scenario runs, never about
+// *what* it computes, so it must not separate canonical keys. A result
+// cached from an event run answers a compiled request and vice versa.
+func TestCanonicalKeyIgnoresBackend(t *testing.T) {
+	base := hashableScenario()
+	bk, ok := base.CanonicalKey()
+	if !ok {
+		t.Fatal("base scenario unhashable")
+	}
+	for _, backend := range []string{"event", "compiled", "auto"} {
+		sc := hashableScenario()
+		sc.Backend = backend
+		k, ok := sc.CanonicalKey()
+		if !ok {
+			t.Fatalf("backend %q: scenario unexpectedly unhashable", backend)
+		}
+		if k != bk {
+			t.Errorf("backend %q changed the canonical key: %s vs %s", backend, k, bk)
+		}
+	}
+}
+
 func TestCanonicalKeyUnhashable(t *testing.T) {
 	cases := map[string]func(*Scenario){
 		"Setup":      func(sc *Scenario) { sc.Setup = func(*core.System) error { return nil } },

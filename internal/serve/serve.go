@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"ahbpower/internal/engine"
+	"ahbpower/internal/exec"
 )
 
 // Config parameterizes a Server. The zero value is usable: every field
@@ -60,6 +61,14 @@ type Config struct {
 	// A zero MaxAttempts selects the default (2 attempts, 25ms → 250ms,
 	// ±20% jitter); a negative MaxAttempts disables retries.
 	Retry engine.RetryPolicy
+	// DefaultBackend is the execution backend applied to scenarios whose
+	// request carries no backend of its own: "" or "event" (the default),
+	// "compiled", or "auto" (compiled when supported, event otherwise).
+	// Purely an execution policy — results and cache keys are identical
+	// across backends. The name must be valid (exec.ValidName); requests
+	// resolved against an unknown default are rejected at decode time, and
+	// cmd/ahbserved validates its flag at startup.
+	DefaultBackend string
 }
 
 func (c Config) withDefaults() Config {
@@ -154,6 +163,10 @@ type counters struct {
 	degradedTraceShed   expvar.Int // scenarios whose trace options were shed
 	degradedCacheServed expvar.Int // cache hits served despite no_cache
 	scenariosRetried    expvar.Int // scenarios that needed >1 attempt
+
+	backendEventRuns    expvar.Int // scenarios executed on the event backend
+	backendCompiledRuns expvar.Int // scenarios executed on the compiled backend
+	backendFallbacks    expvar.Int // compiled/auto requests that fell back to event
 }
 
 // New builds a server from the configuration.
@@ -188,6 +201,10 @@ func New(cfg Config) *Server {
 		"degraded_trace_shed":   &s.ctr.degradedTraceShed,
 		"degraded_cache_served": &s.ctr.degradedCacheServed,
 		"scenarios_retried":     &s.ctr.scenariosRetried,
+
+		"backend_event_runs":    &s.ctr.backendEventRuns,
+		"backend_compiled_runs": &s.ctr.backendCompiledRuns,
+		"backend_fallbacks":     &s.ctr.backendFallbacks,
 	} {
 		s.vars.Set(name, v)
 	}
@@ -315,6 +332,9 @@ func (s *Server) decodeRun(r *http.Request) (*RunRequest, []engine.Scenario, []s
 	if len(req.Scenarios) > s.cfg.MaxScenarios {
 		return nil, nil, nil, fmt.Errorf("request has %d scenarios, limit %d", len(req.Scenarios), s.cfg.MaxScenarios)
 	}
+	if !exec.ValidName(req.Backend) {
+		return nil, nil, nil, fmt.Errorf("unknown backend %q (want event|compiled|auto)", req.Backend)
+	}
 	scenarios := make([]engine.Scenario, len(req.Scenarios))
 	keys := make([]string, len(req.Scenarios))
 	for i := range req.Scenarios {
@@ -324,6 +344,18 @@ func (s *Server) decodeRun(r *http.Request) (*RunRequest, []engine.Scenario, []s
 		}
 		if sc.Cycles > s.cfg.MaxCycles {
 			return nil, nil, nil, fmt.Errorf("scenario %q: %d cycles exceeds the per-scenario limit %d", sc.Name, sc.Cycles, s.cfg.MaxCycles)
+		}
+		// Backend resolution: scenario hint, then request default, then
+		// server default. Deliberately after CanonicalKey-relevant fields
+		// are settled — the hint never affects the key.
+		if sc.Backend == "" {
+			sc.Backend = req.Backend
+		}
+		if sc.Backend == "" {
+			sc.Backend = s.cfg.DefaultBackend
+		}
+		if !exec.ValidName(sc.Backend) {
+			return nil, nil, nil, fmt.Errorf("scenario %q: unknown backend %q (want event|compiled|auto)", sc.Name, sc.Backend)
 		}
 		scenarios[i] = sc
 		keys[i], _ = sc.CanonicalKey()
@@ -535,6 +567,23 @@ func (s *Server) runBatch(ctx context.Context, scenarios []engine.Scenario, keys
 			for n := range res {
 				if res[n].Attempts > 1 {
 					s.ctr.scenariosRetried.Add(1)
+				}
+				switch res[n].Backend {
+				case exec.NameEvent:
+					s.ctr.backendEventRuns.Add(1)
+				case exec.NameCompiled:
+					s.ctr.backendCompiledRuns.Add(1)
+				}
+				if res[n].Backend != "" {
+					if resp.Batch.Backends == nil {
+						resp.Batch.Backends = map[string]int{}
+					}
+					resp.Batch.Backends[res[n].Backend]++
+				}
+				if fb := res[n].BackendFallback; fb != "" {
+					s.ctr.backendFallbacks.Add(1)
+					resp.Batch.BackendFallbacks = append(resp.Batch.BackendFallbacks,
+						fmt.Sprintf("%s: %s", res[n].Scenario.Name, fb))
 				}
 			}
 			for n, i := range missIdx {

@@ -108,6 +108,112 @@ func TestCacheHitByteIdentical(t *testing.T) {
 	}
 }
 
+// TestBackendCacheShared pins the serving side of the backend contract:
+// the backend hint changes how a scenario executes, never what it
+// computes, so a result cached from an event run must answer a compiled
+// request (and vice versa) byte-identically, and the envelope — not the
+// result — reports which backend fresh runs used.
+func TestBackendCacheShared(t *testing.T) {
+	s := New(Config{Workers: 2})
+	h := s.Handler()
+	spec := scenarioJSON("shared", 2000, 7)
+
+	first := post(h, `{"backend":"event","scenarios":[`+spec+`]}`)
+	if first.Code != http.StatusOK {
+		t.Fatalf("event request: status %d, body %s", first.Code, first.Body.String())
+	}
+	var r1 struct {
+		wireResponse
+		Batch struct {
+			CacheHits   int            `json:"cache_hits"`
+			CacheMisses int            `json:"cache_misses"`
+			Backends    map[string]int `json:"backends"`
+			Fallbacks   []string       `json:"backend_fallbacks"`
+		} `json:"batch"`
+	}
+	if err := json.Unmarshal(first.Body.Bytes(), &r1); err != nil {
+		t.Fatal(err)
+	}
+	if r1.Batch.CacheMisses != 1 || r1.Batch.Backends["event"] != 1 {
+		t.Fatalf("event request: misses=%d backends=%v, want 1 miss run on event",
+			r1.Batch.CacheMisses, r1.Batch.Backends)
+	}
+
+	// Same scenario, opposite backend: must be a cache hit with identical
+	// bytes, and no backend accounting (nothing executed).
+	second := post(h, `{"backend":"compiled","scenarios":[`+spec+`]}`)
+	var r2 struct {
+		wireResponse
+		Batch struct {
+			CacheHits int            `json:"cache_hits"`
+			Backends  map[string]int `json:"backends"`
+		} `json:"batch"`
+	}
+	if err := json.Unmarshal(second.Body.Bytes(), &r2); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Batch.CacheHits != 1 || len(r2.Batch.Backends) != 0 {
+		t.Fatalf("compiled request after event run: hits=%d backends=%v, want pure cache hit",
+			r2.Batch.CacheHits, r2.Batch.Backends)
+	}
+	if string(r1.Results[0]) != string(r2.Results[0]) {
+		t.Errorf("backend hint leaked into the result bytes:\nevent:    %s\ncompiled: %s",
+			r1.Results[0], r2.Results[0])
+	}
+
+	// Forced fresh compiled run: same result bytes as the event run, and
+	// the envelope says compiled executed.
+	third := post(h, `{"no_cache":true,"backend":"compiled","scenarios":[`+spec+`]}`)
+	var r3 struct {
+		wireResponse
+		Batch struct {
+			Backends  map[string]int `json:"backends"`
+			Fallbacks []string       `json:"backend_fallbacks"`
+		} `json:"batch"`
+	}
+	if err := json.Unmarshal(third.Body.Bytes(), &r3); err != nil {
+		t.Fatal(err)
+	}
+	if r3.Batch.Backends["compiled"] != 1 || len(r3.Batch.Fallbacks) != 0 {
+		t.Fatalf("fresh compiled run: backends=%v fallbacks=%v, want compiled:1 and no fallback",
+			r3.Batch.Backends, r3.Batch.Fallbacks)
+	}
+	if string(r1.Results[0]) != string(r3.Results[0]) {
+		t.Errorf("compiled run differs from event run:\n%s\n%s", r1.Results[0], r3.Results[0])
+	}
+
+	// A DPM scenario cannot run compiled: it must fall back to event and
+	// say so in the envelope.
+	dpm := `{"name":"dpm","cycles":1500,"analyzer":{"dpm":{"idle_threshold":4,"wake_energy_J":1e-12}},` +
+		`"workloads":[{"seed":7,"sequences":3,"pairs_min":2,"pairs_max":6,"idle_min":2,"idle_max":8,"addr_size":4096}],` +
+		`"backend":"compiled"}`
+	fourth := post(h, `{"scenarios":[`+dpm+`]}`)
+	var r4 struct {
+		Batch struct {
+			Backends  map[string]int `json:"backends"`
+			Fallbacks []string       `json:"backend_fallbacks"`
+		} `json:"batch"`
+	}
+	if err := json.Unmarshal(fourth.Body.Bytes(), &r4); err != nil {
+		t.Fatal(err)
+	}
+	if r4.Batch.Backends["event"] != 1 || len(r4.Batch.Fallbacks) != 1 ||
+		!strings.Contains(r4.Batch.Fallbacks[0], "DPM") {
+		t.Errorf("DPM scenario: backends=%v fallbacks=%v, want event:1 with a DPM fallback reason",
+			r4.Batch.Backends, r4.Batch.Fallbacks)
+	}
+
+	// Unknown backend names are rejected at decode, wherever they appear.
+	for _, body := range []string{
+		`{"backend":"turbo","scenarios":[` + spec + `]}`,
+		`{"scenarios":[{"name":"x","cycles":100,"backend":"turbo"}]}`,
+	} {
+		if rr := post(h, body); rr.Code != http.StatusBadRequest {
+			t.Errorf("bad backend accepted: status %d for %s", rr.Code, body)
+		}
+	}
+}
+
 // TestQueueFullRejects fills the execution slot and the bounded queue,
 // then asserts the next request gets 503 with a Retry-After header while
 // the queued request still completes once the slot frees up.

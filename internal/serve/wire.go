@@ -19,6 +19,7 @@ import (
 	"ahbpower/internal/amba/ahb"
 	"ahbpower/internal/core"
 	"ahbpower/internal/engine"
+	"ahbpower/internal/exec"
 	"ahbpower/internal/fault"
 	"ahbpower/internal/metrics"
 	"ahbpower/internal/power"
@@ -42,6 +43,12 @@ type RunRequest struct {
 	// NoCache bypasses the result cache for this request (results are
 	// still stored for later hits).
 	NoCache bool `json:"no_cache,omitempty"`
+	// Backend is the request-level execution-backend default
+	// ("event"|"compiled"|"auto") applied to every scenario that does not
+	// carry its own; empty defers to the server's configured default. An
+	// execution hint only: results and cache keys are identical across
+	// backends, so requests with different backends share cache entries.
+	Backend string `json:"backend,omitempty"`
 }
 
 // ScenarioSpec is the wire form of one engine.Scenario.
@@ -64,6 +71,10 @@ type ScenarioSpec struct {
 	// internal/fault). Plans participate in the canonical cache key, so
 	// faulty runs cache like clean ones.
 	Faults *fault.Plan `json:"faults,omitempty"`
+	// Backend selects this scenario's execution backend
+	// ("event"|"compiled"|"auto"); empty defers to the request-level and
+	// then the server-level default. Not part of the cache key.
+	Backend string `json:"backend,omitempty"`
 }
 
 // SystemSpec is the wire form of core.SystemConfig.
@@ -158,6 +169,10 @@ func (s *ScenarioSpec) Scenario(index int) (engine.Scenario, error) {
 	if s.Cycles == 0 {
 		return sc, fmt.Errorf("scenario %q: cycles must be positive", sc.Name)
 	}
+	if !exec.ValidName(s.Backend) {
+		return sc, fmt.Errorf("scenario %q: unknown backend %q (want event|compiled|auto)", sc.Name, s.Backend)
+	}
+	sc.Backend = s.Backend
 	if s.System == nil {
 		sc.System = core.PaperSystem()
 	} else {
@@ -369,4 +384,14 @@ type BatchWire struct {
 	// actually shed or overrode for this batch.
 	Degraded        bool     `json:"degraded,omitempty"`
 	DegradedActions []string `json:"degraded_actions,omitempty"`
+	// Backends counts the freshly executed scenarios by the backend that
+	// actually ran them (cache hits executed nothing and are not counted).
+	// Like the degraded fields this lives in the envelope, not in
+	// ResultWire: the backend is an execution detail, and result bytes
+	// stay identical — and cache-shareable — across backends.
+	Backends map[string]int `json:"backends,omitempty"`
+	// BackendFallbacks lists, in input order, the scenarios whose
+	// compiled/auto request fell back to the event backend, with the
+	// surfaced reason ("name: reason").
+	BackendFallbacks []string `json:"backend_fallbacks,omitempty"`
 }

@@ -117,6 +117,12 @@ type Kernel struct {
 	initialized bool
 	stopped     bool
 
+	// flat suppresses sensitivity-driven process wakeups during signal
+	// updates: a Flat stepper replaces them with its own static schedule.
+	// Watchers still fire, so update-phase side effects (split-resume
+	// masking) behave identically under both execution models.
+	flat bool
+
 	// observers run once per simulated timestep after all delta cycles at
 	// that time have settled; used by monitors that want a settled view of
 	// all signals.
@@ -236,6 +242,19 @@ func (k *Kernel) runDeltas() error {
 		k.pendBuf = pend[:0]
 	}
 	return nil
+}
+
+// applyFlat performs one update phase without scheduling follow-up work:
+// every staged write is applied (firing watchers on change), but sensitive
+// processes are not marked runnable — the flat stepper's static schedule
+// decides what runs next. Only meaningful while k.flat is set.
+func (k *Kernel) applyFlat() {
+	pend := k.pending
+	k.pending = k.pendBuf[:0]
+	for _, u := range pend {
+		u.apply(k)
+	}
+	k.pendBuf = pend[:0]
 }
 
 // initialize runs every registered process once at time zero, as SystemC

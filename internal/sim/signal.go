@@ -43,13 +43,20 @@ func (s *Signal[T]) Name() string { return s.name }
 func (s *Signal[T]) Read() T { return s.cur }
 
 // Write schedules v to become the signal's value in the next delta cycle.
-// The last write in an evaluate phase wins.
+// The last write in an evaluate phase wins. Rewriting the value the signal
+// already holds is a no-op (no value-change event, and no pending update
+// either — synchronous processes re-drive unchanged outputs every cycle,
+// so this fast path carries most writes); when an update is already
+// staged, the write must land so last-write-wins ordering is preserved.
 func (s *Signal[T]) Write(v T) {
-	s.next = v
 	if !s.pending {
+		if v == s.cur {
+			return // invariant: next == cur while no update is pending
+		}
 		s.pending = true
 		s.k.addPending(s)
 	}
+	s.next = v
 }
 
 // SetInit forces the current value without generating events; it may only
@@ -73,17 +80,19 @@ func (s *Signal[T]) apply(k *Kernel) {
 	}
 	old := s.cur
 	s.cur = s.next
-	for _, p := range s.onChange {
-		k.markRunnable(p)
-	}
-	if s.hasEdge {
-		if s.cur == s.riseVal {
-			for _, p := range s.onRise {
-				k.markRunnable(p)
-			}
-		} else {
-			for _, p := range s.onFall {
-				k.markRunnable(p)
+	if !k.flat {
+		for _, p := range s.onChange {
+			k.markRunnable(p)
+		}
+		if s.hasEdge {
+			if s.cur == s.riseVal {
+				for _, p := range s.onRise {
+					k.markRunnable(p)
+				}
+			} else {
+				for _, p := range s.onFall {
+					k.markRunnable(p)
+				}
 			}
 		}
 	}

@@ -55,6 +55,7 @@ type soakReport struct {
 	Retried     int      `json:"retried"`
 	FaultEvents uint64   `json:"fault_events"`
 	ReplayOK    bool     `json:"replay_ok"`
+	BackendsOK  bool     `json:"backends_ok"`
 	ControlsOK  bool     `json:"controls_ok"`
 	DaemonOK    bool     `json:"daemon_ok,omitempty"`
 	Violations  []string `json:"violations"`
@@ -74,8 +75,8 @@ func main() {
 	flag.Parse()
 
 	rep := runSoak(cfg, os.Stdout)
-	fmt.Printf("chaos: %d scenarios over %d seeds, %d retried, %d fault events, replay_ok=%v controls_ok=%v",
-		rep.Scenarios, rep.Seeds, rep.Retried, rep.FaultEvents, rep.ReplayOK, rep.ControlsOK)
+	fmt.Printf("chaos: %d scenarios over %d seeds, %d retried, %d fault events, replay_ok=%v backends_ok=%v controls_ok=%v",
+		rep.Scenarios, rep.Seeds, rep.Retried, rep.FaultEvents, rep.ReplayOK, rep.BackendsOK, rep.ControlsOK)
 	if cfg.addr != "" {
 		fmt.Printf(" daemon_ok=%v", rep.DaemonOK)
 	}
@@ -135,6 +136,12 @@ func runSoak(cfg config, logw io.Writer) soakReport {
 	if !rep.ReplayOK {
 		rep.Violations = append(rep.Violations, "replay fingerprint differs between identical batches")
 	}
+
+	// Backend mix: the same sweep with execution backends pinned per
+	// scenario must be indistinguishable from the all-event baseline.
+	mix := backendMixPhase(cfg, a)
+	rep.BackendsOK = len(mix) == 0
+	rep.Violations = append(rep.Violations, mix...)
 
 	ctl := controlChecks(cfg)
 	rep.ControlsOK = len(ctl) == 0
@@ -287,6 +294,48 @@ func fingerprint(results []engine.Result) []byte {
 	}
 	b, _ := json.Marshal(fps) // map keys marshal sorted, so this is canonical
 	return b
+}
+
+// backendMixPhase re-runs the randomized faulted sweep with the
+// execution backend pinned per scenario — alternating compiled and event
+// — and asserts the batch fingerprint matches the all-event baseline:
+// which kernel advances the cycles must be invisible in every observable
+// outcome, even with faults injected and retries in play. The soak
+// scenarios use no Setup hooks, DPM or delta-level instrumentation, so a
+// compiled pin must actually run compiled; any fallback is a violation.
+func backendMixPhase(cfg config, baseline []byte) []string {
+	var v []string
+	scens := buildScenariosOnly(cfg)
+	wantCompiled := 0
+	for i := range scens {
+		if i%2 == 0 {
+			scens[i].Backend = "compiled"
+			wantCompiled++
+		} else {
+			scens[i].Backend = "event"
+		}
+	}
+	runner := engine.NewRunner(cfg.workers)
+	runner.Retry = engine.DefaultRetryPolicy()
+	results := runner.Run(context.Background(), scens)
+	ranCompiled := 0
+	for i := range results {
+		res := &results[i]
+		if res.Backend == "compiled" {
+			ranCompiled++
+		}
+		if res.BackendFallback != "" {
+			v = append(v, fmt.Sprintf("%s: compiled pin fell back to event: %s",
+				res.Scenario.Name, res.BackendFallback))
+		}
+	}
+	if ranCompiled != wantCompiled {
+		v = append(v, fmt.Sprintf("backend mix: %d scenarios ran compiled, want %d", ranCompiled, wantCompiled))
+	}
+	if !bytes.Equal(fingerprint(results), baseline) {
+		v = append(v, "backend mix: fingerprint differs from the all-event sweep")
+	}
+	return v
 }
 
 // controlChecks proves the failure taxonomy on known-bad scenarios: a
