@@ -23,6 +23,7 @@ import (
 	"ahbpower/internal/fault"
 	"ahbpower/internal/metrics"
 	"ahbpower/internal/power"
+	"ahbpower/internal/topo"
 )
 
 func main() {
@@ -35,12 +36,41 @@ func main() {
 	traceFile := flag.String("trace", "", "record a power trace to this file (.csv, .jsonl or .vcd by extension)")
 	window := flag.Float64("window", 100e-9, "power-trace window duration in seconds")
 	faultsFile := flag.String("faults", "", "inject faults from this JSON plan file (see internal/fault)")
-	exp := flag.String("exp", "", "run a named experiment instead: table1, figures, overhead, validation, granularity, styles, parametric, burst, pattern, dpm, cosim, impl, buses, all")
+	exp := flag.String("exp", "", "run a named experiment instead: table1, figures, overhead, validation, granularity, styles, parametric, burst, pattern, dpm, cosim, impl, buses, topology, all")
 	backend := flag.String("backend", "", "execution backend: event, compiled or auto (default: engine chooses; results are identical either way)")
+	topoFile := flag.String("topology", "", "build the system from this declarative topology JSON file (see examples/topologies; overrides -masters/-slaves/-waits)")
+	validateOnly := flag.Bool("validate-only", false, "with -topology: run the ERC compliance pass, print the findings and exit without simulating")
 	flag.Parse()
 
 	if !exec.ValidName(*backend) {
 		fatal(fmt.Errorf("unknown -backend %q (want event, compiled or auto)", *backend))
+	}
+
+	var topol *topo.Topology
+	if *topoFile != "" {
+		t, err := topo.LoadFile(*topoFile)
+		if err != nil {
+			fatal(err)
+		}
+		topol = t
+	}
+	if *validateOnly {
+		if topol == nil {
+			fatal(errors.New("-validate-only requires -topology"))
+		}
+		errs, warns := topo.Validate(*topol)
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "error   %-26s %s: %s\n", e.Code, e.Path, e.Detail)
+		}
+		for _, wn := range warns {
+			fmt.Fprintf(os.Stderr, "warning %-26s %s: %s\n", wn.Code, wn.Path, wn.Detail)
+		}
+		if len(errs) > 0 {
+			fmt.Fprintf(os.Stderr, "ahbsim: %s: %d ERC errors\n", *topoFile, len(errs))
+			os.Exit(1)
+		}
+		fmt.Printf("ahbsim: %s: ERC clean (%d warnings)\n", *topoFile, len(warns))
+		return
 	}
 
 	if *exp != "" {
@@ -112,6 +142,7 @@ func main() {
 	res := runner.Run(ctx, []engine.Scenario{{
 		Name:     "ahbsim",
 		System:   cfg,
+		Topo:     topol,
 		Analyzer: acfg,
 		Cycles:   *cycles,
 		Faults:   plan,
@@ -286,6 +317,13 @@ func runExperiments(name string, cycles uint64) error {
 		}},
 		{"buses", func() (string, error) {
 			r, err := experiments.CompareBuses(cycles)
+			if err != nil {
+				return "", err
+			}
+			return r.Text, nil
+		}},
+		{"topology", func() (string, error) {
+			r, err := experiments.TopologyFamilies(cycles)
 			if err != nil {
 				return "", err
 			}

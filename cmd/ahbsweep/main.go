@@ -22,6 +22,7 @@ import (
 	"ahbpower/internal/engine"
 	"ahbpower/internal/exec"
 	"ahbpower/internal/fault"
+	"ahbpower/internal/topo"
 )
 
 func main() {
@@ -35,10 +36,25 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	showMetrics := flag.Bool("metrics", false, "print batch run metrics (throughput, utilization, latency) to stderr")
 	backend := flag.String("backend", "", "execution backend for every configuration: event, compiled or auto (results are identical either way)")
+	topoFile := flag.String("topology", "", "sweep from this declarative topology JSON file instead of the paper base (-widths/-waits/-policies still apply per point; -slaves does not: the address map fixes the slave count)")
 	flag.Parse()
 
 	if !exec.ValidName(*backend) {
 		fatal(fmt.Errorf("unknown -backend %q (want event, compiled or auto)", *backend))
+	}
+
+	visited := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { visited[f.Name] = true })
+	var baseTopo *topo.Topology
+	if *topoFile != "" {
+		if visited["slaves"] {
+			fatal(errors.New("-slaves cannot be combined with -topology (the topology's address map fixes the slave count)"))
+		}
+		t, err := topo.LoadFile(*topoFile)
+		if err != nil {
+			fatal(err)
+		}
+		baseTopo = t
 	}
 
 	w := os.Stdout
@@ -63,12 +79,15 @@ func main() {
 
 	grid := engine.Grid{
 		Base:     core.PaperSystem(),
+		BaseTopo: baseTopo,
 		Analyzer: core.AnalyzerConfig{Style: core.StyleGlobal},
 		Cycles:   *cycles,
-		Slaves:   ints(*slaves),
 		Widths:   ints(*widths),
 		Waits:    ints(*waits),
 		Policies: pols,
+	}
+	if baseTopo == nil {
+		grid.Slaves = ints(*slaves)
 	}
 
 	var plan *fault.Plan
@@ -78,7 +97,10 @@ func main() {
 			fatal(err)
 		}
 	}
-	scens := grid.Scenarios()
+	scens, err := grid.Expand()
+	if err != nil {
+		fatal(err)
+	}
 	for i := range scens {
 		scens[i].Faults = plan
 		scens[i].Backend = *backend
@@ -116,9 +138,13 @@ func main() {
 				fatal(fmt.Errorf("protocol violation in %s: %v", res.Scenario.Name, res.Violations[0]))
 			}
 		}
-		cfg, r := res.Scenario.System, res.Report
+		// Derive the row's shape columns from the scenario's canonical
+		// topology — one code path for both the count-based grid and a
+		// -topology sweep (waits is the per-slave maximum, which for a
+		// uniform grid point is exactly the configured wait-state count).
+		t, r := res.Scenario.Topology(), res.Report
 		if _, err := fmt.Fprintf(w, "%d,%d,%d,%s,%d,%d,%g,%g,%.3f,%.2f,%.2f\n",
-			cfg.NumSlaves, cfg.DataWidth, cfg.SlaveWaits, cfg.Policy, r.Cycles, res.Beats,
+			len(t.Slaves), t.DataWidth, t.MaxWaits(), t.Policy, r.Cycles, res.Beats,
 			r.TotalEnergy, r.AvgPower, res.PJPerBeat(),
 			100*r.DataTransferShare, 100*r.ArbitrationShare); err != nil {
 			fatal(err)

@@ -13,10 +13,17 @@ import (
 	"ahbpower/internal/amba/ahb"
 	"ahbpower/internal/power"
 	"ahbpower/internal/sim"
+	"ahbpower/internal/topo"
 	"ahbpower/internal/workload"
 )
 
-// SystemConfig describes an AHB system under power analysis.
+// SystemConfig is the count-based legacy description of an AHB system:
+// N equal slaves in equal contiguous regions, the default master on the
+// last port. It remains fully supported as a thin canonicalization into
+// the declarative topo.Topology (see Topology) — new code and new
+// capabilities (explicit address maps, per-slave wait states, per-master
+// workload hints) should describe systems as a topo.Topology and build
+// through NewSystemTopo instead.
 type SystemConfig struct {
 	// NumActiveMasters is the number of workload-driven masters.
 	NumActiveMasters int
@@ -45,9 +52,30 @@ func PaperSystem() SystemConfig {
 	}
 }
 
+// Topology expands the count-based configuration into its canonical
+// declarative topology. This is the compatibility contract: NewSystem is
+// NewSystemTopo over this expansion, so a count-based system and its
+// explicit topology twin build byte-identical simulations and share one
+// canonical cache key.
+func (cfg SystemConfig) Topology() topo.Topology {
+	return topo.Canonicalize(topo.Counts{
+		Masters:       cfg.NumActiveMasters,
+		DefaultMaster: cfg.WithDefaultMaster,
+		Slaves:        cfg.NumSlaves,
+		SlaveWaits:    cfg.SlaveWaits,
+		ClockPeriod:   cfg.ClockPeriod,
+		DataWidth:     cfg.DataWidth,
+		Policy:        cfg.Policy,
+		RegionSize:    cfg.SlaveRegionSize,
+	})
+}
+
 // System is a fully built simulation: kernel, bus, masters and slaves.
 type System struct {
-	Cfg     SystemConfig
+	Cfg SystemConfig
+	// Topo is the canonical topology the system was built from; for
+	// count-based construction it is Cfg.Topology().
+	Topo    topo.Topology
 	K       *sim.Kernel
 	Bus     *ahb.Bus
 	Masters []*ahb.Master // active masters only
@@ -66,57 +94,97 @@ func (s *System) onRunEnd(fn func()) {
 	s.runEndHooks = append(s.runEndHooks, fn)
 }
 
-// NewSystem builds a system from the configuration. Each slave owns a
-// contiguous region of SlaveRegionSize bytes starting at slave*size.
+// NewSystem builds a system from the count-based configuration by
+// canonicalizing it into a topology and building that: each slave owns a
+// contiguous region of SlaveRegionSize bytes starting at slave*size, and
+// the default master (when configured) sits on the last port. Prefer
+// NewSystemTopo for anything the counts cannot express.
 func NewSystem(cfg SystemConfig) (*System, error) {
-	if cfg.NumActiveMasters < 1 {
-		return nil, fmt.Errorf("core: NumActiveMasters=%d, want >=1", cfg.NumActiveMasters)
+	sys, err := NewSystemTopo(cfg.Topology())
+	if err != nil {
+		return nil, err
 	}
 	if cfg.SlaveRegionSize == 0 {
 		cfg.SlaveRegionSize = 0x1000
 	}
-	nm := cfg.NumActiveMasters
-	if cfg.WithDefaultMaster {
-		nm++
+	if cfg.ClockPeriod == 0 {
+		cfg.ClockPeriod = sys.Topo.ClockPeriod()
 	}
-	var regions []ahb.Region
-	for s := 0; s < cfg.NumSlaves; s++ {
-		regions = append(regions, ahb.Region{
-			Start: uint32(s) * cfg.SlaveRegionSize,
-			Size:  cfg.SlaveRegionSize,
-			Slave: s,
-		})
+	if cfg.DataWidth == 0 {
+		cfg.DataWidth = sys.Topo.DataWidth
+	}
+	sys.Cfg = cfg
+	return sys, nil
+}
+
+// NewSystemTopo builds a system from a declarative topology. The
+// topology is canonicalized and passed through the ERC compliance pass
+// first; invalid topologies are rejected with a *topo.ValidationError
+// carrying every rule violation, and a topology that validates cleanly
+// is guaranteed to build. Masters are constructed in port order (actives
+// first, then the default master), then slaves in port order — the
+// process registration order the simulation schedule, and therefore
+// byte-identical reproducibility, depends on.
+func NewSystemTopo(t topo.Topology) (*System, error) {
+	ct := t.Canonical()
+	if err := topo.Check(ct); err != nil {
+		return nil, err
+	}
+	policy, err := ct.ArbPolicy()
+	if err != nil {
+		return nil, err // unreachable: Check validated the policy
 	}
 	k := sim.NewKernel()
 	bus, err := ahb.New(k, ahb.Config{
-		NumMasters:    nm,
-		NumSlaves:     cfg.NumSlaves,
-		Regions:       regions,
-		ClockPeriod:   cfg.ClockPeriod,
-		DataWidth:     cfg.DataWidth,
-		Policy:        cfg.Policy,
-		DefaultMaster: nm - 1, // the default master sits on the last port
+		NumMasters:    len(ct.Masters),
+		NumSlaves:     len(ct.Slaves),
+		Regions:       ct.Regions(),
+		ClockPeriod:   ct.ClockPeriod(),
+		DataWidth:     ct.DataWidth,
+		Policy:        policy,
+		DefaultMaster: ct.DefaultMasterIndex(),
 	})
 	if err != nil {
 		return nil, err
 	}
-	sys := &System{Cfg: cfg, K: k, Bus: bus, Monitor: ahb.NewMonitor(bus)}
-	for m := 0; m < cfg.NumActiveMasters; m++ {
-		mm, err := ahb.NewMaster(bus, m)
+	sys := &System{
+		Cfg: SystemConfig{
+			NumActiveMasters:  ct.ActiveMasters(),
+			WithDefaultMaster: ct.HasDefaultMaster(),
+			NumSlaves:         len(ct.Slaves),
+			SlaveWaits:        ct.MaxWaits(),
+			ClockPeriod:       ct.ClockPeriod(),
+			DataWidth:         ct.DataWidth,
+			Policy:            policy,
+			SlaveRegionSize:   0x1000,
+		},
+		Topo:    ct,
+		K:       k,
+		Bus:     bus,
+		Monitor: ahb.NewMonitor(bus),
+	}
+	for i, m := range ct.Masters {
+		if m.Default {
+			continue
+		}
+		mm, err := ahb.NewMaster(bus, i)
 		if err != nil {
 			return nil, err
 		}
 		sys.Masters = append(sys.Masters, mm)
 	}
-	if cfg.WithDefaultMaster {
-		dm, err := ahb.NewMaster(bus, nm-1)
+	for i, m := range ct.Masters {
+		if !m.Default {
+			continue
+		}
+		dm, err := ahb.NewMaster(bus, i)
 		if err != nil {
 			return nil, err
 		}
 		sys.Default = dm // empty script: drives IDLE forever
 	}
-	for s := 0; s < cfg.NumSlaves; s++ {
-		sl, err := ahb.NewMemorySlave(bus, s, cfg.SlaveWaits)
+	for i, s := range ct.Slaves {
+		sl, err := ahb.NewMemorySlave(bus, i, s.Waits)
 		if err != nil {
 			return nil, err
 		}
@@ -131,9 +199,10 @@ func (s *System) LoadPaperWorkload(targetCycles uint64) error {
 	// Each sequence occupies ~50 transfer cycles plus tens of idle cycles;
 	// size the sequence count so the masters stay busy for the whole run.
 	perMaster := int(targetCycles)/100 + 2
+	base, size := s.Topo.AddrSpan()
 	for m, mm := range s.Masters {
 		cfg := workload.PaperTestbench(m, perMaster)
-		cfg.AddrSize = uint32(s.Cfg.NumSlaves) * s.Cfg.SlaveRegionSize
+		cfg.AddrBase, cfg.AddrSize = base, size
 		seqs, err := workload.Generate(cfg)
 		if err != nil {
 			return err

@@ -21,6 +21,8 @@ import (
 	"ahbpower/internal/fault"
 	"ahbpower/internal/metrics"
 	"ahbpower/internal/power"
+	"ahbpower/internal/sim"
+	"ahbpower/internal/topo"
 	"ahbpower/internal/workload"
 )
 
@@ -30,8 +32,18 @@ import (
 type Scenario struct {
 	// Name labels the scenario in results and reports.
 	Name string
-	// System describes the bus shape to build.
+	// System is the count-based legacy description of the bus shape. It
+	// remains fully supported — it canonicalizes into the same declarative
+	// topology Topo carries — but new code should set Topo, which can also
+	// express non-uniform address maps, per-slave wait mixes and
+	// per-master workload hints. Ignored when Topo is non-nil.
 	System core.SystemConfig
+	// Topo, when non-nil, is the declarative topology to build (see
+	// internal/topo). It takes precedence over System; both forms fold
+	// into CanonicalKey through the same canonical encoding, so a
+	// count-based scenario and its explicit topology twin share one cache
+	// key.
+	Topo *topo.Topology
 	// Analyzer parameterizes the power analyzer attached to the run.
 	Analyzer core.AnalyzerConfig
 	// Workloads supplies per-master traffic configurations (missing
@@ -75,14 +87,32 @@ type Scenario struct {
 	Backend string
 }
 
+// Topology returns the canonical topology the scenario builds: Topo when
+// set, else the canonicalized count-based System. This is the form
+// CanonicalKey hashes and NewSystemTopo constructs.
+func (sc *Scenario) Topology() topo.Topology {
+	if sc.Topo != nil {
+		return sc.Topo.Canonical()
+	}
+	return sc.System.Topology()
+}
+
 // ExecTraits derives the backend-selection traits of the scenario (see
-// exec.Traits).
+// exec.Traits). The clock period comes from the scenario's topology, so
+// fallback decisions (the compiled backend's even-period contract) match
+// the system that will actually be built.
 func (sc *Scenario) ExecTraits() exec.Traits {
+	period := sc.System.ClockPeriod
+	if sc.Topo != nil {
+		period = sc.Topo.ClockPeriod()
+	} else if period == 0 {
+		period = topo.DefaultClockPeriodPS * sim.Picosecond
+	}
 	return exec.Traits{
 		HasSetup:          sc.Setup != nil,
 		HasDPM:            !sc.SkipAnalyzer && sc.Analyzer.DPM != nil,
 		DeltaInstrumented: !sc.SkipAnalyzer && sc.Analyzer.Style == core.StylePrivate,
-		ClockPeriod:       sc.System.ClockPeriod,
+		ClockPeriod:       period,
 	}
 }
 
@@ -340,13 +370,24 @@ func executeAttempt(ctx context.Context, index int, sc Scenario, attempt int) (r
 		defer cancel()
 	}
 	buildStart := time.Now()
-	sys, err := core.NewSystem(sc.System)
+	var sys *core.System
+	if sc.Topo != nil {
+		sys, err = core.NewSystemTopo(*sc.Topo)
+	} else {
+		sys, err = core.NewSystem(sc.System)
+	}
 	if err != nil {
 		res.Err = fmt.Errorf("engine: scenario %q: %w", sc.Name, err)
 		return res
 	}
+	// Traffic resolution: explicit Workloads win, then the topology's
+	// per-master hints, then the paper workload sized to Cycles.
 	if len(sc.Workloads) > 0 {
 		err = sys.LoadWorkload(sc.Workloads...)
+	} else if hints, herr := sys.Topo.Workloads(); herr != nil {
+		err = herr
+	} else if len(hints) > 0 {
+		err = sys.LoadWorkload(hints...)
 	} else {
 		err = sys.LoadPaperWorkload(sc.Cycles)
 	}

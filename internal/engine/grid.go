@@ -5,6 +5,7 @@ import (
 
 	"ahbpower/internal/amba/ahb"
 	"ahbpower/internal/core"
+	"ahbpower/internal/topo"
 )
 
 // Grid describes a cartesian design-space sweep over the architectural
@@ -14,9 +15,14 @@ import (
 // fixed axis order (slaves, widths, waits, policies), so the scenario
 // list — and therefore any report generated from it — is deterministic.
 type Grid struct {
-	// Base is the configuration every grid point starts from; axis values
-	// override its fields.
+	// Base is the count-based configuration every grid point starts from;
+	// axis values override its fields. Ignored when BaseTopo is set.
 	Base core.SystemConfig
+	// BaseTopo, when non-nil, is the declarative topology every grid point
+	// starts from. Axes that the explicit shape subsumes (Slaves) are
+	// rejected; Widths, Waits and Policies override the topology's
+	// corresponding fields per point (Waits uniformly across slaves).
+	BaseTopo *topo.Topology
 	// Analyzer is attached to every grid point.
 	Analyzer core.AnalyzerConfig
 	// Cycles is the run length per grid point.
@@ -26,6 +32,67 @@ type Grid struct {
 	Widths   []int
 	Waits    []int
 	Policies []ahb.ArbPolicy
+}
+
+// Expand expands the grid into scenarios, supporting both base forms:
+// with BaseTopo set the sweep starts from the declarative topology
+// (Widths, Waits and Policies override per point, Waits uniformly across
+// slaves; the Slaves axis is rejected because an explicit address map
+// fixes the slave count), otherwise it is Scenarios over Base.
+func (g Grid) Expand() ([]Scenario, error) {
+	if g.BaseTopo == nil {
+		return g.Scenarios(), nil
+	}
+	if len(g.Slaves) > 0 {
+		return nil, fmt.Errorf("engine: the Slaves axis cannot apply to an explicit topology (its address map fixes the slave count)")
+	}
+	base := g.BaseTopo.Canonical()
+	if _, err := base.ArbPolicy(); err != nil {
+		return nil, err
+	}
+	label := base.Name
+	if label == "" {
+		label = "topo"
+	}
+	widths := g.Widths
+	if len(widths) == 0 {
+		widths = []int{base.DataWidth}
+	}
+	var policies []string
+	for _, p := range g.Policies {
+		policies = append(policies, p.String())
+	}
+	if len(policies) == 0 {
+		policies = []string{base.Policy}
+	}
+	var out []Scenario
+	for _, dw := range widths {
+		nw := len(g.Waits)
+		if nw == 0 {
+			nw = 1 // one point keeping the topology's per-slave wait mix
+		}
+		for wi := 0; wi < nw; wi++ {
+			wsLabel := "wsmix"
+			for _, pol := range policies {
+				pt := base.Canonical() // deep copy per point
+				pt.DataWidth = dw
+				pt.Policy = pol
+				if len(g.Waits) > 0 {
+					for si := range pt.Slaves {
+						pt.Slaves[si].Waits = g.Waits[wi]
+					}
+					wsLabel = fmt.Sprintf("ws%d", g.Waits[wi])
+				}
+				out = append(out, Scenario{
+					Name:     fmt.Sprintf("%s_w%d_%s_%s", label, dw, wsLabel, pol),
+					Topo:     &pt,
+					Analyzer: g.Analyzer,
+					Cycles:   g.Cycles,
+				})
+			}
+		}
+	}
+	return out, nil
 }
 
 // Scenarios expands the grid into one scenario per point, named

@@ -11,7 +11,11 @@ import (
 // added to the encoding or its meaning changes, so stale cache entries
 // keyed by an older scheme can never be returned for a new scenario.
 // v2: fault plans and per-scenario timeouts joined the encoding.
-const hashVersion = "ahbpower/engine.Scenario/v2"
+// v3: the system shape is encoded as its canonical topology (masters,
+// slaves, explicit address regions, per-master workload hints) instead
+// of the raw count-based fields, so a count-based scenario and its
+// declarative topology twin hash to the same key.
+const hashVersion = "ahbpower/engine.Scenario/v3"
 
 // CanonicalKey returns a content-addressed key for the scenario: the
 // hex SHA-256 of a canonical binary encoding of every field that can
@@ -36,15 +40,47 @@ func (sc *Scenario) CanonicalKey() (key string, ok bool) {
 	e.str(hashVersion)
 	e.str(sc.Name)
 
-	sys := sc.System
-	e.i64(int64(sys.NumActiveMasters))
-	e.bool(sys.WithDefaultMaster)
-	e.i64(int64(sys.NumSlaves))
-	e.i64(int64(sys.SlaveWaits))
-	e.u64(uint64(sys.ClockPeriod))
-	e.i64(int64(sys.DataWidth))
-	e.u64(uint64(sys.Policy))
-	e.u64(uint64(sys.SlaveRegionSize))
+	// The system shape is hashed in its canonical topology form — the
+	// exact value NewSystemTopo builds — so the two API generations
+	// (count-based System, declarative Topo) address the same cache line
+	// whenever they describe the same system. Names are included: they
+	// ride along in the Result echo, and cached responses must be
+	// byte-identical to fresh ones.
+	t := sc.Topology()
+	e.str(t.Name)
+	e.u64(t.ClockPeriodPS)
+	e.i64(int64(t.DataWidth))
+	e.str(t.Policy)
+	e.u64(uint64(len(t.Masters)))
+	for _, m := range t.Masters {
+		e.str(m.Name)
+		e.bool(m.Default)
+		e.bool(m.Workload != nil)
+		if m.Workload != nil {
+			w := m.Workload
+			e.i64(w.Seed)
+			e.i64(int64(w.Sequences))
+			e.i64(int64(w.PairsMin))
+			e.i64(int64(w.PairsMax))
+			e.i64(int64(w.IdleMin))
+			e.i64(int64(w.IdleMax))
+			e.u64(uint64(w.AddrBase))
+			e.u64(uint64(w.AddrSize))
+			e.u64(uint64(w.LocalityWindow))
+			e.str(w.Pattern)
+			e.i64(int64(w.BurstBeats))
+		}
+	}
+	e.u64(uint64(len(t.Slaves)))
+	for _, s := range t.Slaves {
+		e.str(s.Name)
+		e.i64(int64(s.Waits))
+		e.u64(uint64(len(s.Regions)))
+		for _, r := range s.Regions {
+			e.u64(uint64(r.Start))
+			e.u64(uint64(r.Size))
+		}
+	}
 
 	e.bool(sc.SkipAnalyzer)
 	if !sc.SkipAnalyzer {

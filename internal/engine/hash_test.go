@@ -10,6 +10,7 @@ import (
 	"ahbpower/internal/fault"
 	"ahbpower/internal/metrics"
 	"ahbpower/internal/power"
+	"ahbpower/internal/topo"
 	"ahbpower/internal/workload"
 )
 
@@ -215,5 +216,105 @@ func TestRunnerHooks(t *testing.T) {
 	}
 	if len(started) != len(scs) || len(done) != len(scs) {
 		t.Errorf("hooks fired for %d starts / %d dones, want %d each", len(started), len(done), len(scs))
+	}
+}
+
+// TestCanonicalKeyCountVsTopologyTwins is the cache-sharing half of the
+// API redesign contract: a count-based scenario and its explicit
+// topology twin canonicalize to the same form, so they must share one
+// cache key. A topology request on the serving daemon then hits a
+// result cached from a legacy count-based request, and vice versa.
+func TestCanonicalKeyCountVsTopologyTwins(t *testing.T) {
+	counts := hashableScenario()
+	twin := topo.Topology{
+		Masters: []topo.Master{{}, {}, {Default: true}},
+		Slaves: []topo.Slave{
+			{Regions: []topo.AddrRange{{Start: 0x0000, Size: 0x1000}}},
+			{Regions: []topo.AddrRange{{Start: 0x1000, Size: 0x1000}}},
+			{Regions: []topo.AddrRange{{Start: 0x2000, Size: 0x1000}}},
+		},
+	}
+	tsc := Scenario{
+		Name:     "paper",
+		Topo:     &twin,
+		Analyzer: core.AnalyzerConfig{Style: core.StyleGlobal},
+		Cycles:   500,
+	}
+	kc, ok := counts.CanonicalKey()
+	if !ok {
+		t.Fatal("count-based scenario unhashable")
+	}
+	kt, ok := tsc.CanonicalKey()
+	if !ok {
+		t.Fatal("topology scenario unhashable")
+	}
+	if kc != kt {
+		t.Errorf("paper twins hash differently:\ncounts: %s\ntopo:   %s", kc, kt)
+	}
+}
+
+// TestCanonicalKeyTopologySensitivity: every topology field a request
+// can set is a simulation input and must separate keys.
+func TestCanonicalKeyTopologySensitivity(t *testing.T) {
+	baseTopo := func() topo.Topology {
+		return topo.Topology{
+			Masters: []topo.Master{{}, {}, {Default: true}},
+			Slaves: []topo.Slave{
+				{Regions: []topo.AddrRange{{Start: 0x0000, Size: 0x1000}}},
+				{Regions: []topo.AddrRange{{Start: 0x1000, Size: 0x1000}}},
+			},
+		}
+	}
+	mkScen := func(tp topo.Topology) Scenario {
+		return Scenario{Name: "t", Topo: &tp, Analyzer: core.AnalyzerConfig{Style: core.StyleGlobal}, Cycles: 500}
+	}
+	bsc := mkScen(baseTopo())
+	base, ok := bsc.CanonicalKey()
+	if !ok {
+		t.Fatal("base topology scenario unhashable")
+	}
+	muts := map[string]func(*topo.Topology){
+		"ClockPeriodPS": func(tp *topo.Topology) { tp.ClockPeriodPS = 8000 },
+		"DataWidth":     func(tp *topo.Topology) { tp.DataWidth = 16 },
+		"Policy":        func(tp *topo.Topology) { tp.Policy = "rr" },
+		"MasterCount":   func(tp *topo.Topology) { tp.Masters = append(tp.Masters, topo.Master{}) },
+		"MasterName":    func(tp *topo.Topology) { tp.Masters[0].Name = "cpu" },
+		"DefaultMaster": func(tp *topo.Topology) { tp.Masters[2].Default = false },
+		"SlaveWaits":    func(tp *topo.Topology) { tp.Slaves[1].Waits = 3 },
+		"SlaveName":     func(tp *topo.Topology) { tp.Slaves[0].Name = "rom" },
+		"RegionStart":   func(tp *topo.Topology) { tp.Slaves[1].Regions[0].Start = 0x4000 },
+		"RegionSize":    func(tp *topo.Topology) { tp.Slaves[1].Regions[0].Size = 0x2000 },
+		"RegionCount": func(tp *topo.Topology) {
+			tp.Slaves[1].Regions = append(tp.Slaves[1].Regions, topo.AddrRange{Start: 0x4000, Size: 0x400})
+		},
+		"WorkloadHints": func(tp *topo.Topology) {
+			w := &topo.Workload{Seed: 1, Sequences: 2, PairsMin: 1, PairsMax: 2}
+			tp.Masters[0].Workload = w
+			tp.Masters[1].Workload = w
+		},
+	}
+	for name, mut := range muts {
+		tp := baseTopo()
+		mut(&tp)
+		sc := mkScen(tp)
+		k, ok := sc.CanonicalKey()
+		if !ok {
+			t.Errorf("%s: mutated topology scenario unexpectedly unhashable", name)
+			continue
+		}
+		if k == base {
+			t.Errorf("%s: topology mutation did not change the canonical key", name)
+		}
+	}
+	// Canonically equivalent spellings must collide: explicit defaults
+	// and region order are normalized away before hashing.
+	spelled := baseTopo()
+	spelled.ClockPeriodPS = topo.DefaultClockPeriodPS
+	spelled.DataWidth = topo.DefaultDataWidth
+	spelled.Policy = "sticky"
+	spelled.Masters[0].Name = "m0"
+	sc := mkScen(spelled)
+	if k, _ := sc.CanonicalKey(); k != base {
+		t.Error("explicitly spelled defaults must hash like omitted defaults")
 	}
 }

@@ -15,6 +15,7 @@ import (
 
 	"ahbpower/internal/engine"
 	"ahbpower/internal/exec"
+	"ahbpower/internal/topo"
 )
 
 // Config parameterizes a Server. The zero value is usable: every field
@@ -167,6 +168,9 @@ type counters struct {
 	backendEventRuns    expvar.Int // scenarios executed on the event backend
 	backendCompiledRuns expvar.Int // scenarios executed on the compiled backend
 	backendFallbacks    expvar.Int // compiled/auto requests that fell back to event
+
+	validateRequests expvar.Int // POST /v1/validate requests
+	validateRejects  expvar.Int // validate requests with at least one invalid scenario
 }
 
 // New builds a server from the configuration.
@@ -205,6 +209,9 @@ func New(cfg Config) *Server {
 		"backend_event_runs":    &s.ctr.backendEventRuns,
 		"backend_compiled_runs": &s.ctr.backendCompiledRuns,
 		"backend_fallbacks":     &s.ctr.backendFallbacks,
+
+		"validate_requests": &s.ctr.validateRequests,
+		"validate_rejects":  &s.ctr.validateRejects,
 	} {
 		s.vars.Set(name, v)
 	}
@@ -214,12 +221,14 @@ func New(cfg Config) *Server {
 // Handler returns the HTTP API:
 //
 //	POST /v1/run        run a scenario batch (async with {"async": true})
+//	POST /v1/validate   dry-run decode + ERC validation, no admission/run
 //	GET  /v1/jobs/{id}  poll an async job
 //	GET  /healthz       liveness/readiness (503 while draining)
 //	GET  /metrics       serving counters (expvar JSON)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/validate", s.handleValidate)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -372,7 +381,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	req, scenarios, keys, err := s.decodeRun(r)
 	if err != nil {
 		s.ctr.badRequests.Add(1)
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		writeJSON(w, http.StatusBadRequest, errorWire(err))
 		return
 	}
 	s.ctr.requests.Add(1)
@@ -397,6 +406,68 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		// the admission error per unexecuted scenario.
 		s.rejectAcquire(w, err, resp)
 		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// errorWire folds a decode-time rejection into the structured 400 body:
+// ERC rejections carry their typed findings, other errors just the
+// message.
+func errorWire(err error) ErrorWire {
+	ew := ErrorWire{Error: err.Error()}
+	var ve *topo.ValidationError
+	if errors.As(err, &ve) {
+		ew.Erc = ve.Errors
+		ew.Warnings = ve.Warnings
+	}
+	return ew
+}
+
+// handleValidate serves POST /v1/validate: the dry-run path of the same
+// decode + ERC validation /v1/run performs before admission, reported
+// per scenario without consuming a queue slot or executing anything.
+// The report itself answers 200 whether or not the scenarios validate;
+// only an undecodable body is a 400.
+func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
+	s.ctr.validateRequests.Add(1)
+	var req RunRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.ctr.badRequests.Add(1)
+		s.ctr.validateRejects.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorWire(fmt.Errorf("decoding request: %w", err)))
+		return
+	}
+	if len(req.Scenarios) == 0 {
+		s.ctr.badRequests.Add(1)
+		s.ctr.validateRejects.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorWire(errors.New("request has no scenarios")))
+		return
+	}
+	resp := ValidateResponse{Valid: true}
+	for i := range req.Scenarios {
+		sc, err := req.Scenarios[i].Scenario(i)
+		vr := ValidateResult{Name: sc.Name}
+		if err == nil {
+			vr.Valid = true
+			// A clean decode can still carry advisory findings (address-map
+			// gaps, odd clock periods predicting backend fallback).
+			_, vr.Warnings = topo.Validate(sc.Topology())
+			vr.Key, _ = sc.CanonicalKey()
+		} else {
+			resp.Valid = false
+			vr.Error = err.Error()
+			var ve *topo.ValidationError
+			if errors.As(err, &ve) {
+				vr.Errors = ve.Errors
+				vr.Warnings = ve.Warnings
+			}
+		}
+		resp.Results = append(resp.Results, vr)
+	}
+	if !resp.Valid {
+		s.ctr.validateRejects.Add(1)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

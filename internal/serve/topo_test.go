@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ahbpower/internal/topo"
+)
+
+func postPath(h http.Handler, path, body string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	return rr
+}
+
+// paperTwinJSON is the explicit-topology spelling of the default
+// (count-based) paper system.
+const paperTwinJSON = `{"masters":[{},{},{"default":true}],"slaves":[
+	{"regions":[{"start":0,"size":4096}]},
+	{"regions":[{"start":4096,"size":4096}]},
+	{"regions":[{"start":8192,"size":4096}]}]}`
+
+// overlapTopoJSON fails the ERC pass: slave 1's region sits inside
+// slave 0's.
+const overlapTopoJSON = `{"masters":[{},{"default":true}],"slaves":[
+	{"regions":[{"start":0,"size":4096}]},
+	{"regions":[{"start":2048,"size":4096}]}]}`
+
+func ercCodes(errs []topo.Error) []topo.Code {
+	out := make([]topo.Code, len(errs))
+	for i, e := range errs {
+		out[i] = e.Code
+	}
+	return out
+}
+
+// TestTopologyRejectedBeforeAdmission posts a run whose topology fails
+// the ERC pass and asserts the rejection is a structured 400 carrying
+// typed rule codes — produced at decode time, before admission, so
+// nothing was queued or executed.
+func TestTopologyRejectedBeforeAdmission(t *testing.T) {
+	s := New(Config{Workers: 1})
+	h := s.Handler()
+
+	rr := post(h, `{"scenarios":[{"name":"bad","cycles":1000,"topology":`+overlapTopoJSON+`}]}`)
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400; body %s", rr.Code, rr.Body.String())
+	}
+	var ew ErrorWire
+	if err := json.Unmarshal(rr.Body.Bytes(), &ew); err != nil {
+		t.Fatalf("400 body is not structured: %v\n%s", err, rr.Body.String())
+	}
+	if ew.Error == "" || !strings.Contains(ew.Error, "bad") {
+		t.Errorf("error message %q should name the scenario", ew.Error)
+	}
+	found := false
+	for _, e := range ew.Erc {
+		if e.Code == topo.ErrAddrOverlap {
+			found = true
+			if e.Path == "" || e.Detail == "" {
+				t.Errorf("finding missing path/detail: %+v", e)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("400 body lacks %s: erc_errors=%v", topo.ErrAddrOverlap, ercCodes(ew.Erc))
+	}
+	if s.ctr.scenariosRun.Value() != 0 {
+		t.Errorf("rejected request executed %d scenarios, want 0", s.ctr.scenariosRun.Value())
+	}
+	if s.ctr.badRequests.Value() != 1 {
+		t.Errorf("bad_requests = %d, want 1", s.ctr.badRequests.Value())
+	}
+
+	// system and topology together are ambiguous and rejected (a plain
+	// decode error: no ERC findings attached).
+	rr = post(h, `{"scenarios":[{"name":"both","cycles":1000,"system":{"masters":2,"slaves":3},"topology":`+paperTwinJSON+`}]}`)
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("system+topology: status %d, want 400", rr.Code)
+	}
+	var both ErrorWire
+	if err := json.Unmarshal(rr.Body.Bytes(), &both); err != nil || len(both.Erc) != 0 {
+		t.Errorf("mutual-exclusion rejection should carry no ERC findings: %v %s", err, rr.Body.String())
+	}
+}
+
+// TestTopologyCountsShareCache posts the default count-based paper
+// scenario and then its explicit topology twin: the twin must be a pure
+// cache hit with byte-identical result payload, because both canonical-
+// ize to the same topology and therefore the same key.
+func TestTopologyCountsShareCache(t *testing.T) {
+	s := New(Config{Workers: 1})
+	h := s.Handler()
+
+	first := post(h, `{"scenarios":[{"name":"twin","cycles":2000}]}`)
+	if first.Code != http.StatusOK {
+		t.Fatalf("count-based run: status %d, body %s", first.Code, first.Body.String())
+	}
+	r1 := decodeRun(t, first)
+	if r1.Batch.CacheMisses != 1 {
+		t.Fatalf("count-based run: misses=%d, want 1", r1.Batch.CacheMisses)
+	}
+
+	second := post(h, `{"scenarios":[{"name":"twin","cycles":2000,"topology":`+paperTwinJSON+`}]}`)
+	if second.Code != http.StatusOK {
+		t.Fatalf("topology run: status %d, body %s", second.Code, second.Body.String())
+	}
+	r2 := decodeRun(t, second)
+	if r2.Batch.CacheHits != 1 || r2.Batch.CacheMisses != 0 {
+		t.Fatalf("topology twin: hits=%d misses=%d, want a pure cache hit",
+			r2.Batch.CacheHits, r2.Batch.CacheMisses)
+	}
+	if string(r1.Results[0]) != string(r2.Results[0]) {
+		t.Errorf("twin forms produced different result bytes:\ncounts: %s\ntopo:   %s",
+			r1.Results[0], r2.Results[0])
+	}
+}
+
+// TestValidateEndpoint exercises POST /v1/validate: a dry-run report
+// with typed findings per scenario, no execution, and the dedicated
+// expvar counters.
+func TestValidateEndpoint(t *testing.T) {
+	s := New(Config{Workers: 1})
+	h := s.Handler()
+
+	// One valid-with-warning scenario (address-map gap) and one ERC
+	// rejection in the same batch.
+	gapTopo := `{"masters":[{},{"default":true}],"slaves":[
+		{"regions":[{"start":0,"size":4096}]},
+		{"regions":[{"start":16384,"size":4096}]}]}`
+	rr := postPath(h, "/v1/validate", `{"scenarios":[
+		{"name":"gappy","cycles":1000,"topology":`+gapTopo+`},
+		{"name":"broken","cycles":1000,"topology":`+overlapTopoJSON+`}]}`)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("validate: status %d, want 200 (the report is the payload); body %s", rr.Code, rr.Body.String())
+	}
+	var resp ValidateResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decoding validate response: %v\n%s", err, rr.Body.String())
+	}
+	if resp.Valid || len(resp.Results) != 2 {
+		t.Fatalf("valid=%v results=%d, want invalid batch with 2 results", resp.Valid, len(resp.Results))
+	}
+	gappy, broken := resp.Results[0], resp.Results[1]
+	if !gappy.Valid || gappy.Key == "" || gappy.Error != "" {
+		t.Errorf("gappy should validate with a canonical key: %+v", gappy)
+	}
+	foundGap := false
+	for _, w := range gappy.Warnings {
+		if w.Code == topo.WarnAddrGap {
+			foundGap = true
+		}
+	}
+	if !foundGap {
+		t.Errorf("gappy warnings lack %s: %+v", topo.WarnAddrGap, gappy.Warnings)
+	}
+	if broken.Valid || broken.Key != "" {
+		t.Errorf("broken must be invalid with no key: %+v", broken)
+	}
+	foundOverlap := false
+	for _, e := range broken.Errors {
+		if e.Code == topo.ErrAddrOverlap {
+			foundOverlap = true
+		}
+	}
+	if !foundOverlap {
+		t.Errorf("broken errors lack %s: %v", topo.ErrAddrOverlap, ercCodes(broken.Errors))
+	}
+
+	// A clean batch reports valid and does not bump the reject counter.
+	rr = postPath(h, "/v1/validate", `{"scenarios":[{"name":"ok","cycles":1000,"topology":`+paperTwinJSON+`}]}`)
+	var clean ValidateResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &clean); err != nil || !clean.Valid {
+		t.Errorf("clean validate: err=%v resp=%+v", err, clean)
+	}
+	if len(clean.Results) != 1 || len(clean.Results[0].Warnings) != 0 {
+		t.Errorf("paper twin should be warning-free: %+v", clean.Results)
+	}
+
+	// Non-ERC decode failures surface per scenario as plain errors.
+	rr = postPath(h, "/v1/validate", `{"scenarios":[{"name":"nocycles","topology":`+paperTwinJSON+`}]}`)
+	var nc ValidateResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &nc); err != nil || nc.Valid {
+		t.Fatalf("zero-cycles validate: err=%v resp=%+v", err, nc)
+	}
+	if nc.Results[0].Error == "" || len(nc.Results[0].Errors) != 0 {
+		t.Errorf("non-ERC failure should use the plain error field: %+v", nc.Results[0])
+	}
+
+	// Nothing executed; counters tallied every call.
+	if s.ctr.scenariosRun.Value() != 0 {
+		t.Errorf("validate executed %d scenarios, want 0", s.ctr.scenariosRun.Value())
+	}
+	if got := s.ctr.validateRequests.Value(); got != 3 {
+		t.Errorf("validate_requests = %d, want 3", got)
+	}
+	if got := s.ctr.validateRejects.Value(); got != 2 {
+		t.Errorf("validate_rejects = %d, want 2", got)
+	}
+
+	// An undecodable body is still a 400.
+	if rr := postPath(h, "/v1/validate", `not json`); rr.Code != http.StatusBadRequest {
+		t.Errorf("garbage validate body: status %d, want 400", rr.Code)
+	}
+}
+
+// TestRegionSizePropagation pins the count-based alias's slave_region_-
+// size field: it shapes the canonical address map (and therefore the
+// run), and non-1KB sizes are rejected with the typed ERC code.
+func TestRegionSizePropagation(t *testing.T) {
+	s := New(Config{Workers: 1})
+	h := s.Handler()
+
+	body := func(size int) string {
+		return `{"scenarios":[{"name":"rs","cycles":1500,` +
+			`"system":{"masters":2,"slaves":3,"slave_region_size":` +
+			jsonInt(size) + `}}]}`
+	}
+	ok := post(h, body(2048))
+	if ok.Code != http.StatusOK {
+		t.Fatalf("2 KB regions: status %d, body %s", ok.Code, ok.Body.String())
+	}
+	r := decodeRun(t, ok)
+	var res wireResult
+	if err := json.Unmarshal(r.Results[0], &res); err != nil || res.Error != "" {
+		t.Fatalf("2 KB region run failed: %v %s", err, r.Results[0])
+	}
+
+	// A non-1KB-multiple size flows into the canonical topology and is
+	// rejected by the same ERC rule as explicit regions — at run time for
+	// the legacy alias (wire-level validation is topology-only), with the
+	// typed code in the message.
+	bad := post(h, body(1536))
+	if bad.Code != http.StatusOK {
+		t.Fatalf("legacy alias rejections are per-scenario: status %d", bad.Code)
+	}
+	rb := decodeRun(t, bad)
+	var resBad wireResult
+	if err := json.Unmarshal(rb.Results[0], &resBad); err != nil || resBad.Error == "" {
+		t.Fatalf("1536 B regions must fail the run: %v %s", err, rb.Results[0])
+	}
+	if !strings.Contains(resBad.Error, string(topo.ErrRegion1KB)) {
+		t.Errorf("error %q should carry %s", resBad.Error, topo.ErrRegion1KB)
+	}
+}
+
+func jsonInt(i int) string {
+	b, _ := json.Marshal(i)
+	return string(b)
+}

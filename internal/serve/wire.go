@@ -24,6 +24,7 @@ import (
 	"ahbpower/internal/metrics"
 	"ahbpower/internal/power"
 	"ahbpower/internal/sim"
+	"ahbpower/internal/topo"
 	"ahbpower/internal/workload"
 )
 
@@ -54,9 +55,22 @@ type RunRequest struct {
 // ScenarioSpec is the wire form of one engine.Scenario.
 type ScenarioSpec struct {
 	Name string `json:"name"`
-	// System describes the bus shape; omitted means the paper's testbench
-	// (2 masters + default master + 3 slaves @ 100 MHz).
+	// System is the count-based legacy description of the bus shape;
+	// omitted (with no Topology either) means the paper's testbench
+	// (2 masters + default master + 3 slaves @ 100 MHz). It remains fully
+	// supported as an alias that canonicalizes into the same topology form
+	// — prefer Topology, which can also express non-uniform address maps,
+	// per-slave wait mixes and per-master workload hints. Mutually
+	// exclusive with Topology.
 	System *SystemSpec `json:"system,omitempty"`
+	// Topology is the declarative description of the bus shape (see
+	// internal/topo): masters in priority order, slaves with explicit
+	// address regions and per-slave wait states, arbitration policy, clock
+	// and data width. It passes the ERC compliance pass at decode time —
+	// before admission — and rejections come back as structured 400 bodies
+	// carrying typed rule codes. A topology and the count-based system it
+	// canonicalizes from share one cache key.
+	Topology *topo.Topology `json:"topology,omitempty"`
 	// Analyzer parameterizes the power analyzer; omitted means the global
 	// style with default technology constants.
 	Analyzer *AnalyzerSpec `json:"analyzer,omitempty"`
@@ -77,7 +91,14 @@ type ScenarioSpec struct {
 	Backend string `json:"backend,omitempty"`
 }
 
-// SystemSpec is the wire form of core.SystemConfig.
+// SystemSpec is the wire form of core.SystemConfig: the count-based
+// legacy shape description, kept as a fully supported alias of the
+// declarative "topology" object (both decode through the same
+// canonicalization, so they build identical systems and share cache
+// keys). New clients should send "topology" instead. RegionSize maps
+// into the canonical address map (slave i owns [i*size, (i+1)*size)) and
+// non-1 KB-multiple sizes are rejected by the ERC pass with a structured
+// E_REGION_1KB error.
 type SystemSpec struct {
 	Masters int `json:"masters"`
 	// DefaultMaster adds the paper's simple default master; omitted
@@ -131,17 +152,14 @@ type WorkloadSpec struct {
 	BurstBeats     int    `json:"burst_beats,omitempty"`
 }
 
-// parsePattern maps a wire pattern name to its value.
+// parsePattern maps a wire pattern name to its value, accepting the
+// historical "low_activity" spelling on top of workload.ParsePattern.
 func parsePattern(s string) (workload.Pattern, error) {
-	switch strings.ToLower(strings.TrimSpace(s)) {
-	case "", "random":
-		return workload.PatternRandom, nil
-	case "low-activity", "low_activity":
-		return workload.PatternLowActivity, nil
-	case "counter":
-		return workload.PatternCounter, nil
+	n := strings.ToLower(strings.TrimSpace(s))
+	if n == "low_activity" {
+		n = "low-activity"
 	}
-	return 0, fmt.Errorf("unknown pattern %q (want random|low-activity|counter)", s)
+	return workload.ParsePattern(n)
 }
 
 // parseStyle maps a wire style name to its value.
@@ -173,7 +191,16 @@ func (s *ScenarioSpec) Scenario(index int) (engine.Scenario, error) {
 		return sc, fmt.Errorf("scenario %q: unknown backend %q (want event|compiled|auto)", sc.Name, s.Backend)
 	}
 	sc.Backend = s.Backend
-	if s.System == nil {
+	if s.Topology != nil {
+		if s.System != nil {
+			return sc, fmt.Errorf("scenario %q: system and topology are mutually exclusive (system is the count-based alias of topology)", sc.Name)
+		}
+		ct := s.Topology.Canonical()
+		if err := topo.Check(ct); err != nil {
+			return sc, fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+		sc.Topo = &ct
+	} else if s.System == nil {
 		sc.System = core.PaperSystem()
 	} else {
 		sys := core.SystemConfig{
@@ -249,6 +276,43 @@ func orDefault(s, def string) string {
 		return def
 	}
 	return s
+}
+
+// ErrorWire is the structured 400 body for decode-time rejections. ERC
+// rejections (an invalid "topology" object) additionally carry the typed
+// rule findings, so clients can match on codes instead of message text.
+type ErrorWire struct {
+	Error string `json:"error"`
+	// Erc holds the ERC rule violations when the rejection came from the
+	// topology compliance pass.
+	Erc []topo.Error `json:"erc_errors,omitempty"`
+	// Warnings holds the advisory ERC findings that accompanied the
+	// rejection.
+	Warnings []topo.Warning `json:"erc_warnings,omitempty"`
+}
+
+// ValidateResult is the per-scenario outcome of POST /v1/validate.
+type ValidateResult struct {
+	Name  string `json:"name"`
+	Valid bool   `json:"valid"`
+	// Key is the scenario's canonical cache key, when canonicalizable.
+	Key string `json:"key,omitempty"`
+	// Errors and Warnings are the typed ERC findings; a valid scenario can
+	// still carry warnings (address-map gaps, odd clock periods).
+	Errors   []topo.Error   `json:"erc_errors,omitempty"`
+	Warnings []topo.Warning `json:"erc_warnings,omitempty"`
+	// Error is the non-ERC decode failure, when that is what rejected the
+	// scenario (bad enum values, missing cycles, malformed faults).
+	Error string `json:"error,omitempty"`
+}
+
+// ValidateResponse is the body of POST /v1/validate: the dry-run
+// decode + ERC validation report for every scenario, no admission or
+// execution involved.
+type ValidateResponse struct {
+	// Valid reports whether every scenario decoded and validated cleanly.
+	Valid   bool             `json:"valid"`
+	Results []ValidateResult `json:"results"`
 }
 
 // ResultWire is the per-scenario response payload. It carries only

@@ -1,0 +1,66 @@
+// Fuzz coverage for the trust boundary the topology layer guards: the
+// serving daemon feeds untrusted JSON through Load → Validate → (when
+// clean) NewSystemTopo. The target enforces the layer's two contracts on
+// arbitrary input: decoding and validating never panic, and a topology
+// the ERC pass accepts always builds. The external test package breaks
+// the import cycle (core imports topo).
+package topo_test
+
+import (
+	"testing"
+
+	"ahbpower/internal/core"
+	"ahbpower/internal/topo"
+)
+
+func FuzzTopologyValidate(f *testing.F) {
+	seeds := []string{
+		// The paper system in explicit form.
+		`{"masters":[{},{},{"default":true}],"slaves":[
+			{"regions":[{"start":0,"size":4096}]},
+			{"regions":[{"start":4096,"size":4096}]},
+			{"regions":[{"start":8192,"size":4096}]}]}`,
+		// Non-uniform map with a gap and per-slave waits.
+		`{"name":"nu","clock_period_ps":8000,"data_width":16,"policy":"rr",
+			"masters":[{"name":"cpu"},{"default":true}],
+			"slaves":[{"waits":2,"regions":[{"start":0,"size":8192}]},
+			          {"waits":0,"regions":[{"start":16384,"size":1024}]}]}`,
+		// Workload hints.
+		`{"masters":[{"workload":{"seed":1,"sequences":2,"pairs_min":1,"pairs_max":3}}],
+			"slaves":[{"regions":[{"start":0,"size":4096}]}]}`,
+		// Broken shapes: overlap, misalignment, empty system, bad enums.
+		`{"masters":[{}],"slaves":[{"regions":[{"start":0,"size":4096}]},{"regions":[{"start":2048,"size":4096}]}]}`,
+		`{"masters":[{}],"slaves":[{"regions":[{"start":100,"size":300}]}]}`,
+		`{"masters":[],"slaves":[]}`,
+		`{"policy":"coinflip","data_width":7,"clock_period_ps":1,"masters":[{"default":true},{"default":true}],"slaves":[{}]}`,
+		`{"masters":[{"workload":{"pattern":"fractal"}}],"slaves":[{"waits":-3,"regions":[{"start":4294966272,"size":4096}]}]}`,
+		`null`,
+		`{}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tp, err := topo.Load(data)
+		if err != nil {
+			return // malformed JSON is rejected, never panics
+		}
+		errs, _ := topo.Validate(*tp)
+		if len(errs) > 0 {
+			// Rejected topologies must also be rejected by the builder, and
+			// with the same structured error type.
+			if _, err := core.NewSystemTopo(*tp); err == nil {
+				t.Fatalf("Validate rejected (%v) but NewSystemTopo built: %s", errs[0], data)
+			}
+			return
+		}
+		// The acceptance contract: every ERC-clean topology builds.
+		sys, err := core.NewSystemTopo(*tp)
+		if err != nil {
+			t.Fatalf("ERC-clean topology failed to build: %v\ninput: %s", err, data)
+		}
+		if got := len(sys.Masters) + map[bool]int{true: 1}[sys.Default != nil]; got != len(sys.Topo.Masters) {
+			t.Fatalf("built %d masters from %d declared", got, len(sys.Topo.Masters))
+		}
+	})
+}

@@ -39,6 +39,20 @@ func (p Pattern) String() string {
 	return fmt.Sprintf("pattern(%d)", uint8(p))
 }
 
+// ParsePattern parses a pattern name as produced by Pattern.String. The
+// empty string parses as PatternRandom, the paper's default.
+func ParsePattern(s string) (Pattern, error) {
+	switch s {
+	case "", "random":
+		return PatternRandom, nil
+	case "low-activity":
+		return PatternLowActivity, nil
+	case "counter":
+		return PatternCounter, nil
+	}
+	return PatternRandom, fmt.Errorf("workload: unknown pattern %q (want random, low-activity or counter)", s)
+}
+
 // Config parameterizes a master's traffic.
 type Config struct {
 	Seed         int64
