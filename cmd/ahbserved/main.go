@@ -46,12 +46,12 @@ func main() {
 	drainGrace := flag.Duration("drain-grace", 15*time.Second, "time in-flight batches may finish after SIGTERM before cancellation")
 	degradeAt := flag.Float64("degrade-at", 0.75, "queue-pressure fraction that enters degraded mode (negative disables)")
 	retries := flag.Int("retries", 2, "execution attempts per scenario for transient failures (1 disables retry)")
-	backend := flag.String("backend", "", "default execution backend for requests that don't pick one: event, compiled or auto")
+	backend := flag.String("backend", "", "default execution backend for requests that don't pick one: event, compiled, lanes or auto")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "ahbserved: ", log.LstdFlags)
 	if !exec.ValidName(*backend) {
-		logger.Fatalf("unknown -backend %q (want event, compiled or auto)", *backend)
+		logger.Fatalf("unknown -backend %q (want event, compiled, lanes or auto)", *backend)
 	}
 	srv := serve.New(serve.Config{
 		Workers:        *workers,

@@ -37,13 +37,13 @@ func main() {
 	window := flag.Float64("window", 100e-9, "power-trace window duration in seconds")
 	faultsFile := flag.String("faults", "", "inject faults from this JSON plan file (see internal/fault)")
 	exp := flag.String("exp", "", "run a named experiment instead: table1, figures, overhead, validation, granularity, styles, parametric, burst, pattern, dpm, cosim, impl, buses, topology, all")
-	backend := flag.String("backend", "", "execution backend: event, compiled or auto (default: engine chooses; results are identical either way)")
+	backend := flag.String("backend", "", "execution backend: event, compiled, lanes or auto (default: engine chooses; results are identical either way)")
 	topoFile := flag.String("topology", "", "build the system from this declarative topology JSON file (see examples/topologies; overrides -masters/-slaves/-waits)")
 	validateOnly := flag.Bool("validate-only", false, "with -topology: run the ERC compliance pass, print the findings and exit without simulating")
 	flag.Parse()
 
 	if !exec.ValidName(*backend) {
-		fatal(fmt.Errorf("unknown -backend %q (want event, compiled or auto)", *backend))
+		fatal(fmt.Errorf("unknown -backend %q (want event, compiled, lanes or auto)", *backend))
 	}
 
 	var topol *topo.Topology
@@ -163,7 +163,7 @@ func main() {
 		fatal(res.Err)
 	}
 	if res.BackendFallback != "" {
-		fmt.Fprintf(os.Stderr, "backend: compiled unavailable (%s), ran on the event kernel\n", res.BackendFallback)
+		fmt.Fprintf(os.Stderr, "backend: %s fell back to the event kernel: %s\n", *backend, res.BackendFallback)
 	}
 	if len(res.Violations) > 0 {
 		fmt.Fprintf(os.Stderr, "protocol violations: %d (first: %v)\n", len(res.Violations), res.Violations[0])

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"ahbpower/internal/power"
+	"ahbpower/internal/sim"
 	"ahbpower/internal/stats"
 )
 
@@ -48,19 +49,40 @@ type Report struct {
 // Report finalizes and returns the analysis results.
 func (a *Analyzer) Report() *Report {
 	a.FlushSamples()
+	var traces *ReportTraces
+	if a.tTotal != nil {
+		traces = &ReportTraces{Total: a.tTotal, M2S: a.tM2S, DEC: a.tDEC, ARB: a.tARB, S2M: a.tS2M}
+	}
+	return BuildReport(a.cfg.Style, a.sys.Bus.Clk.Period(), a.fsm.Cycles(), a.fsm.TotalEnergy(),
+		a.fsm.Stats(), &a.bd, traces)
+}
+
+// ReportTraces bundles the per-block power windowers for BuildReport; nil
+// means tracing was disabled.
+type ReportTraces struct {
+	Total, M2S, DEC, ARB, S2M *stats.Windower
+}
+
+// BuildReport assembles a Report from finalized accumulator state: the
+// instruction-FSM stats, the block breakdown and the optional trace
+// windowers. It is the single Report constructor shared by the analyzer
+// and by the lane backend (which keeps its own FSM/breakdown accumulators
+// but must produce structurally identical reports).
+func BuildReport(style Style, period sim.Time, cycles uint64, totalEnergy float64,
+	sts []power.InstructionStat, bd *power.Breakdown, traces *ReportTraces) *Report {
 	r := &Report{
-		Style:       a.cfg.Style,
-		Cycles:      a.fsm.Cycles(),
-		TotalEnergy: a.fsm.TotalEnergy(),
+		Style:       style,
+		Cycles:      cycles,
+		TotalEnergy: totalEnergy,
 		BlockEnergy: map[string]float64{},
 		BlockShare:  map[string]float64{},
 	}
-	r.SimSeconds = float64(r.Cycles) * a.sys.Bus.Clk.Period().Seconds()
+	r.SimSeconds = float64(r.Cycles) * period.Seconds()
 	if r.SimSeconds > 0 {
 		r.AvgPower = r.TotalEnergy / r.SimSeconds
 	}
 	total := r.TotalEnergy
-	for _, st := range a.fsm.Stats() {
+	for _, st := range sts {
 		row := TableRow{
 			Instruction: st.Instruction.String(),
 			Count:       st.Count,
@@ -83,15 +105,15 @@ func (a *Analyzer) Report() *Report {
 		}
 	}
 	for _, b := range power.Blocks() {
-		r.BlockEnergy[b.String()] = a.bd.Energy(b)
-		r.BlockShare[b.String()] = a.bd.Share(b)
+		r.BlockEnergy[b.String()] = bd.Energy(b)
+		r.BlockShare[b.String()] = bd.Share(b)
 	}
-	if a.tTotal != nil {
-		r.TraceTotal = a.tTotal.Series()
-		r.TraceM2S = a.tM2S.Series()
-		r.TraceDEC = a.tDEC.Series()
-		r.TraceARB = a.tARB.Series()
-		r.TraceS2M = a.tS2M.Series()
+	if traces != nil {
+		r.TraceTotal = traces.Total.Series()
+		r.TraceM2S = traces.M2S.Series()
+		r.TraceDEC = traces.DEC.Series()
+		r.TraceARB = traces.ARB.Series()
+		r.TraceS2M = traces.S2M.Series()
 	}
 	return r
 }

@@ -76,14 +76,17 @@ type Scenario struct {
 	// scenario fails with a timeout-classed error; timeouts are never
 	// retried (a deterministic simulation would only time out again).
 	Timeout time.Duration
-	// Backend is an execution hint: "", "event", "compiled" or "auto"
-	// (see internal/exec). It selects how cycles are advanced, never what
-	// they compute — results are bit-identical across backends — so it is
-	// deliberately excluded from CanonicalKey and a cached result answers
-	// the scenario regardless of the backend that produced it. A
-	// "compiled"/"auto" hint falls back to the event backend, with the
-	// reason surfaced in Result.BackendFallback, when the scenario uses
-	// features the compiled stepper cannot honor.
+	// Backend is an execution hint: "", "event", "compiled", "auto" or
+	// "lanes" (see internal/exec). It selects how cycles are advanced,
+	// never what they compute — results are bit-identical across backends
+	// — so it is deliberately excluded from CanonicalKey and a cached
+	// result answers the scenario regardless of the backend that produced
+	// it. A "compiled"/"auto" hint falls back to the event backend, with
+	// the reason surfaced in Result.BackendFallback, when the scenario
+	// uses features the compiled stepper cannot honor; a "lanes" hint
+	// does the same, and additionally lets Runner batches pack the
+	// scenario into a bit-parallel lane execution with other structurally
+	// compatible lanes-hinted scenarios (see internal/lane).
 	Backend string
 }
 
@@ -155,14 +158,18 @@ type Result struct {
 	// before starting.
 	Attempts int
 	// Backend is the execution backend that actually ran the scenario
-	// ("event" or "compiled"). Empty for scenarios that never reached
-	// execution. An execution detail, not part of the result identity:
-	// supported scenarios produce bit-identical results on every backend.
+	// ("event", "compiled" or "lanes"). Empty for scenarios that never
+	// reached execution. An execution detail, not part of the result
+	// identity: supported scenarios produce bit-identical results on
+	// every backend.
 	Backend string
-	// BackendFallback is the surfaced reason the compiled backend was
-	// requested but the event backend ran instead; empty when no fallback
-	// happened.
+	// BackendFallback is the surfaced reason the compiled or lane backend
+	// was requested but the event backend ran instead; empty when no
+	// fallback happened.
 	BackendFallback string
+	// Lanes is the occupancy of the lane pack that executed the scenario
+	// (1 for a single-lane run); zero when another backend ran it.
+	Lanes int
 	// Faults holds the injector's per-kind counters when the scenario
 	// carried an active fault plan.
 	Faults *fault.Stats
@@ -221,30 +228,39 @@ func DefaultRunner() *Runner { return NewRunner(runtime.GOMAXPROCS(0)) }
 // input order. Each scenario is built and simulated in isolation (own
 // kernel, bus, masters, slaves, analyzer), so scenarios run concurrently
 // without shared state; per-scenario failures are captured in Result.Err
-// and never abort the batch. When ctx is cancelled, scenarios not yet
-// started are abandoned promptly with Err = ctx.Err(), and scenarios
-// already running stop mid-simulation with the same error (see
-// core.System.RunContext).
+// and never abort the batch. Scenarios hinting the lane backend are
+// pre-grouped by structural compatibility and executed as bit-parallel
+// packs of up to 64 (see scheduleLanes); everything else is one job per
+// scenario. When ctx is cancelled, scenarios not yet started are
+// abandoned promptly with Err = ctx.Err(), and scenarios already running
+// stop mid-simulation with the same error (see core.System.RunContext) —
+// for a lane pack, lanes that already retired keep their results.
 func (r *Runner) Run(ctx context.Context, scenarios []Scenario) []Result {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	results := make([]Result, len(scenarios))
 	executed := make([]bool, len(scenarios))
-	jobs := make(chan int)
+	plan := scheduleLanes(scenarios)
+	jobs := make(chan runJob)
 	var wg sync.WaitGroup
 	workers := r.Workers
 	if workers < 1 {
 		workers = 1
 	}
-	if workers > len(scenarios) {
-		workers = len(scenarios)
+	if workers > len(plan) {
+		workers = len(plan)
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range jobs {
+			for job := range jobs {
+				if job.pack != nil {
+					r.runPack(ctx, scenarios, job.pack, results, executed)
+					continue
+				}
+				i := job.index
 				if r.OnStart != nil {
 					r.OnStart(i)
 				}
@@ -260,9 +276,9 @@ func (r *Runner) Run(ctx context.Context, scenarios []Scenario) []Result {
 	// below, after the channel closes.
 	next := 0
 feed:
-	for ; next < len(scenarios); next++ {
+	for ; next < len(plan); next++ {
 		select {
-		case jobs <- next:
+		case jobs <- plan[next]:
 		case <-ctx.Done():
 			break feed
 		}
@@ -357,13 +373,28 @@ func executeAttempt(ctx context.Context, index int, sc Scenario, attempt int) (r
 		res.Err = fmt.Errorf("engine: scenario %q: %w", sc.Name, &fault.InjectedFault{Attempt: attempt})
 		return res
 	}
-	backend, fallback, err := exec.Select(sc.Backend, sc.ExecTraits())
+	hint := sc.Backend
+	var laneFallback string
+	if hint == exec.NameLanes {
+		reason := sc.LaneTraits().Unsupported()
+		if reason == "" {
+			return executeLaneAttempt(ctx, index, sc, attempt)
+		}
+		// Lane-ineligible: run on the reference backend with the reason
+		// surfaced, mirroring the compiled backend's fallback contract.
+		laneFallback = reason
+		hint = exec.NameEvent
+	}
+	backend, fallback, err := exec.Select(hint, sc.ExecTraits())
 	if err != nil {
 		res.Err = fmt.Errorf("engine: scenario %q: %w", sc.Name, err)
 		return res
 	}
 	res.Backend = backend.Name()
 	res.BackendFallback = fallback
+	if laneFallback != "" {
+		res.BackendFallback = laneFallback
+	}
 	if sc.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, sc.Timeout)

@@ -1,0 +1,90 @@
+package exec_test
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"ahbpower/internal/amba/ahb"
+	"ahbpower/internal/core"
+	"ahbpower/internal/engine"
+	"ahbpower/internal/exec"
+	"ahbpower/internal/sim"
+	"ahbpower/internal/workload"
+)
+
+// FuzzLaneEquivalence derives a small random topology and workload from
+// the fuzz input, runs two seed-varied copies as one bit-parallel lane
+// pack through the engine's runner, and checks each lane against its own
+// event-backend run: identical total energy, per-block breakdowns, beats
+// and monitor counters. Any divergence is a replay bug in the lane
+// interpreter, the packed decoder or the analyzer transcription.
+func FuzzLaneEquivalence(f *testing.F) {
+	f.Add(uint8(2), uint8(3), uint8(0), uint8(0), uint8(0), int64(1))
+	f.Add(uint8(1), uint8(1), uint8(2), uint8(1), uint8(1), int64(42))
+	f.Add(uint8(3), uint8(4), uint8(1), uint8(2), uint8(2), int64(-7))
+	f.Fuzz(func(t *testing.T, nm, ns, waits, policy, pattern uint8, seed int64) {
+		sys := core.SystemConfig{
+			NumActiveMasters:  1 + int(nm%3),
+			WithDefaultMaster: nm%2 == 0,
+			NumSlaves:         1 + int(ns%4),
+			SlaveWaits:        int(waits % 4),
+			ClockPeriod:       10 * sim.Nanosecond,
+			DataWidth:         32,
+			Policy:            ahb.ArbPolicy(policy % 3),
+		}
+		style := core.StyleGlobal
+		if pattern%2 == 1 {
+			style = core.StyleLocal
+		}
+		mk := func(name string, s int64) engine.Scenario {
+			return engine.Scenario{
+				Name:     name,
+				System:   sys,
+				Analyzer: core.AnalyzerConfig{Style: style},
+				Workloads: []workload.Config{{
+					Seed:         s,
+					NumSequences: 20,
+					PairsMin:     1,
+					PairsMax:     1 + int(pattern%5),
+					IdleMax:      int(waits % 7),
+					AddrSize:     uint32(sys.NumSlaves) * 0x1000,
+					Pattern:      workload.Pattern(pattern % 3),
+					BurstBeats:   4,
+				}},
+				Cycles:  600,
+				Backend: exec.NameLanes,
+			}
+		}
+		scs := []engine.Scenario{mk("lane0", seed), mk("lane1", seed^0x5a5a)}
+		results := engine.NewRunner(1).Run(context.Background(), scs)
+		for i, res := range results {
+			ev := scs[i]
+			ev.Backend = exec.NameEvent
+			evr := engine.RunOne(context.Background(), ev)
+			if (res.Err == nil) != (evr.Err == nil) {
+				t.Fatalf("%s: error divergence: lanes=%v event=%v", scs[i].Name, res.Err, evr.Err)
+			}
+			if res.Err != nil {
+				continue // both rejected the configuration the same way
+			}
+			if res.Backend != exec.NameLanes || res.Lanes != len(scs) {
+				t.Fatalf("%s: expected a %d-lane pack, got backend %q (lanes %d, fallback %q)",
+					scs[i].Name, len(scs), res.Backend, res.Lanes, res.BackendFallback)
+			}
+			if math.Float64bits(evr.Report.TotalEnergy) != math.Float64bits(res.Report.TotalEnergy) {
+				t.Fatalf("%s: TotalEnergy: event=%g lanes=%g", scs[i].Name,
+					evr.Report.TotalEnergy, res.Report.TotalEnergy)
+			}
+			if !reflect.DeepEqual(evr.Report.BlockEnergy, res.Report.BlockEnergy) {
+				t.Fatalf("%s: BlockEnergy diverges:\nevent: %v\nlanes: %v", scs[i].Name,
+					evr.Report.BlockEnergy, res.Report.BlockEnergy)
+			}
+			if evr.Beats != res.Beats || !reflect.DeepEqual(evr.Counts, res.Counts) {
+				t.Fatalf("%s: beats/counts diverge: event=%d/%v lanes=%d/%v", scs[i].Name,
+					evr.Beats, evr.Counts, res.Beats, res.Counts)
+			}
+		}
+	})
+}

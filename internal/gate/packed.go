@@ -1,0 +1,233 @@
+package gate
+
+import "math/bits"
+
+// PackedEval is the bit-parallel sibling of Eval: it evaluates a Netlist
+// across up to 64 independent lanes at once, one lane per bit of a uint64
+// word. Every net holds a packed word (bit l is the net's value in lane
+// l), and every gate evaluation is a handful of word operations — an AND
+// gate over N inputs costs N-1 machine ANDs for all 64 lanes together,
+// which is the whole point: a sweep of 64 scenarios prices the shared
+// netlist roughly once instead of 64 times.
+//
+// Lane semantics are exactly Eval's, applied per bit: all nets start at
+// logic 0, a settle pass is one levelized sweep, and a per-lane value
+// change counts one transition of the net's capacitance in that lane
+// (popcount over the change word). The packed evaluator is therefore
+// bit-identical, lane by lane, to 64 scalar Evals fed the per-lane input
+// slices — the cross-check test in packed_test.go enforces it.
+//
+// Toggle and energy accounting aggregates across active lanes (the sum of
+// the per-lane scalar accounts); per-lane energy attribution, when
+// needed, belongs to the caller, which knows which output planes it reads
+// per lane.
+type PackedEval struct {
+	nl    *Netlist
+	tech  Tech
+	order []int // levelized combinational gate indices
+
+	val     []uint64 // packed net values, bit l = lane l
+	toggles []uint64 // per-net transitions summed over active lanes
+
+	totalToggles uint64
+	switchedCap  float64 // Σ C_net per transition, farads
+	caps         []float64
+	cycles       uint64
+	mask         uint64 // active-lane mask; transitions outside it are free
+}
+
+// NewPackedEval validates the netlist and creates a packed evaluator with
+// every lane active. All nets start at logic 0 in every lane with no
+// transition charged.
+func NewPackedEval(nl *Netlist, tech Tech) (*PackedEval, error) {
+	order, err := nl.Validate()
+	if err != nil {
+		return nil, err
+	}
+	e := &PackedEval{
+		nl:      nl,
+		tech:    tech,
+		order:   order,
+		val:     make([]uint64, len(nl.nets)),
+		toggles: make([]uint64, len(nl.nets)),
+		caps:    make([]float64, len(nl.nets)),
+		mask:    ^uint64(0),
+	}
+	isOut := make([]bool, len(nl.nets))
+	for _, o := range nl.outputs {
+		isOut[o] = true
+	}
+	for i, nt := range nl.nets {
+		switch {
+		case nt.cap >= 0:
+			e.caps[i] = nt.cap
+		case isOut[i]:
+			e.caps[i] = tech.COut
+		default:
+			e.caps[i] = tech.CPD
+		}
+	}
+	return e, nil
+}
+
+// SetLaneMask restricts transition accounting to the lanes set in m.
+// Values still propagate in every lane (a masked lane keeps simulating,
+// its transitions are just not charged), so re-enabling a lane later
+// resumes exact accounting from its current state.
+func (e *PackedEval) SetLaneMask(m uint64) { e.mask = m }
+
+// LaneMask returns the active-lane mask.
+func (e *PackedEval) LaneMask() uint64 { return e.mask }
+
+// setNet assigns a packed net value, charging one transition per active
+// lane whose bit changed.
+func (e *PackedEval) setNet(id NetID, v uint64) {
+	changed := (e.val[id] ^ v) & e.mask
+	if e.val[id] == v {
+		return
+	}
+	e.val[id] = v
+	if changed != 0 {
+		n := uint64(bits.OnesCount64(changed))
+		e.toggles[id] += n
+		e.totalToggles += n
+		e.switchedCap += e.caps[id] * float64(n)
+	}
+}
+
+// SetInput assigns a packed primary-input word (bit l drives lane l).
+// Call Settle afterwards to propagate.
+func (e *PackedEval) SetInput(id NetID, v uint64) {
+	e.setNet(id, v)
+}
+
+// SetLaneInputs assigns the low bits of v to the primary inputs in
+// creation order, in lane l only — the packed analog of Eval.SetInputs
+// for a single lane.
+func (e *PackedEval) SetLaneInputs(lane int, v uint64) {
+	bit := uint64(1) << uint(lane)
+	for i, id := range e.nl.inputs {
+		w := e.val[id] &^ bit
+		if v&(1<<uint(i)) != 0 {
+			w |= bit
+		}
+		e.setNet(id, w)
+	}
+}
+
+func (e *PackedEval) evalGate(g *Gate) uint64 {
+	switch g.Kind {
+	case Buf:
+		return e.val[g.In[0]]
+	case Not:
+		return ^e.val[g.In[0]]
+	case And, Nand:
+		v := e.val[g.In[0]]
+		for _, in := range g.In[1:] {
+			v &= e.val[in]
+		}
+		if g.Kind == Nand {
+			return ^v
+		}
+		return v
+	case Or, Nor:
+		v := e.val[g.In[0]]
+		for _, in := range g.In[1:] {
+			v |= e.val[in]
+		}
+		if g.Kind == Nor {
+			return ^v
+		}
+		return v
+	case Xor:
+		return e.val[g.In[0]] ^ e.val[g.In[1]]
+	case Xnor:
+		return ^(e.val[g.In[0]] ^ e.val[g.In[1]])
+	case Mux2:
+		sel := e.val[g.In[2]]
+		return (e.val[g.In[0]] &^ sel) | (e.val[g.In[1]] & sel)
+	}
+	// Unreachable: Drive rejects unknown kinds at construction and
+	// Validate re-checks every gate before a PackedEval is created.
+	panic("gate: packed evalGate on " + g.Kind.String())
+}
+
+// Settle propagates the combinational logic across every lane at once (a
+// single levelized pass, since the netlist is acyclic).
+func (e *PackedEval) Settle() {
+	for _, gi := range e.order {
+		g := &e.nl.gates[gi]
+		e.setNet(g.Out, e.evalGate(g))
+	}
+}
+
+// ClockTick captures every DFF's packed D input into its Q output
+// simultaneously, then settles the combinational logic — one rising clock
+// edge in all lanes.
+func (e *PackedEval) ClockTick() {
+	type upd struct {
+		out NetID
+		v   uint64
+	}
+	var ups []upd
+	for i := range e.nl.gates {
+		g := &e.nl.gates[i]
+		if g.Kind == Dff {
+			ups = append(ups, upd{g.Out, e.val[g.In[0]]})
+		}
+	}
+	for _, u := range ups {
+		e.setNet(u.out, u.v)
+	}
+	e.Settle()
+	e.cycles++
+}
+
+// Output reads the settled packed value of a net (bit l = lane l).
+func (e *PackedEval) Output(id NetID) uint64 { return e.val[id] }
+
+// LaneOutputBits packs the primary outputs of one lane into a uint64
+// (first output at bit 0) — the per-lane analog of Eval.OutputBits.
+func (e *PackedEval) LaneOutputBits(lane int) uint64 {
+	bit := uint64(1) << uint(lane)
+	var v uint64
+	for i, id := range e.nl.outputs {
+		if e.val[id]&bit != 0 {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// Toggles returns the transition count of one net summed over active
+// lanes.
+func (e *PackedEval) Toggles(id NetID) uint64 { return e.toggles[id] }
+
+// TotalToggles returns the total transitions across all nets and active
+// lanes.
+func (e *PackedEval) TotalToggles() uint64 { return e.totalToggles }
+
+// SwitchedCap returns the accumulated switched capacitance in farads,
+// summed over active lanes.
+func (e *PackedEval) SwitchedCap() float64 { return e.switchedCap }
+
+// Energy returns the accumulated dynamic energy in joules under the
+// paper's E = (VDD²/4)·C-per-transition convention, summed over active
+// lanes.
+func (e *PackedEval) Energy() float64 {
+	return e.tech.EnergyPerTransition(e.switchedCap)
+}
+
+// Cycles returns the number of ClockTicks executed.
+func (e *PackedEval) Cycles() uint64 { return e.cycles }
+
+// ResetCounters zeroes the energy/toggle accounting without touching the
+// logic state.
+func (e *PackedEval) ResetCounters() {
+	for i := range e.toggles {
+		e.toggles[i] = 0
+	}
+	e.totalToggles = 0
+	e.switchedCap = 0
+	e.cycles = 0
+}

@@ -1,0 +1,150 @@
+package gate
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildKitchenSink returns a netlist exercising every combinational gate
+// kind plus a DFF, with a few shared intermediate nets so toggle counting
+// sees fanout.
+func buildKitchenSink(t *testing.T) *Netlist {
+	t.Helper()
+	nl := NewNetlist("kitchen-sink")
+	a := nl.AddInput("a")
+	b := nl.AddInput("b")
+	c := nl.AddInput("c")
+	d := nl.AddInput("d")
+
+	na := nl.MustGate(Not, "na", a)
+	ab := nl.MustGate(And, "ab", a, b)
+	abc := nl.MustGate(And, "abc", a, b, c)
+	obc := nl.MustGate(Or, "obc", b, c, d)
+	nb := nl.MustGate(Nand, "nb", ab, obc)
+	nr := nl.MustGate(Nor, "nr", na, abc)
+	x := nl.MustGate(Xor, "x", nb, nr)
+	xn := nl.MustGate(Xnor, "xn", x, ab)
+	mx := nl.MustGate(Mux2, "mx", x, xn, c)
+	q := nl.MustGate(Dff, "q", mx)
+	fb := nl.MustGate(Xor, "fb", q, d)
+	buf := nl.MustGate(Buf, "buf", fb)
+
+	nl.MarkOutput(x)
+	nl.MarkOutput(mx)
+	nl.MarkOutput(q)
+	nl.MarkOutput(buf)
+	if err := nl.Err(); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return nl
+}
+
+// TestPackedEvalMatchesScalarLanes drives the same netlist through one
+// PackedEval and 64 scalar Evals with per-lane input slices, and checks
+// per-lane outputs every step plus aggregate toggle/energy accounting at
+// the end. This is the packed backend's foundation: a lane must be
+// indistinguishable from a scalar evaluation.
+func TestPackedEvalMatchesScalarLanes(t *testing.T) {
+	nl := buildKitchenSink(t)
+	tech := Tech{VDD: 2.5, CPD: 90e-15, COut: 300e-15}
+
+	packed, err := NewPackedEval(nl, tech)
+	if err != nil {
+		t.Fatalf("NewPackedEval: %v", err)
+	}
+	scalars := make([]*Eval, 64)
+	for l := range scalars {
+		if scalars[l], err = NewEval(nl, tech); err != nil {
+			t.Fatalf("NewEval: %v", err)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(20260807))
+	nIn := len(nl.Inputs())
+	for step := 0; step < 200; step++ {
+		laneIn := make([]uint64, 64)
+		for l := range laneIn {
+			laneIn[l] = rng.Uint64() & ((1 << uint(nIn)) - 1)
+		}
+		// Drive packed input planes (bit i of lane l's vector -> bit l of
+		// input plane i) and each scalar lane.
+		for i, id := range nl.Inputs() {
+			var plane uint64
+			for l, v := range laneIn {
+				if v&(1<<uint(i)) != 0 {
+					plane |= 1 << uint(l)
+				}
+			}
+			packed.SetInput(id, plane)
+		}
+		packed.Settle()
+		packed.ClockTick()
+		for l, e := range scalars {
+			e.SetInputs(laneIn[l])
+			e.Settle()
+			e.ClockTick()
+			if got, want := packed.LaneOutputBits(l), e.OutputBits(); got != want {
+				t.Fatalf("step %d lane %d: packed outputs %#x, scalar %#x", step, l, got, want)
+			}
+		}
+	}
+
+	var wantToggles uint64
+	var wantCap float64
+	for _, e := range scalars {
+		wantToggles += e.TotalToggles()
+		wantCap += e.SwitchedCap()
+	}
+	if got := packed.TotalToggles(); got != wantToggles {
+		t.Fatalf("total toggles: packed %d, scalar sum %d", got, wantToggles)
+	}
+	// Capacitance sums accumulate in different orders (per-net versus
+	// per-lane), so compare with a tight relative tolerance.
+	if diff := packed.SwitchedCap() - wantCap; diff > 1e-6*wantCap || diff < -1e-6*wantCap {
+		t.Fatalf("switched cap: packed %g, scalar sum %g", packed.SwitchedCap(), wantCap)
+	}
+	if packed.Energy() <= 0 {
+		t.Fatalf("packed energy not accumulated")
+	}
+	for id := NetID(0); int(id) < nl.NumNets(); id++ {
+		var want uint64
+		for _, e := range scalars {
+			want += e.Toggles(id)
+		}
+		if got := packed.Toggles(id); got != want {
+			t.Fatalf("net %q toggles: packed %d, scalar sum %d", nl.NetName(id), got, want)
+		}
+	}
+}
+
+// TestPackedEvalLaneMask checks that transitions in masked-out lanes are
+// not charged while masked lanes keep simulating.
+func TestPackedEvalLaneMask(t *testing.T) {
+	nl := NewNetlist("mask")
+	a := nl.AddInput("a")
+	o := nl.MustGate(Not, "o", a)
+	nl.MarkOutput(o)
+	if err := nl.Err(); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	e, err := NewPackedEval(nl, Tech{VDD: 2, CPD: 1e-15, COut: 1e-15})
+	if err != nil {
+		t.Fatalf("NewPackedEval: %v", err)
+	}
+	e.Settle() // the NOT output rises in all 64 lanes
+	base := e.TotalToggles()
+	if base != 64 {
+		t.Fatalf("settle toggles = %d, want 64", base)
+	}
+	e.SetLaneMask(0x3) // only lanes 0 and 1 charge
+	e.SetInput(a, ^uint64(0))
+	e.Settle()
+	// Input plus output flipped in every lane; only 2 lanes x 2 nets count.
+	if got := e.TotalToggles() - base; got != 4 {
+		t.Fatalf("masked toggles = %d, want 4", got)
+	}
+	// Masked lanes still simulated: output is now low everywhere.
+	if e.Output(o) != 0 {
+		t.Fatalf("masked lanes did not propagate: output %#x", e.Output(o))
+	}
+}

@@ -1,0 +1,294 @@
+package lane
+
+import (
+	"fmt"
+	"math/bits"
+
+	"ahbpower/internal/amba/ahb"
+	"ahbpower/internal/gate"
+)
+
+// The packed decoder is the lane backend's shared combinational block: the
+// bus address decoder (first matching region wins, unmapped selects the
+// internal default slave) lowered to a gate netlist over 32 address
+// bitplanes and evaluated across all 64 lanes at once by gate.PackedEval —
+// bit i of input plane b is lane i's HADDR bit b, and bit i of a slave's
+// output plane is lane i's HSEL line. Per cycle it only re-settles when
+// some active lane's address actually changed, updating the bitplanes
+// incrementally from the per-lane address diffs.
+
+// sym is a symbolic logic value during netlist construction: a known
+// constant or a driven net. Constant folding keeps the region comparators
+// from emitting degenerate gates (the builder rejects 1-input variadic
+// gates, and constants have no net to wire).
+type sym struct {
+	isConst bool
+	c       bool
+	id      gate.NetID
+}
+
+func symConst(c bool) sym      { return sym{isConst: true, c: c} }
+func symNet(id gate.NetID) sym { return sym{id: id} }
+
+// decBuilder wraps the netlist under construction with folding helpers
+// and a NOT-net cache (address-bit complements are shared across every
+// region comparator).
+type decBuilder struct {
+	nl    *gate.Netlist
+	seq   int
+	notOf map[gate.NetID]gate.NetID
+}
+
+func (b *decBuilder) fresh(prefix string) string {
+	b.seq++
+	return fmt.Sprintf("%s%d", prefix, b.seq)
+}
+
+func (b *decBuilder) not(x sym) sym {
+	if x.isConst {
+		return symConst(!x.c)
+	}
+	if id, ok := b.notOf[x.id]; ok {
+		return symNet(id)
+	}
+	id := b.nl.MustGate(gate.Not, b.fresh("n"), x.id)
+	b.notOf[x.id] = id
+	return symNet(id)
+}
+
+func (b *decBuilder) and(x, y sym) sym {
+	if x.isConst {
+		if !x.c {
+			return symConst(false)
+		}
+		return y
+	}
+	if y.isConst {
+		if !y.c {
+			return symConst(false)
+		}
+		return x
+	}
+	return symNet(b.nl.MustGate(gate.And, b.fresh("a"), x.id, y.id))
+}
+
+func (b *decBuilder) or(x, y sym) sym {
+	if x.isConst {
+		if x.c {
+			return symConst(true)
+		}
+		return y
+	}
+	if y.isConst {
+		if y.c {
+			return symConst(true)
+		}
+		return x
+	}
+	return symNet(b.nl.MustGate(gate.Or, b.fresh("o"), x.id, y.id))
+}
+
+// Slave-plane classification after construction.
+const (
+	decConstFalse = iota
+	decConstTrue
+	decNet
+)
+
+type decPlane struct {
+	kind int
+	id   gate.NetID
+}
+
+// packedDecoder evaluates the address decoder for every lane of a pack.
+type packedDecoder struct {
+	eval   *gate.PackedEval
+	planes []decPlane
+	ain    [32]gate.NetID
+
+	// Incremental input state: per-lane last-decoded address, per-bit
+	// input plane words, and which lanes have been decoded at least once.
+	addrs      [MaxLanes]uint32
+	planeWords [32]uint64
+	seen       uint64
+
+	// outWords caches each net plane's output word after a settle.
+	outWords []uint64
+
+	// constSel is the universal selection when every plane folded to a
+	// constant (eval == nil): the region map decodes every address the
+	// same way.
+	constSel int
+}
+
+// newPackedDecoder lowers the region list to the packed netlist. The
+// region list is the bus decoder's: slaves in port order, each slave's
+// regions start-sorted, first match wins.
+func newPackedDecoder(regions []ahb.Region) (*packedDecoder, error) {
+	d := &packedDecoder{constSel: -2}
+	nSlaves := 0
+	for _, r := range regions {
+		if r.Slave >= nSlaves {
+			nSlaves = r.Slave + 1
+		}
+	}
+	b := &decBuilder{nl: gate.NewNetlist("lane-decoder"), notOf: map[gate.NetID]gate.NetID{}}
+	abit := make([]sym, 32)
+	for i := 0; i < 32; i++ {
+		d.ain[i] = b.nl.AddInput(fmt.Sprintf("a%d", i))
+		abit[i] = symNet(d.ain[i])
+	}
+
+	// ge returns the symbolic predicate HADDR >= k, MSB-first: at each bit
+	// the address is greater iff it is 1 where k is 0 with all higher bits
+	// equal, and equal overall iff every bit matches.
+	ge := func(k uint32) sym {
+		if k == 0 {
+			return symConst(true)
+		}
+		g, eq := symConst(false), symConst(true)
+		for i := 31; i >= 0; i-- {
+			bitSet := k&(1<<uint(i)) != 0
+			if !bitSet {
+				g = b.or(g, b.and(eq, abit[i]))
+			}
+			if bitSet {
+				eq = b.and(eq, abit[i])
+			} else {
+				eq = b.and(eq, b.not(abit[i]))
+			}
+		}
+		return b.or(g, eq)
+	}
+
+	// inside returns the symbolic predicate HADDR in [Start, Start+Size).
+	inside := func(r ahb.Region) sym {
+		if r.Size == 0 {
+			return symConst(false)
+		}
+		if r.Start%r.Size == 0 && r.Size&(r.Size-1) == 0 {
+			// Aligned power-of-two region: match the tag bits directly.
+			k := bits.TrailingZeros32(r.Size)
+			m := symConst(true)
+			for i := 31; i >= k; i-- {
+				if r.Start&(1<<uint(i)) != 0 {
+					m = b.and(m, abit[i])
+				} else {
+					m = b.and(m, b.not(abit[i]))
+				}
+			}
+			return m
+		}
+		in := ge(r.Start)
+		if end := uint64(r.Start) + uint64(r.Size); end <= uint64(^uint32(0)) {
+			in = b.and(in, b.not(ge(uint32(end))))
+		}
+		return in
+	}
+
+	// First match wins: region r matches iff its range contains the
+	// address and no earlier region's does. The matched planes are
+	// therefore mutually exclusive, and each slave's HSEL plane is the OR
+	// of its regions' matched planes.
+	sel := make([]sym, nSlaves)
+	for s := range sel {
+		sel[s] = symConst(false)
+	}
+	prior := symConst(false)
+	for _, r := range regions {
+		in := inside(r)
+		matched := b.and(in, b.not(prior))
+		prior = b.or(prior, in)
+		sel[r.Slave] = b.or(sel[r.Slave], matched)
+	}
+
+	d.planes = make([]decPlane, nSlaves)
+	anyNet := false
+	for s, v := range sel {
+		switch {
+		case v.isConst && v.c:
+			d.planes[s] = decPlane{kind: decConstTrue}
+			if d.constSel == -2 {
+				d.constSel = s
+			}
+		case v.isConst:
+			d.planes[s] = decPlane{kind: decConstFalse}
+		default:
+			d.planes[s] = decPlane{kind: decNet, id: v.id}
+			b.nl.MarkOutput(v.id)
+			anyNet = true
+		}
+	}
+	if !anyNet {
+		// Every plane folded: the decode is address-independent.
+		return d, nil
+	}
+	// The tech only scales the (unused) energy accounting; logic values
+	// are what the lanes consume.
+	eval, err := gate.NewPackedEval(b.nl, gate.Tech{VDD: 1, CPD: 1e-15, COut: 1e-15})
+	if err != nil {
+		return nil, err
+	}
+	d.eval = eval
+	d.outWords = make([]uint64, nSlaves)
+	return d, nil
+}
+
+// update re-decodes SelIdx for every active lane whose settled HADDR
+// changed since the last call (every active lane on first contact). The
+// bitplanes are maintained incrementally: only the planes of address bits
+// that actually differ are rewritten, and when no active lane's address
+// moved the netlist is not re-settled at all.
+func (d *packedDecoder) update(lanes []*laneState, active uint64) {
+	if d.eval == nil {
+		for m := active &^ d.seen; m != 0; m &= m - 1 {
+			lanes[trailing(m)].selIdx = d.constSel
+		}
+		d.seen |= active
+		return
+	}
+	var changed uint64
+	var touched uint32
+	for m := active; m != 0; m &= m - 1 {
+		i := trailing(m)
+		laneBit := uint64(1) << uint(i)
+		a := lanes[i].hAddr
+		if d.seen&laneBit != 0 && a == d.addrs[i] {
+			continue
+		}
+		for diff := a ^ d.addrs[i]; diff != 0; diff &= diff - 1 {
+			bb := bits.TrailingZeros32(diff)
+			d.planeWords[bb] ^= laneBit
+			touched |= 1 << uint(bb)
+		}
+		d.addrs[i] = a
+		d.seen |= laneBit
+		changed |= laneBit
+	}
+	if changed == 0 {
+		return
+	}
+	for pt := touched; pt != 0; pt &= pt - 1 {
+		bb := bits.TrailingZeros32(pt)
+		d.eval.SetInput(d.ain[bb], d.planeWords[bb])
+	}
+	d.eval.Settle()
+	for s := range d.planes {
+		if d.planes[s].kind == decNet {
+			d.outWords[s] = d.eval.Output(d.planes[s].id)
+		}
+	}
+	for m := changed; m != 0; m &= m - 1 {
+		i := trailing(m)
+		laneBit := uint64(1) << uint(i)
+		selIdx := -2
+		for s := range d.planes {
+			p := d.planes[s]
+			if p.kind == decConstTrue || (p.kind == decNet && d.outWords[s]&laneBit != 0) {
+				selIdx = s
+				break
+			}
+		}
+		lanes[i].selIdx = selIdx
+	}
+}

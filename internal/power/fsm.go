@@ -63,18 +63,25 @@ func (s InstructionStat) AverageEnergy() float64 {
 // FSM is the paper's power_fsm: it tracks the current activity mode,
 // classifies each simulated bus cycle into an instruction, and accumulates
 // the energy attributed to that cycle against the instruction.
+//
+// The per-instruction accumulators live in a flat array indexed by
+// (From, To) — the whole domain is NumStates² slots — so the per-cycle
+// Step is a bounds-checked add instead of a map operation. States outside
+// the canonical four (possible through the public API, never produced by
+// the analyzers) accumulate in a lazily allocated overflow map.
 type FSM struct {
-	cur     State
-	started bool
-	stats   map[Instruction]*InstructionStat
-	total   float64
-	cycles  uint64
+	cur      State
+	started  bool
+	stats    [NumStates * NumStates]InstructionStat
+	overflow map[Instruction]*InstructionStat
+	total    float64
+	cycles   uint64
 }
 
 // NewFSM creates a power FSM; the first observed cycle sets the initial
 // state without executing an instruction.
 func NewFSM() *FSM {
-	return &FSM{stats: map[Instruction]*InstructionStat{}}
+	return &FSM{}
 }
 
 // Step observes the activity mode of the cycle that just completed,
@@ -90,13 +97,23 @@ func (f *FSM) Step(next State, energy float64) (Instruction, bool) {
 		return Instruction{}, false
 	}
 	in := Instruction{From: f.cur, To: next}
-	st, ok := f.stats[in]
-	if !ok {
-		st = &InstructionStat{Instruction: in}
-		f.stats[in] = st
+	if int(in.From) < NumStates && int(in.To) < NumStates {
+		st := &f.stats[int(in.From)*NumStates+int(in.To)]
+		st.Instruction = in
+		st.Count++
+		st.Energy += energy
+	} else {
+		if f.overflow == nil {
+			f.overflow = map[Instruction]*InstructionStat{}
+		}
+		st, ok := f.overflow[in]
+		if !ok {
+			st = &InstructionStat{Instruction: in}
+			f.overflow[in] = st
+		}
+		st.Count++
+		st.Energy += energy
 	}
-	st.Count++
-	st.Energy += energy
 	f.total += energy
 	f.cur = next
 	return in, true
@@ -115,7 +132,12 @@ func (f *FSM) Cycles() uint64 { return f.cycles }
 // energy (the layout of the paper's Table 1).
 func (f *FSM) Stats() []InstructionStat {
 	out := make([]InstructionStat, 0, len(f.stats))
-	for _, s := range f.stats {
+	for i := range f.stats {
+		if f.stats[i].Count > 0 {
+			out = append(out, f.stats[i])
+		}
+	}
+	for _, s := range f.overflow {
 		out = append(out, *s)
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -129,7 +151,13 @@ func (f *FSM) Stats() []InstructionStat {
 
 // Stat returns the statistics of one instruction.
 func (f *FSM) Stat(in Instruction) InstructionStat {
-	if s, ok := f.stats[in]; ok {
+	if int(in.From) < NumStates && int(in.To) < NumStates {
+		if st := f.stats[int(in.From)*NumStates+int(in.To)]; st.Count > 0 {
+			return st
+		}
+		return InstructionStat{Instruction: in}
+	}
+	if s, ok := f.overflow[in]; ok {
 		return *s
 	}
 	return InstructionStat{Instruction: in}

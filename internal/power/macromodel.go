@@ -2,6 +2,7 @@ package power
 
 import (
 	"fmt"
+	"math"
 
 	"ahbpower/internal/stats"
 )
@@ -40,15 +41,35 @@ type DecoderModel struct {
 // buses plus the packed control word.
 const maxHD = 127
 
-// decoderCoef snapshots every value Energy depends on.
+// decoderCoef snapshots every value Energy depends on, as bit patterns:
+// the per-call refit check is then a handful of integer compares. A
+// coefficient rewritten to a bit-identical value is treated as unchanged,
+// which is exact — the rebuilt table would be identical.
 type decoderCoef struct {
 	no, ni      int
-	tech        Tech
-	chd, cevent float64
+	tech        techBits
+	chd, cevent uint64
+}
+
+// techBits is a Tech snapshot as bit patterns, comparable word-wise.
+type techBits struct {
+	vdd, cpd, co uint64
+}
+
+func (t Tech) bits() techBits {
+	return techBits{
+		vdd: math.Float64bits(t.VDD),
+		cpd: math.Float64bits(t.CPD),
+		co:  math.Float64bits(t.CO),
+	}
 }
 
 func (m *DecoderModel) coef() decoderCoef {
-	return decoderCoef{no: m.NO, ni: m.NI, tech: m.Tech, chd: m.CHD, cevent: m.CEvent}
+	return decoderCoef{
+		no: m.NO, ni: m.NI, tech: m.Tech.bits(),
+		chd:    math.Float64bits(m.CHD),
+		cevent: math.Float64bits(m.CEvent),
+	}
 }
 
 // NewDecoderModel builds the model for a decoder with nO outputs.
@@ -141,10 +162,11 @@ type muxCacheEntry struct {
 	e   float64
 }
 
-// muxCoef snapshots every value Energy depends on.
+// muxCoef snapshots every value Energy depends on, as bit patterns (see
+// decoderCoef).
 type muxCoef struct {
-	tech                  Tech
-	cin, csel, cout, cclk float64
+	tech                  techBits
+	cin, csel, cout, cclk uint64
 }
 
 // NewMuxModel builds a mux macromodel with structural default
@@ -177,7 +199,13 @@ func NewMuxModel(w, n int, tech Tech) (*MuxModel, error) {
 }
 
 func (m *MuxModel) muxCoef() muxCoef {
-	return muxCoef{tech: m.Tech, cin: m.CIn, csel: m.CSel, cout: m.COut, cclk: m.CClkCycle}
+	return muxCoef{
+		tech: m.Tech.bits(),
+		cin:  math.Float64bits(m.CIn),
+		csel: math.Float64bits(m.CSel),
+		cout: math.Float64bits(m.COut),
+		cclk: math.Float64bits(m.CClkCycle),
+	}
 }
 
 // revalidate resets the memo when the coefficients changed since it was
@@ -267,10 +295,11 @@ type ArbiterModel struct {
 // cold path.
 const arbMaxHD = 16
 
-// arbCoef snapshots every value Energy depends on.
+// arbCoef snapshots every value Energy depends on, as bit patterns (see
+// decoderCoef).
 type arbCoef struct {
-	tech                    Tech
-	creq, cgrant, cho, cact float64
+	tech                    techBits
+	creq, cgrant, cho, cact uint64
 }
 
 // NewArbiterModel builds the arbiter macromodel with structural defaults:
@@ -292,7 +321,13 @@ func NewArbiterModel(n int, tech Tech) (*ArbiterModel, error) {
 }
 
 func (m *ArbiterModel) arbCoef() arbCoef {
-	return arbCoef{tech: m.Tech, creq: m.CReq, cgrant: m.CGrant, cho: m.CHandover, cact: m.CActive}
+	return arbCoef{
+		tech:   m.Tech.bits(),
+		creq:   math.Float64bits(m.CReq),
+		cgrant: math.Float64bits(m.CGrant),
+		cho:    math.Float64bits(m.CHandover),
+		cact:   math.Float64bits(m.CActive),
+	}
 }
 
 // Energy returns the dynamic energy of one arbiter cycle: hdReq request

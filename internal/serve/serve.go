@@ -64,7 +64,8 @@ type Config struct {
 	Retry engine.RetryPolicy
 	// DefaultBackend is the execution backend applied to scenarios whose
 	// request carries no backend of its own: "" or "event" (the default),
-	// "compiled", or "auto" (compiled when supported, event otherwise).
+	// "compiled", "lanes" (bit-parallel packs, scheduled by the runner),
+	// or "auto" (compiled when supported, event otherwise).
 	// Purely an execution policy — results and cache keys are identical
 	// across backends. The name must be valid (exec.ValidName); requests
 	// resolved against an unknown default are rejected at decode time, and
@@ -167,7 +168,9 @@ type counters struct {
 
 	backendEventRuns    expvar.Int // scenarios executed on the event backend
 	backendCompiledRuns expvar.Int // scenarios executed on the compiled backend
-	backendFallbacks    expvar.Int // compiled/auto requests that fell back to event
+	backendLaneRuns     expvar.Int // scenarios executed on the bit-parallel lane backend
+	laneOccupancy       expvar.Int // summed pack occupancy of lane runs (avg = lane_occupancy / backend_lane_runs)
+	backendFallbacks    expvar.Int // compiled/auto/lanes requests that fell back to event
 
 	validateRequests expvar.Int // POST /v1/validate requests
 	validateRejects  expvar.Int // validate requests with at least one invalid scenario
@@ -208,6 +211,8 @@ func New(cfg Config) *Server {
 
 		"backend_event_runs":    &s.ctr.backendEventRuns,
 		"backend_compiled_runs": &s.ctr.backendCompiledRuns,
+		"backend_lane_runs":     &s.ctr.backendLaneRuns,
+		"lane_occupancy":        &s.ctr.laneOccupancy,
 		"backend_fallbacks":     &s.ctr.backendFallbacks,
 
 		"validate_requests": &s.ctr.validateRequests,
@@ -342,7 +347,7 @@ func (s *Server) decodeRun(r *http.Request) (*RunRequest, []engine.Scenario, []s
 		return nil, nil, nil, fmt.Errorf("request has %d scenarios, limit %d", len(req.Scenarios), s.cfg.MaxScenarios)
 	}
 	if !exec.ValidName(req.Backend) {
-		return nil, nil, nil, fmt.Errorf("unknown backend %q (want event|compiled|auto)", req.Backend)
+		return nil, nil, nil, fmt.Errorf("unknown backend %q (want event|compiled|lanes|auto)", req.Backend)
 	}
 	scenarios := make([]engine.Scenario, len(req.Scenarios))
 	keys := make([]string, len(req.Scenarios))
@@ -364,7 +369,7 @@ func (s *Server) decodeRun(r *http.Request) (*RunRequest, []engine.Scenario, []s
 			sc.Backend = s.cfg.DefaultBackend
 		}
 		if !exec.ValidName(sc.Backend) {
-			return nil, nil, nil, fmt.Errorf("scenario %q: unknown backend %q (want event|compiled|auto)", sc.Name, sc.Backend)
+			return nil, nil, nil, fmt.Errorf("scenario %q: unknown backend %q (want event|compiled|lanes|auto)", sc.Name, sc.Backend)
 		}
 		scenarios[i] = sc
 		keys[i], _ = sc.CanonicalKey()
@@ -644,6 +649,9 @@ func (s *Server) runBatch(ctx context.Context, scenarios []engine.Scenario, keys
 					s.ctr.backendEventRuns.Add(1)
 				case exec.NameCompiled:
 					s.ctr.backendCompiledRuns.Add(1)
+				case exec.NameLanes:
+					s.ctr.backendLaneRuns.Add(1)
+					s.ctr.laneOccupancy.Add(int64(res[n].Lanes))
 				}
 				if res[n].Backend != "" {
 					if resp.Batch.Backends == nil {

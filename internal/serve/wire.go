@@ -45,7 +45,8 @@ type RunRequest struct {
 	// still stored for later hits).
 	NoCache bool `json:"no_cache,omitempty"`
 	// Backend is the request-level execution-backend default
-	// ("event"|"compiled"|"auto") applied to every scenario that does not
+	// ("event"|"compiled"|"lanes"|"auto") applied to every scenario that
+	// does not
 	// carry its own; empty defers to the server's configured default. An
 	// execution hint only: results and cache keys are identical across
 	// backends, so requests with different backends share cache entries.
@@ -86,8 +87,10 @@ type ScenarioSpec struct {
 	// faulty runs cache like clean ones.
 	Faults *fault.Plan `json:"faults,omitempty"`
 	// Backend selects this scenario's execution backend
-	// ("event"|"compiled"|"auto"); empty defers to the request-level and
-	// then the server-level default. Not part of the cache key.
+	// ("event"|"compiled"|"lanes"|"auto"); empty defers to the
+	// request-level and then the server-level default. Not part of the
+	// cache key. "lanes" scenarios sharing one bus structure are packed
+	// into bit-parallel executions by the engine's runner.
 	Backend string `json:"backend,omitempty"`
 }
 
@@ -188,7 +191,7 @@ func (s *ScenarioSpec) Scenario(index int) (engine.Scenario, error) {
 		return sc, fmt.Errorf("scenario %q: cycles must be positive", sc.Name)
 	}
 	if !exec.ValidName(s.Backend) {
-		return sc, fmt.Errorf("scenario %q: unknown backend %q (want event|compiled|auto)", sc.Name, s.Backend)
+		return sc, fmt.Errorf("scenario %q: unknown backend %q (want event|compiled|lanes|auto)", sc.Name, s.Backend)
 	}
 	sc.Backend = s.Backend
 	if s.Topology != nil {
@@ -455,7 +458,7 @@ type BatchWire struct {
 	// stay identical — and cache-shareable — across backends.
 	Backends map[string]int `json:"backends,omitempty"`
 	// BackendFallbacks lists, in input order, the scenarios whose
-	// compiled/auto request fell back to the event backend, with the
-	// surfaced reason ("name: reason").
+	// compiled/auto/lanes request fell back to the event backend, with
+	// the surfaced reason ("name: reason").
 	BackendFallbacks []string `json:"backend_fallbacks,omitempty"`
 }

@@ -29,9 +29,12 @@ PASS
 
 func mustParse(t *testing.T, s string) map[string][]float64 {
 	t.Helper()
-	m, err := parse(strings.NewReader(s))
+	m, errored, err := parse(strings.NewReader(s))
 	if err != nil {
 		t.Fatal(err)
+	}
+	if errored {
+		t.Fatalf("fixture unexpectedly carries failure markers:\n%s", s)
 	}
 	return m
 }
@@ -115,5 +118,92 @@ func TestCompareNoSharedBenchmarksPasses(t *testing.T) {
 	}
 	if !strings.Contains(report, "nothing to gate") {
 		t.Errorf("report must say nothing was gated:\n%s", report)
+	}
+}
+
+func TestParseDetectsSuiteFailure(t *testing.T) {
+	for name, out := range map[string]string{
+		"fail line": "BenchmarkKernel/events-8 100 70.0 ns/op\nFAIL\tahbpower/internal/sim\t1.2s\n",
+		"test fail": "--- FAIL: TestSomething (0.00s)\nFAIL\n",
+		"panic":     "panic: runtime error: index out of range\n",
+	} {
+		_, errored, err := parse(strings.NewReader(out))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !errored {
+			t.Errorf("%s: failure marker not detected", name)
+		}
+	}
+	if _, errored, _ := parse(strings.NewReader(headOut)); errored {
+		t.Error("clean output flagged as errored")
+	}
+}
+
+func TestHeadSuiteErrorDistinguishesRemovedFromErrored(t *testing.T) {
+	base := map[string][]float64{"BenchmarkOld": {100}}
+	// Benchmark removed, head otherwise healthy: informational only.
+	if msg, errored := headSuiteError(base, map[string][]float64{"BenchmarkNew": {50}}, false); errored {
+		t.Errorf("healthy head with a removed benchmark must not gate: %s", msg)
+	}
+	// Failure markers in the head output: gate.
+	if _, errored := headSuiteError(base, map[string][]float64{"BenchmarkNew": {50}}, true); !errored {
+		t.Error("head with FAIL markers must gate")
+	}
+	// Head produced nothing at all while base had benchmarks: gate.
+	if _, errored := headSuiteError(base, map[string][]float64{}, false); !errored {
+		t.Error("empty head against a non-empty base must gate")
+	}
+	// Both sides empty (base predates the suite): vacuous pass.
+	if _, errored := headSuiteError(map[string][]float64{}, map[string][]float64{}, false); errored {
+		t.Error("empty-vs-empty must not gate")
+	}
+}
+
+func TestSpeedupFlagParsing(t *testing.T) {
+	var f speedupFlag
+	if err := f.Set("lanes:10x,compiled:1.5x"); err != nil {
+		t.Fatal(err)
+	}
+	if len(f) != 2 || f[0] != (speedupReq{"lanes", 10}) || f[1] != (speedupReq{"compiled", 1.5}) {
+		t.Errorf("parsed %+v", f)
+	}
+	for _, bad := range []string{"lanes", "lanes:10", ":10x", "lanes:0x", "lanes:-2x"} {
+		var g speedupFlag
+		if err := g.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCheckSpeedupsPairsSiblings(t *testing.T) {
+	head := map[string][]float64{
+		"BenchmarkLaneSweep/lanes/sweep":    {100, 110, 105},
+		"BenchmarkLaneSweep/compiled/sweep": {300, 330, 315},
+		"BenchmarkLaneBare/lanes/bare":      {80},
+	}
+	// 3x measured: a 2x requirement passes, a 10x requirement fails.
+	report, failed := checkSpeedups(head, []speedupReq{{"lanes", 2}})
+	if failed {
+		t.Fatalf("3x speedup must satisfy a 2x floor:\n%s", report)
+	}
+	if !strings.Contains(report, "3.00x") {
+		t.Errorf("report lacks measured ratio:\n%s", report)
+	}
+	report, failed = checkSpeedups(head, []speedupReq{{"lanes", 10}})
+	if !failed || !strings.Contains(report, "FAIL") {
+		t.Errorf("3x speedup must fail a 10x floor:\n%s", report)
+	}
+}
+
+func TestCheckSpeedupsFailsWithoutPair(t *testing.T) {
+	// No sibling differing only in the labeled segment: the assertion must
+	// fail rather than pass vacuously.
+	head := map[string][]float64{"BenchmarkLaneBare/lanes/bare": {80}}
+	if report, failed := checkSpeedups(head, []speedupReq{{"lanes", 2}}); !failed {
+		t.Fatalf("missing pair must fail the assertion:\n%s", report)
+	}
+	if report, failed := checkSpeedups(map[string][]float64{}, []speedupReq{{"lanes", 2}}); !failed {
+		t.Fatalf("empty head must fail the assertion:\n%s", report)
 	}
 }
