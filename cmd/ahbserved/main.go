@@ -47,24 +47,31 @@ func main() {
 	degradeAt := flag.Float64("degrade-at", 0.75, "queue-pressure fraction that enters degraded mode (negative disables)")
 	retries := flag.Int("retries", 2, "execution attempts per scenario for transient failures (1 disables retry)")
 	backend := flag.String("backend", "", "default execution backend for requests that don't pick one: event, compiled, lanes or auto")
+	accuracy := flag.String("accuracy", "", "default accuracy class for requests that don't pick one: cycle (exact) or transaction (calibrated estimate; part of the cache key)")
+	degradeEstimate := flag.Bool("degrade-estimate", false, "under queue pressure, downgrade eligible cycle-accuracy scenarios to the transaction-level estimate instead of just shedding options (approximate answers; opt-in)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "ahbserved: ", log.LstdFlags)
 	if !exec.ValidName(*backend) {
 		logger.Fatalf("unknown -backend %q (want event, compiled, lanes or auto)", *backend)
 	}
+	if !engine.ValidAccuracy(*accuracy) {
+		logger.Fatalf("unknown -accuracy %q (want cycle or transaction)", *accuracy)
+	}
 	srv := serve.New(serve.Config{
-		Workers:        *workers,
-		MaxConcurrent:  *concurrent,
-		MaxQueue:       *queue,
-		CacheEntries:   *cacheEntries,
-		MaxScenarios:   *maxScenarios,
-		MaxCycles:      *maxCycles,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		DegradeAt:      *degradeAt,
-		Retry:          engine.RetryPolicy{MaxAttempts: *retries},
-		DefaultBackend: *backend,
+		Workers:         *workers,
+		MaxConcurrent:   *concurrent,
+		MaxQueue:        *queue,
+		CacheEntries:    *cacheEntries,
+		MaxScenarios:    *maxScenarios,
+		MaxCycles:       *maxCycles,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+		DegradeAt:       *degradeAt,
+		Retry:           engine.RetryPolicy{MaxAttempts: *retries},
+		DefaultBackend:  *backend,
+		DefaultAccuracy: *accuracy,
+		DegradeEstimate: *degradeEstimate,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -38,12 +38,16 @@ func main() {
 	faultsFile := flag.String("faults", "", "inject faults from this JSON plan file (see internal/fault)")
 	exp := flag.String("exp", "", "run a named experiment instead: table1, figures, overhead, validation, granularity, styles, parametric, burst, pattern, dpm, cosim, impl, buses, topology, all")
 	backend := flag.String("backend", "", "execution backend: event, compiled, lanes or auto (default: engine chooses; results are identical either way)")
+	accuracy := flag.String("accuracy", "", "accuracy class: cycle (exact, default) or transaction (calibrated transaction-level estimate, ~10x faster; falls back to cycle for features the estimator cannot honor)")
 	topoFile := flag.String("topology", "", "build the system from this declarative topology JSON file (see examples/topologies; overrides -masters/-slaves/-waits)")
 	validateOnly := flag.Bool("validate-only", false, "with -topology: run the ERC compliance pass, print the findings and exit without simulating")
 	flag.Parse()
 
 	if !exec.ValidName(*backend) {
 		fatal(fmt.Errorf("unknown -backend %q (want event, compiled, lanes or auto)", *backend))
+	}
+	if !engine.ValidAccuracy(*accuracy) {
+		fatal(fmt.Errorf("unknown -accuracy %q (want cycle or transaction)", *accuracy))
 	}
 
 	var topol *topo.Topology
@@ -147,6 +151,7 @@ func main() {
 		Cycles:   *cycles,
 		Faults:   plan,
 		Backend:  *backend,
+		Accuracy: *accuracy,
 	}})[0]
 	if errors.Is(res.Err, context.Canceled) {
 		// Interrupted mid-run: keep the partial trace, skip the report.
@@ -163,7 +168,10 @@ func main() {
 		fatal(res.Err)
 	}
 	if res.BackendFallback != "" {
-		fmt.Fprintf(os.Stderr, "backend: %s fell back to the event kernel: %s\n", *backend, res.BackendFallback)
+		fmt.Fprintf(os.Stderr, "backend: fell back: %s\n", res.BackendFallback)
+	}
+	if res.Accuracy == engine.AccuracyTransaction {
+		fmt.Fprintln(os.Stderr, "accuracy: transaction-level estimate (calibrated; see tools/tlmcheck for the measured error budget)")
 	}
 	if len(res.Violations) > 0 {
 		fmt.Fprintf(os.Stderr, "protocol violations: %d (first: %v)\n", len(res.Violations), res.Violations[0])

@@ -36,11 +36,15 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	showMetrics := flag.Bool("metrics", false, "print batch run metrics (throughput, utilization, latency) to stderr")
 	backend := flag.String("backend", "", "execution backend for every configuration: event, compiled, lanes or auto (results are identical either way)")
+	accuracy := flag.String("accuracy", "", "accuracy class for every configuration: cycle (exact, default) or transaction (calibrated transaction-level estimate, ~10x faster)")
 	topoFile := flag.String("topology", "", "sweep from this declarative topology JSON file instead of the paper base (-widths/-waits/-policies still apply per point; -slaves does not: the address map fixes the slave count)")
 	flag.Parse()
 
 	if !exec.ValidName(*backend) {
 		fatal(fmt.Errorf("unknown -backend %q (want event, compiled, lanes or auto)", *backend))
+	}
+	if !engine.ValidAccuracy(*accuracy) {
+		fatal(fmt.Errorf("unknown -accuracy %q (want cycle or transaction)", *accuracy))
 	}
 
 	visited := map[string]bool{}
@@ -104,6 +108,7 @@ func main() {
 	for i := range scens {
 		scens[i].Faults = plan
 		scens[i].Backend = *backend
+		scens[i].Accuracy = *accuracy
 	}
 
 	// Ctrl-C abandons queued scenarios; completed rows are still printed.

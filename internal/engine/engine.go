@@ -88,6 +88,17 @@ type Scenario struct {
 	// scenario into a bit-parallel lane execution with other structurally
 	// compatible lanes-hinted scenarios (see internal/lane).
 	Backend string
+	// Accuracy selects the result-accuracy class: "" or "cycle" for the
+	// exact cycle-accurate simulation (the default), "transaction" for
+	// the calibrated transaction-level estimate (see internal/tlm). Unlike
+	// Backend, accuracy changes what is computed — estimated results are
+	// approximate by contract — so it participates in CanonicalKey and
+	// cycle and transaction results never share a cache entry. A
+	// transaction-accuracy scenario that uses features the estimator
+	// cannot honor (fault plans, Setup hooks, per-cycle traces, ...)
+	// conservatively falls back to cycle accuracy, with the reason
+	// surfaced in Result.BackendFallback.
+	Accuracy string
 }
 
 // Topology returns the canonical topology the scenario builds: Topo when
@@ -164,9 +175,14 @@ type Result struct {
 	// every backend.
 	Backend string
 	// BackendFallback is the surfaced reason the compiled or lane backend
-	// was requested but the event backend ran instead; empty when no
-	// fallback happened.
+	// was requested but the event backend ran instead, or the reason a
+	// transaction-accuracy request conservatively ran cycle-accurate
+	// (prefixed "transaction accuracy:"); empty when no fallback happened.
 	BackendFallback string
+	// Accuracy is the accuracy class that actually produced the result:
+	// AccuracyCycle for the exact paths (including conservative fallbacks
+	// from a transaction request), AccuracyTransaction for estimates.
+	Accuracy string
 	// Lanes is the occupancy of the lane pack that executed the scenario
 	// (1 for a single-lane run); zero when another backend ran it.
 	Lanes int
@@ -369,15 +385,30 @@ func executeAttempt(ctx context.Context, index int, sc Scenario, attempt int) (r
 		res.Err = fmt.Errorf("engine: scenario %q: Cycles must be positive", sc.Name)
 		return res
 	}
+	if !ValidAccuracy(sc.Accuracy) {
+		res.Err = fmt.Errorf("engine: scenario %q: unknown accuracy %q (want %s|%s)",
+			sc.Name, sc.Accuracy, AccuracyCycle, AccuracyTransaction)
+		return res
+	}
 	if sc.Faults != nil && attempt < sc.Faults.FailFirst {
 		res.Err = fmt.Errorf("engine: scenario %q: %w", sc.Name, &fault.InjectedFault{Attempt: attempt})
 		return res
+	}
+	var tlmFallback string
+	if NormalizeAccuracy(sc.Accuracy) == AccuracyTransaction {
+		reason := sc.TLMTraits().Unsupported()
+		if reason == "" {
+			return executeTLMAttempt(ctx, index, sc, attempt)
+		}
+		// Estimator-ineligible: run exactly, with the conservative
+		// fallback surfaced like a backend fallback.
+		tlmFallback = "transaction accuracy: " + reason
 	}
 	hint := sc.Backend
 	var laneFallback string
 	if hint == exec.NameLanes {
 		reason := sc.LaneTraits().Unsupported()
-		if reason == "" {
+		if reason == "" && tlmFallback == "" {
 			return executeLaneAttempt(ctx, index, sc, attempt)
 		}
 		// Lane-ineligible: run on the reference backend with the reason
@@ -391,9 +422,13 @@ func executeAttempt(ctx context.Context, index int, sc Scenario, attempt int) (r
 		return res
 	}
 	res.Backend = backend.Name()
+	res.Accuracy = AccuracyCycle
 	res.BackendFallback = fallback
 	if laneFallback != "" {
 		res.BackendFallback = laneFallback
+	}
+	if tlmFallback != "" {
+		res.BackendFallback = tlmFallback
 	}
 	if sc.Timeout > 0 {
 		var cancel context.CancelFunc

@@ -15,7 +15,10 @@ import (
 // slaves, explicit address regions, per-master workload hints) instead
 // of the raw count-based fields, so a count-based scenario and its
 // declarative topology twin hash to the same key.
-const hashVersion = "ahbpower/engine.Scenario/v3"
+// v4: the normalized accuracy class joined the encoding — transaction
+// estimates are approximate by contract and must never answer (or be
+// answered by) a cycle-accurate cache entry. "" and "cycle" stay one key.
+const hashVersion = "ahbpower/engine.Scenario/v4"
 
 // CanonicalKey returns a content-addressed key for the scenario: the
 // hex SHA-256 of a canonical binary encoding of every field that can
@@ -39,6 +42,11 @@ func (sc *Scenario) CanonicalKey() (key string, ok bool) {
 	e := hashEnc{h: h}
 	e.str(hashVersion)
 	e.str(sc.Name)
+	// Normalized, so the "" and explicit-"cycle" spellings of the exact
+	// class share one cache line; "transaction" separates. The backend
+	// hint stays excluded: it never changes the computed result, the
+	// accuracy class does.
+	e.str(NormalizeAccuracy(sc.Accuracy))
 
 	// The system shape is hashed in its canonical topology form — the
 	// exact value NewSystemTopo builds — so the two API generations

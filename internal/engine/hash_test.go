@@ -318,3 +318,33 @@ func TestCanonicalKeyTopologySensitivity(t *testing.T) {
 		t.Error("explicitly spelled defaults must hash like omitted defaults")
 	}
 }
+
+// TestCanonicalKeyAccuracy pins the v4 cache-isolation contract: the two
+// spellings of the exact class ("" and "cycle") share one key, and the
+// transaction class never shares a cache entry with either.
+func TestCanonicalKeyAccuracy(t *testing.T) {
+	def := hashableScenario()
+	base, ok := def.CanonicalKey()
+	if !ok {
+		t.Fatal("base scenario not hashable")
+	}
+	cyc := hashableScenario()
+	cyc.Accuracy = AccuracyCycle
+	kc, ok := cyc.CanonicalKey()
+	if !ok {
+		t.Fatal("cycle scenario not hashable")
+	}
+	if kc != base {
+		t.Errorf("explicit %q accuracy changed the key: %s vs %s", AccuracyCycle, kc, base)
+	}
+	tr := hashableScenario()
+	tr.Accuracy = AccuracyTransaction
+	kt, ok := tr.CanonicalKey()
+	if !ok {
+		t.Fatal("transaction scenario not hashable")
+	}
+	if kt == base {
+		t.Errorf("%q accuracy shares the cycle-accurate key %s; estimates must be cache-isolated",
+			AccuracyTransaction, base)
+	}
+}

@@ -49,9 +49,14 @@ func (sc *Scenario) LaneTraits() lane.Traits {
 // lane execution. Beyond the trait gate, any fault plan (even an inactive
 // one carrying only FailFirst) keeps the scenario on the per-scenario
 // path, where the retry loop can honor it; Cycles == 0 stays there too so
-// it fails with the engine's usual validation error.
+// it fails with the engine's usual validation error, and
+// transaction-accuracy scenarios belong to the estimator (or its
+// conservative cycle fallback), never to a lane pack.
 func laneEligible(sc *Scenario) bool {
 	if sc.Backend != exec.NameLanes || sc.Cycles == 0 || sc.Faults != nil {
+		return false
+	}
+	if NormalizeAccuracy(sc.Accuracy) == AccuracyTransaction {
 		return false
 	}
 	return sc.LaneTraits().Unsupported() == ""
@@ -181,7 +186,7 @@ func scatterOutcome(res *Result, o lane.Outcome, build, run time.Duration) {
 // Execute/RunOne path for an eligible lanes hint. Runner batches pack
 // compatible scenarios together instead of coming through here.
 func executeLaneAttempt(ctx context.Context, index int, sc Scenario, attempt int) Result {
-	res := Result{Index: index, Scenario: sc, Attempts: attempt + 1, Backend: lane.Name, Lanes: 1}
+	res := Result{Index: index, Scenario: sc, Attempts: attempt + 1, Backend: lane.Name, Lanes: 1, Accuracy: AccuracyCycle}
 	outs, _, build, run := execLanePack(ctx, []lane.Spec{laneSpec(&sc)})
 	scatterOutcome(&res, outs[0], build, run)
 	return res
@@ -205,7 +210,7 @@ func (r *Runner) runPack(ctx context.Context, scenarios []Scenario, members []in
 	}
 	outs, lanes, build, run := execLanePack(ctx, specs)
 	for j, i := range members {
-		res := Result{Index: i, Scenario: scenarios[i], Attempts: 1, Backend: lane.Name, Lanes: lanes}
+		res := Result{Index: i, Scenario: scenarios[i], Attempts: 1, Backend: lane.Name, Lanes: lanes, Accuracy: AccuracyCycle}
 		scatterOutcome(&res, outs[j], build, run)
 		if res.Err != nil {
 			res.Err = &ScenarioError{Name: scenarios[i].Name, Index: i, Class: Classify(res.Err), Attempts: 1, Err: res.Err}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"math/rand"
 	"time"
 )
@@ -140,17 +141,33 @@ func (p RetryPolicy) normalized() RetryPolicy {
 }
 
 // backoff computes the (jittered) delay before retry number attempt
-// (0-based: attempt 0 failed, delay precedes attempt 1).
+// (0-based: attempt 0 failed, delay precedes attempt 1). Doubling stops
+// as soon as the next step would reach or overflow the cap: with a cap
+// near the int64 ceiling, unbounded `d *= 2` wraps negative around
+// attempt 40 and the final clamps would turn the longest waits into
+// zero-sleep hot retry loops.
 func (p RetryPolicy) backoff(attempt int, rng *rand.Rand) time.Duration {
 	d := p.BaseBackoff
 	for i := 0; i < attempt && d < p.MaxBackoff; i++ {
+		if d > p.MaxBackoff/2 {
+			d = p.MaxBackoff
+			break
+		}
 		d *= 2
 	}
 	if d > p.MaxBackoff {
 		d = p.MaxBackoff
 	}
 	if p.Jitter > 0 {
-		d = time.Duration(float64(d) * (1 + p.Jitter*(2*rng.Float64()-1)))
+		// Jitter in float space, clamped before the cast back: converting
+		// an out-of-range float to time.Duration is not defined to
+		// saturate, so a near-ceiling cap jittered upward must not wrap.
+		f := float64(d) * (1 + p.Jitter*(2*rng.Float64()-1))
+		if f >= float64(math.MaxInt64) {
+			d = p.MaxBackoff
+		} else {
+			d = time.Duration(f)
+		}
 	}
 	if d < 0 {
 		d = 0

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"math/rand"
 	"strings"
 	"testing"
 	"time"
@@ -182,6 +184,53 @@ func TestBackoffBoundsAndJitter(t *testing.T) {
 	for i, w := range wants {
 		if got := pol.backoff(i, nil); got != w*time.Millisecond {
 			t.Errorf("backoff(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+}
+
+// TestBackoffLargeAttemptsNoOverflow pins the overflow fix: with caps up
+// to the int64 ceiling, deep attempt counts must clamp to the cap instead
+// of doubling past it into a negative (then zero-sleep) delay.
+func TestBackoffLargeAttemptsNoOverflow(t *testing.T) {
+	const ceiling = time.Duration(math.MaxInt64)
+	cases := []struct {
+		name    string
+		base    time.Duration
+		max     time.Duration
+		attempt int
+		want    time.Duration
+	}{
+		{"attempt-40-huge-cap", time.Nanosecond, ceiling, 40, time.Nanosecond << 40},
+		{"attempt-40-clamps", 10 * time.Millisecond, ceiling, 40, ceiling},
+		{"attempt-63-huge-cap", 10 * time.Millisecond, ceiling, 63, ceiling},
+		{"attempt-100-huge-cap", 10 * time.Millisecond, ceiling, 100, ceiling},
+		{"attempt-100-half-ceiling", time.Second, ceiling / 2, 100, ceiling / 2},
+		{"attempt-1000-normal-cap", time.Millisecond, time.Minute, 1000, time.Minute},
+		{"base-at-ceiling", ceiling, ceiling, 50, ceiling},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			pol := RetryPolicy{MaxAttempts: 2, BaseBackoff: c.base, MaxBackoff: c.max}.normalized()
+			got := pol.backoff(c.attempt, nil)
+			if got != c.want {
+				t.Errorf("backoff(%d) = %v, want %v", c.attempt, got, c.want)
+			}
+			if got <= 0 {
+				t.Errorf("backoff(%d) = %v; the delay must stay positive", c.attempt, got)
+			}
+		})
+	}
+}
+
+// TestBackoffJitterNeverOverflows checks the jittered path at the ceiling:
+// the upward jitter excursion must clamp to the cap, not wrap negative.
+func TestBackoffJitterNeverOverflows(t *testing.T) {
+	pol := RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Second,
+		MaxBackoff: time.Duration(math.MaxInt64), Jitter: 0.5}.normalized()
+	rng := rand.New(rand.NewSource(1))
+	for attempt := 38; attempt < 80; attempt++ {
+		if got := pol.backoff(attempt, rng); got <= 0 {
+			t.Fatalf("backoff(%d) = %v; jittered delay overflowed", attempt, got)
 		}
 	}
 }

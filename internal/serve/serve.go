@@ -9,12 +9,14 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ahbpower/internal/engine"
 	"ahbpower/internal/exec"
+	"ahbpower/internal/tlm"
 	"ahbpower/internal/topo"
 )
 
@@ -71,6 +73,22 @@ type Config struct {
 	// resolved against an unknown default are rejected at decode time, and
 	// cmd/ahbserved validates its flag at startup.
 	DefaultBackend string
+	// DefaultAccuracy is the accuracy class applied to scenarios whose
+	// request carries none of its own: "" or "cycle" (exact, the default)
+	// or "transaction" (calibrated transaction-level estimate — cheaper
+	// tier, approximate by contract). Unlike DefaultBackend, accuracy
+	// changes the computed result and is part of the cache key, so cycle
+	// and transaction results never answer each other. Validated like the
+	// backend (engine.ValidAccuracy).
+	DefaultAccuracy string
+	// DegradeEstimate, when true, adds the transaction-level estimator to
+	// the degraded-mode playbook: under queue pressure, eligible
+	// cycle-accuracy scenarios are downgraded to transaction accuracy —
+	// an estimate instead of a shed — with the action surfaced in the
+	// response envelope. Off by default: degraded responses change
+	// numerically when estimates stand in for exact results, so operators
+	// must opt in.
+	DegradeEstimate bool
 }
 
 func (c Config) withDefaults() Config {
@@ -164,13 +182,16 @@ type counters struct {
 	degradedBatches     expvar.Int // batches that ran in degraded mode
 	degradedTraceShed   expvar.Int // scenarios whose trace options were shed
 	degradedCacheServed expvar.Int // cache hits served despite no_cache
+	degradedEstimated   expvar.Int // scenarios downgraded to transaction accuracy under pressure
 	scenariosRetried    expvar.Int // scenarios that needed >1 attempt
 
 	backendEventRuns    expvar.Int // scenarios executed on the event backend
 	backendCompiledRuns expvar.Int // scenarios executed on the compiled backend
 	backendLaneRuns     expvar.Int // scenarios executed on the bit-parallel lane backend
+	backendTLMRuns      expvar.Int // scenarios estimated by the transaction-level fast path
 	laneOccupancy       expvar.Int // summed pack occupancy of lane runs (avg = lane_occupancy / backend_lane_runs)
 	backendFallbacks    expvar.Int // compiled/auto/lanes requests that fell back to event
+	accuracyFallbacks   expvar.Int // transaction requests that conservatively ran cycle-accurate
 
 	validateRequests expvar.Int // POST /v1/validate requests
 	validateRejects  expvar.Int // validate requests with at least one invalid scenario
@@ -207,13 +228,16 @@ func New(cfg Config) *Server {
 		"degraded_batches":      &s.ctr.degradedBatches,
 		"degraded_trace_shed":   &s.ctr.degradedTraceShed,
 		"degraded_cache_served": &s.ctr.degradedCacheServed,
+		"degraded_estimated":    &s.ctr.degradedEstimated,
 		"scenarios_retried":     &s.ctr.scenariosRetried,
 
 		"backend_event_runs":    &s.ctr.backendEventRuns,
 		"backend_compiled_runs": &s.ctr.backendCompiledRuns,
 		"backend_lane_runs":     &s.ctr.backendLaneRuns,
+		"backend_tlm_runs":      &s.ctr.backendTLMRuns,
 		"lane_occupancy":        &s.ctr.laneOccupancy,
 		"backend_fallbacks":     &s.ctr.backendFallbacks,
+		"accuracy_fallbacks":    &s.ctr.accuracyFallbacks,
 
 		"validate_requests": &s.ctr.validateRequests,
 		"validate_rejects":  &s.ctr.validateRejects,
@@ -349,6 +373,9 @@ func (s *Server) decodeRun(r *http.Request) (*RunRequest, []engine.Scenario, []s
 	if !exec.ValidName(req.Backend) {
 		return nil, nil, nil, fmt.Errorf("unknown backend %q (want event|compiled|lanes|auto)", req.Backend)
 	}
+	if !engine.ValidAccuracy(req.Accuracy) {
+		return nil, nil, nil, fmt.Errorf("unknown accuracy %q (want cycle|transaction)", req.Accuracy)
+	}
 	scenarios := make([]engine.Scenario, len(req.Scenarios))
 	keys := make([]string, len(req.Scenarios))
 	for i := range req.Scenarios {
@@ -370,6 +397,18 @@ func (s *Server) decodeRun(r *http.Request) (*RunRequest, []engine.Scenario, []s
 		}
 		if !exec.ValidName(sc.Backend) {
 			return nil, nil, nil, fmt.Errorf("scenario %q: unknown backend %q (want event|compiled|lanes|auto)", sc.Name, sc.Backend)
+		}
+		// Accuracy resolution mirrors the backend chain — scenario, then
+		// request, then server default — but must settle *before* the key
+		// is computed: accuracy is part of the result identity.
+		if sc.Accuracy == "" {
+			sc.Accuracy = req.Accuracy
+		}
+		if sc.Accuracy == "" {
+			sc.Accuracy = s.cfg.DefaultAccuracy
+		}
+		if !engine.ValidAccuracy(sc.Accuracy) {
+			return nil, nil, nil, fmt.Errorf("scenario %q: unknown accuracy %q (want cycle|transaction)", sc.Name, sc.Accuracy)
 		}
 		scenarios[i] = sc
 		keys[i], _ = sc.CanonicalKey()
@@ -563,7 +602,10 @@ func (s *Server) runBatch(ctx context.Context, scenarios []engine.Scenario, keys
 	// allowed to shed — trace-heavy analyzer options are dropped (the
 	// energy answer is unchanged; only optional instrumentation goes) and
 	// still-valid cached results are served even when the request said
-	// no_cache. Both actions are reported in the response envelope.
+	// no_cache. With Config.DegradeEstimate, eligible cycle-accuracy
+	// scenarios are additionally downgraded to the transaction-level
+	// estimate: an approximate answer instead of a shed or a long queue
+	// wait. Every action is reported in the response envelope.
 	degraded := s.degradedNow()
 	cacheOverride := false
 	if degraded {
@@ -583,6 +625,26 @@ func (s *Server) runBatch(ctx context.Context, scenarios []engine.Scenario, keys
 			s.ctr.degradedTraceShed.Add(int64(shed))
 			resp.Batch.DegradedActions = append(resp.Batch.DegradedActions,
 				fmt.Sprintf("shed_trace_options:%d", shed))
+		}
+		if s.cfg.DegradeEstimate {
+			estimated := 0
+			for i := range scenarios {
+				sc := &scenarios[i]
+				if engine.NormalizeAccuracy(sc.Accuracy) != engine.AccuracyCycle {
+					continue
+				}
+				if sc.TLMTraits().Unsupported() != "" {
+					continue // would only fall back to the exact path anyway
+				}
+				sc.Accuracy = engine.AccuracyTransaction
+				keys[i], _ = sc.CanonicalKey() // re-key: estimates are their own cache class
+				estimated++
+			}
+			if estimated > 0 {
+				s.ctr.degradedEstimated.Add(int64(estimated))
+				resp.Batch.DegradedActions = append(resp.Batch.DegradedActions,
+					fmt.Sprintf("estimated_transaction_accuracy:%d", estimated))
+			}
 		}
 		if noCache {
 			noCache = false
@@ -644,14 +706,24 @@ func (s *Server) runBatch(ctx context.Context, scenarios []engine.Scenario, keys
 				if res[n].Attempts > 1 {
 					s.ctr.scenariosRetried.Add(1)
 				}
-				switch res[n].Backend {
-				case exec.NameEvent:
-					s.ctr.backendEventRuns.Add(1)
-				case exec.NameCompiled:
-					s.ctr.backendCompiledRuns.Add(1)
-				case exec.NameLanes:
-					s.ctr.backendLaneRuns.Add(1)
-					s.ctr.laneOccupancy.Add(int64(res[n].Lanes))
+				// Backend accounting counts completed runs only: a lane-pack
+				// member that errored (or a pack whose build failed) still
+				// carries Backend="lanes" and the pack occupancy in its
+				// Result, and counting those would skew the
+				// lane_occupancy / backend_lane_runs average the dashboards
+				// derive.
+				if res[n].Err == nil {
+					switch res[n].Backend {
+					case exec.NameEvent:
+						s.ctr.backendEventRuns.Add(1)
+					case exec.NameCompiled:
+						s.ctr.backendCompiledRuns.Add(1)
+					case exec.NameLanes:
+						s.ctr.backendLaneRuns.Add(1)
+						s.ctr.laneOccupancy.Add(int64(res[n].Lanes))
+					case tlm.Name:
+						s.ctr.backendTLMRuns.Add(1)
+					}
 				}
 				if res[n].Backend != "" {
 					if resp.Batch.Backends == nil {
@@ -659,8 +731,17 @@ func (s *Server) runBatch(ctx context.Context, scenarios []engine.Scenario, keys
 					}
 					resp.Batch.Backends[res[n].Backend]++
 				}
+				if ac := res[n].Accuracy; ac != "" {
+					if resp.Batch.Accuracies == nil {
+						resp.Batch.Accuracies = map[string]int{}
+					}
+					resp.Batch.Accuracies[ac]++
+				}
 				if fb := res[n].BackendFallback; fb != "" {
 					s.ctr.backendFallbacks.Add(1)
+					if strings.HasPrefix(fb, "transaction accuracy:") {
+						s.ctr.accuracyFallbacks.Add(1)
+					}
 					resp.Batch.BackendFallbacks = append(resp.Batch.BackendFallbacks,
 						fmt.Sprintf("%s: %s", res[n].Scenario.Name, fb))
 				}
@@ -692,13 +773,24 @@ func (s *Server) runBatch(ctx context.Context, scenarios []engine.Scenario, keys
 	return resp, admissionErr
 }
 
+// retryAfter derives the Retry-After advice from queue pressure: an
+// empty queue clears in about a batch, a full one in several. The result
+// is clamped to ≥1 second no matter what the waiting gauge reads — it is
+// sampled unsynchronized and can transiently under-read while the queue
+// drains mid-request, and a 0 (or negative) advice turns well-behaved
+// clients into zero-delay retry spinners.
+func (s *Server) retryAfter() int {
+	after := 1 + int(s.waiting.Load())/max(1, s.cfg.MaxConcurrent)
+	if after < 1 {
+		after = 1
+	}
+	return after
+}
+
 // reject answers 503 with backpressure advice.
 func (s *Server) reject(w http.ResponseWriter, ctr *expvar.Int, msg string) {
 	ctr.Add(1)
-	// Retry-After scales with queue pressure: an empty queue clears in
-	// about a batch, a full one in several.
-	after := 1 + int(s.waiting.Load())/max(1, s.cfg.MaxConcurrent)
-	w.Header().Set("Retry-After", strconv.Itoa(after))
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": msg})
 }
 
@@ -714,8 +806,7 @@ func (s *Server) rejectAcquire(w http.ResponseWriter, err error, resp RunRespons
 		// Otherwise the request's own context ended while queued (client
 		// gone or deadline spent waiting).
 	}
-	after := 1 + int(s.waiting.Load())/max(1, s.cfg.MaxConcurrent)
-	w.Header().Set("Retry-After", strconv.Itoa(after))
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 	writeJSON(w, http.StatusServiceUnavailable, resp)
 }
 

@@ -51,6 +51,14 @@ type RunRequest struct {
 	// execution hint only: results and cache keys are identical across
 	// backends, so requests with different backends share cache entries.
 	Backend string `json:"backend,omitempty"`
+	// Accuracy is the request-level accuracy-class default
+	// ("cycle"|"transaction") applied to every scenario that does not
+	// carry its own; empty defers to the server's configured default.
+	// Unlike Backend this changes the computed result — "transaction"
+	// selects the calibrated transaction-level estimate, the daemon's
+	// cheap tier — and is part of the cache key, so the two classes never
+	// answer each other.
+	Accuracy string `json:"accuracy,omitempty"`
 }
 
 // ScenarioSpec is the wire form of one engine.Scenario.
@@ -92,6 +100,14 @@ type ScenarioSpec struct {
 	// cache key. "lanes" scenarios sharing one bus structure are packed
 	// into bit-parallel executions by the engine's runner.
 	Backend string `json:"backend,omitempty"`
+	// Accuracy selects this scenario's accuracy class
+	// ("cycle"|"transaction"); empty defers to the request-level and then
+	// the server-level default. Part of the cache key: transaction
+	// estimates are approximate by contract and cache separately from
+	// exact results. Scenarios the estimator cannot honor (fault plans,
+	// per-cycle traces, ...) conservatively run cycle-accurate with the
+	// reason surfaced in the result's backend_fallback.
+	Accuracy string `json:"accuracy,omitempty"`
 }
 
 // SystemSpec is the wire form of core.SystemConfig: the count-based
@@ -194,6 +210,10 @@ func (s *ScenarioSpec) Scenario(index int) (engine.Scenario, error) {
 		return sc, fmt.Errorf("scenario %q: unknown backend %q (want event|compiled|lanes|auto)", sc.Name, s.Backend)
 	}
 	sc.Backend = s.Backend
+	if !engine.ValidAccuracy(s.Accuracy) {
+		return sc, fmt.Errorf("scenario %q: unknown accuracy %q (want cycle|transaction)", sc.Name, s.Accuracy)
+	}
+	sc.Accuracy = s.Accuracy
 	if s.Topology != nil {
 		if s.System != nil {
 			return sc, fmt.Errorf("scenario %q: system and topology are mutually exclusive (system is the count-based alias of topology)", sc.Name)
@@ -356,6 +376,12 @@ type ResultWire struct {
 	// retried an injected transient failure). Deterministic for a fixed
 	// server retry policy; omitted for single-attempt runs.
 	Attempts int `json:"attempts,omitempty"`
+	// Accuracy is the accuracy class the numbers in this result actually
+	// have ("cycle"|"transaction"). Part of the deterministic payload:
+	// the class is in the cache key, so cached bytes always agree with it.
+	// A transaction request that conservatively fell back still reports
+	// "cycle" here — the numbers are exact.
+	Accuracy string `json:"accuracy,omitempty"`
 
 	DPM *DPMWire `json:"dpm,omitempty"`
 }
@@ -389,6 +415,7 @@ func resultWire(res *engine.Result, key string) ResultWire {
 	w.PJPerBeat = res.PJPerBeat()
 	w.Counts = res.Counts
 	w.Faults = res.Faults
+	w.Accuracy = res.Accuracy
 	if res.Attempts > 1 {
 		w.Attempts = res.Attempts
 	}
@@ -457,6 +484,10 @@ type BatchWire struct {
 	// ResultWire: the backend is an execution detail, and result bytes
 	// stay identical — and cache-shareable — across backends.
 	Backends map[string]int `json:"backends,omitempty"`
+	// Accuracies counts the freshly executed scenarios by the accuracy
+	// class that actually ran ("cycle"|"transaction") — a transaction
+	// request that conservatively fell back counts under "cycle".
+	Accuracies map[string]int `json:"accuracies,omitempty"`
 	// BackendFallbacks lists, in input order, the scenarios whose
 	// compiled/auto/lanes request fell back to the event backend, with
 	// the surfaced reason ("name: reason").

@@ -1,0 +1,349 @@
+// Package tlm is the transaction-level fast path: it estimates the energy
+// of a scenario from whole bursts/transactions instead of stepping every
+// HCLK cycle, trading exactness for an order of magnitude of throughput.
+//
+// The estimator is a calibrated hybrid, after the TLM methodology of
+// "Fast and Accurate Transaction Level Modeling of an Extended AMBA2.0
+// Bus Architecture" (PAPERS.md):
+//
+//  1. a short cycle-accurate calibration prefix (1/16 of the run, clamped
+//     to [512, 8192] cycles) executes on the exact kernel and measures the
+//     true per-block energies of the workload's stationary mix;
+//  2. a transaction-granularity walk over the generated workload scripts
+//     counts power-FSM instructions for the full run without simulating
+//     the bus — each burst beat contributes its (1 + wait-states) transfer
+//     cycles, inter-sequence idle gaps and the post-script tail classify
+//     as IDLE_HO exactly like the analyzer's classifier, and ownership
+//     changes insert one handover cycle;
+//  3. analytic expected per-instruction energies, derived from the fitted
+//     macromodel coefficients and the workload's data-pattern mix, turn
+//     the instruction counts into per-block energies; and
+//  4. per-block calibration factors (measured prefix energy over
+//     walk-estimated prefix energy) rescale the analytic expectations so
+//     any stationary modeling bias — including arbitration effects the
+//     preemption-free walk does not replay — cancels out. The post-script
+//     dead tail is the exception: a drained bus has no switching for the
+//     prefix to correct, so tail idle cycles keep the exact analytic
+//     clock-plus-idle-arbitration price instead of a busy-region factor.
+//
+// The contract is therefore approximate-by-construction: when the
+// workload mix is stationary the residual error is the prefix sampling
+// noise, measured (not assumed) by tools/tlmcheck and gated in CI against
+// the budget recorded in EXPERIMENTS.md. When the run is no longer than
+// the calibration prefix the estimate degenerates to the measured
+// cycle-accurate result. Results are deterministic: the same Spec always
+// yields the same Outcome, so TLM results are cacheable — under their own
+// CanonicalKey accuracy class, never the cycle-accurate one.
+package tlm
+
+import (
+	"context"
+	"fmt"
+
+	"ahbpower/internal/amba/ahb"
+	"ahbpower/internal/core"
+	"ahbpower/internal/exec"
+	"ahbpower/internal/power"
+	"ahbpower/internal/topo"
+	"ahbpower/internal/workload"
+)
+
+// Name identifies the transaction-level estimator in results, metrics and
+// logs, alongside the exec backend names.
+const Name = "tlm"
+
+// Calibration prefix sizing: prefixDivisor of the run is simulated
+// cycle-accurately, clamped to [prefixMin, prefixMax] cycles. The divisor
+// bounds the speedup from above (≈ prefixDivisor for long runs); the
+// minimum keeps the measured mix statistically meaningful; the maximum
+// bounds the absolute calibration cost of very long runs.
+const (
+	prefixDivisor = 16
+	prefixMin     = 512
+	prefixMax     = 8192
+)
+
+// Spec describes one estimation request — the projection of an
+// engine.Scenario onto what the transaction-level estimator needs,
+// mirroring lane.Spec for the packed backend.
+type Spec struct {
+	// Name labels errors.
+	Name string
+	// Topo is the canonical topology to estimate; the prefix system is
+	// built from it exactly like the cycle-accurate path.
+	Topo topo.Topology
+	// Analyzer configures the power analyzer of the calibration prefix and
+	// supplies the macromodels (characterized Models or structural
+	// defaults) the analytic expectations are derived from.
+	Analyzer core.AnalyzerConfig
+	// Workloads are the explicit per-master traffic configurations; when
+	// empty the topology's workload hints and then the paper testbench
+	// (sized to Cycles) apply, mirroring the engine's traffic resolution.
+	Workloads []workload.Config
+	// Cycles is the bus-cycle horizon of the estimate.
+	Cycles uint64
+}
+
+// Traits captures the scenario features that decide transaction-level
+// eligibility, the TLM analog of exec.Traits/lane.Traits. The engine
+// fills it from a Scenario; anything the estimator cannot honor shows up
+// here and surfaces as a conservative fallback to cycle accuracy.
+type Traits struct {
+	// HasFaults marks an active fault-injection plan. Fault effects are
+	// per-cycle kernel interventions a transaction walk cannot model;
+	// the ISSUE contract is a conservative fallback to cycle accuracy.
+	HasFaults bool
+	// HasSetup marks a custom Setup hook (arbitrary kernel-level code).
+	HasSetup bool
+	// KeepSystem asks for the built core.System in the result; the
+	// estimator only builds a short-lived prefix system.
+	KeepSystem bool
+	// SkipAnalyzer disables power analysis — with no analyzer there is no
+	// energy to estimate and the exact path is strictly cheaper.
+	SkipAnalyzer bool
+	// HasDPM marks an attached dynamic-power-management estimator, which
+	// needs the full per-cycle power trace.
+	HasDPM bool
+	// HasTraceWindow marks windowed power traces (per-cycle samples).
+	HasTraceWindow bool
+	// RecordActivity marks per-signal switching statistics.
+	RecordActivity bool
+	// HasTraceRecorder marks a streaming metrics.Trace subscriber.
+	HasTraceRecorder bool
+}
+
+// Unsupported returns the reason the transaction-level estimator cannot
+// honor a scenario with these traits, or "" when it can. Reason strings
+// shared with the other backends match their Unsupported wording.
+func (t Traits) Unsupported() string {
+	switch {
+	case t.HasFaults:
+		return "active fault-injection plan"
+	case t.HasSetup:
+		return "custom Setup hook"
+	case t.KeepSystem:
+		return "KeepSystem retains the kernel-backed system"
+	case t.SkipAnalyzer:
+		return "no analyzer attached, nothing to estimate"
+	case t.HasDPM:
+		return "DPM estimator needs the per-cycle power trace"
+	case t.HasTraceWindow:
+		return "windowed power traces need per-cycle samples"
+	case t.RecordActivity:
+		return "per-signal activity recording needs per-cycle samples"
+	case t.HasTraceRecorder:
+		return "streaming trace recorder attached"
+	}
+	return ""
+}
+
+// Outcome is the result of one estimation: the approximate analogs of the
+// cycle-accurate Report/Stats plus the calibration telemetry that lets
+// callers judge how much of the run was actually measured.
+type Outcome struct {
+	// Report is the estimated analysis outcome, structurally identical to
+	// the cycle-accurate core.Report (shares, table, block breakdown).
+	Report *core.Report
+	// Stats is the estimated per-instruction energy table, sorted like
+	// power.FSM.Stats (descending energy, then instruction name).
+	Stats []power.InstructionStat
+	// Beats is the estimated number of data beats within the horizon.
+	Beats uint64
+	// Counts are estimated protocol-event counters in the bus monitor's
+	// key space (nonseq/seq/wait/handover/idle); only nonzero entries.
+	Counts map[string]uint64
+	// Cycles echoes the estimation horizon.
+	Cycles uint64
+	// CalibrationCycles is the length of the cycle-accurate prefix.
+	CalibrationCycles uint64
+	// CalibrationBackend is the exec backend that ran the prefix.
+	CalibrationBackend string
+	// CalibrationFactor is the overall measured/estimated energy ratio
+	// over the prefix window (1 means the analytic expectations were
+	// already exact for this mix).
+	CalibrationFactor float64
+}
+
+// CalibrationPrefix returns the cycle-accurate prefix length for a run of
+// the given horizon: cycles/prefixDivisor clamped to [prefixMin,
+// prefixMax], and never longer than the run itself.
+func CalibrationPrefix(cycles uint64) uint64 {
+	p := cycles / prefixDivisor
+	if p < prefixMin {
+		p = prefixMin
+	}
+	if p > prefixMax {
+		p = prefixMax
+	}
+	if p > cycles {
+		p = cycles
+	}
+	return p
+}
+
+// Prepared is a Spec with its traffic resolved and scripts generated —
+// the estimation-ready form. The generated scripts are shared read-only
+// between the calibration prefix (the masters enqueue but never mutate
+// them) and the transaction walk, so each spec pays workload generation
+// exactly once, like the cycle-accurate path does.
+type Prepared struct {
+	spec    Spec
+	ct      topo.Topology
+	cfgs    []workload.Config
+	scripts [][]ahb.Sequence
+}
+
+// Prepare validates a spec, resolves its traffic into one configuration
+// per active master and generates the workload scripts. Preparation is
+// the allocation-heavy half of an estimate; Estimate on the result runs
+// the calibration prefix and the walk.
+func Prepare(spec Spec) (*Prepared, error) {
+	if spec.Cycles == 0 {
+		return nil, fmt.Errorf("tlm: spec %q: Cycles must be positive", spec.Name)
+	}
+	ct := spec.Topo.Canonical()
+	if err := topo.Check(ct); err != nil {
+		return nil, fmt.Errorf("tlm: spec %q: %w", spec.Name, err)
+	}
+	cfgs, err := resolveConfigs(&ct, spec.Workloads, spec.Cycles)
+	if err != nil {
+		return nil, fmt.Errorf("tlm: spec %q: %w", spec.Name, err)
+	}
+	scripts := make([][]ahb.Sequence, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		seqs, gerr := workload.Generate(cfg)
+		if gerr != nil {
+			return nil, fmt.Errorf("tlm: spec %q: %w", spec.Name, gerr)
+		}
+		scripts = append(scripts, seqs)
+	}
+	return &Prepared{spec: spec, ct: ct, cfgs: cfgs, scripts: scripts}, nil
+}
+
+// Estimate runs the calibrated transaction-level estimation for a
+// prepared spec. The context cancels the cycle-accurate calibration
+// prefix exactly like core.System.RunContext; the walk itself is not
+// cancellable (it is a few milliseconds even for very long horizons).
+func (p *Prepared) Estimate(ctx context.Context) (*Outcome, error) {
+	prefix := CalibrationPrefix(p.spec.Cycles)
+	measured, backendName, err := runPrefix(ctx, p.ct, p.spec.Analyzer, p.scripts, prefix)
+	if err != nil {
+		return nil, fmt.Errorf("tlm: spec %q: calibration prefix: %w", p.spec.Name, err)
+	}
+
+	w := runWalk(&p.ct, p.scripts, p.spec.Cycles, prefix)
+	exp := newExpecter(&p.ct, p.spec.Analyzer, p.cfgs)
+	cal := calibrate(exp, w, measured)
+
+	rep, sts := cal.report(&p.ct, p.spec.Analyzer, w, p.spec.Cycles)
+	return &Outcome{
+		Report:             rep,
+		Stats:              sts,
+		Beats:              w.beats,
+		Counts:             w.monitorCounts(),
+		Cycles:             p.spec.Cycles,
+		CalibrationCycles:  prefix,
+		CalibrationBackend: backendName,
+		CalibrationFactor:  cal.overall,
+	}, nil
+}
+
+// Estimate prepares and estimates one spec in a single call.
+func Estimate(ctx context.Context, spec Spec) (*Outcome, error) {
+	p, err := Prepare(spec)
+	if err != nil {
+		return nil, err
+	}
+	return p.Estimate(ctx)
+}
+
+// measuredPrefix is what the calibration run yields: the true per-block
+// energies and the total over the prefix window.
+type measuredPrefix struct {
+	block [power.NumBlocks]float64
+	total float64
+}
+
+// runPrefix builds the scenario's system, enqueues the already-generated
+// walk scripts (one per active master, the exact traffic LoadWorkload
+// would have generated from the same configurations), attaches the
+// analyzer and runs the cycle-accurate kernel for the prefix window.
+func runPrefix(ctx context.Context, ct topo.Topology, az core.AnalyzerConfig,
+	scripts [][]ahb.Sequence, prefix uint64) (measuredPrefix, string, error) {
+	var m measuredPrefix
+	sys, err := core.NewSystemTopo(ct)
+	if err != nil {
+		return m, "", err
+	}
+	if len(sys.Masters) != len(scripts) {
+		return m, "", fmt.Errorf("tlm: %d active masters but %d scripts", len(sys.Masters), len(scripts))
+	}
+	for i, mm := range sys.Masters {
+		mm.Enqueue(scripts[i]...)
+	}
+	an, err := core.Attach(sys, az)
+	if err != nil {
+		return m, "", err
+	}
+	traits := exec.Traits{
+		DeltaInstrumented: az.Style == core.StylePrivate,
+		HasDPM:            az.DPM != nil,
+		ClockPeriod:       ct.ClockPeriod(),
+	}
+	backend, _, err := exec.Select(exec.NameAuto, traits)
+	if err != nil {
+		return m, "", err
+	}
+	if err := backend.Run(ctx, sys, prefix); err != nil {
+		return m, backend.Name(), err
+	}
+	bd := an.Breakdown()
+	for _, b := range power.Blocks() {
+		m.block[b] = bd.Energy(b)
+	}
+	m.total = an.FSM().TotalEnergy()
+	return m, backend.Name(), nil
+}
+
+// resolveConfigs expands a scenario's traffic sources into one
+// workload.Config per active master, mirroring the engine's resolution
+// order (explicit Workloads, then topology hints, then the paper
+// testbench sized to the horizon) and core.System.LoadWorkload's
+// fill-with-shifted-seed semantics, so the walk scripts describe exactly
+// the traffic the cycle-accurate path would drive.
+func resolveConfigs(ct *topo.Topology, explicit []workload.Config, cycles uint64) ([]workload.Config, error) {
+	n := ct.ActiveMasters()
+	if n == 0 {
+		return nil, fmt.Errorf("topology has no active masters")
+	}
+	src := explicit
+	if len(src) == 0 {
+		hints, err := ct.Workloads()
+		if err != nil {
+			return nil, err
+		}
+		src = hints
+	}
+	out := make([]workload.Config, n)
+	if len(src) == 0 {
+		// Paper testbench sized to the horizon, as LoadPaperWorkload does.
+		perMaster := int(cycles)/100 + 2
+		base, size := ct.AddrSpan()
+		for m := 0; m < n; m++ {
+			cfg := workload.PaperTestbench(m, perMaster)
+			cfg.AddrBase, cfg.AddrSize = base, size
+			out[m] = cfg
+		}
+		return out, nil
+	}
+	for m := 0; m < n; m++ {
+		cfg := src[len(src)-1]
+		if m < len(src) {
+			cfg = src[m]
+		} else {
+			cfg.Seed += int64(m) * 104729
+		}
+		out[m] = cfg
+	}
+	return out, nil
+}

@@ -29,6 +29,7 @@ import (
 	"os"
 	"runtime"
 	"strconv"
+	"strings"
 	"time"
 
 	"ahbpower/internal/amba/ahb"
@@ -57,6 +58,7 @@ type soakReport struct {
 	ReplayOK    bool     `json:"replay_ok"`
 	BackendsOK  bool     `json:"backends_ok"`
 	LanesOK     bool     `json:"lanes_ok"`
+	TLMOK       bool     `json:"tlm_ok"`
 	ControlsOK  bool     `json:"controls_ok"`
 	DaemonOK    bool     `json:"daemon_ok,omitempty"`
 	Violations  []string `json:"violations"`
@@ -76,8 +78,8 @@ func main() {
 	flag.Parse()
 
 	rep := runSoak(cfg, os.Stdout)
-	fmt.Printf("chaos: %d scenarios over %d seeds, %d retried, %d fault events, replay_ok=%v backends_ok=%v lanes_ok=%v controls_ok=%v",
-		rep.Scenarios, rep.Seeds, rep.Retried, rep.FaultEvents, rep.ReplayOK, rep.BackendsOK, rep.LanesOK, rep.ControlsOK)
+	fmt.Printf("chaos: %d scenarios over %d seeds, %d retried, %d fault events, replay_ok=%v backends_ok=%v lanes_ok=%v tlm_ok=%v controls_ok=%v",
+		rep.Scenarios, rep.Seeds, rep.Retried, rep.FaultEvents, rep.ReplayOK, rep.BackendsOK, rep.LanesOK, rep.TLMOK, rep.ControlsOK)
 	if cfg.addr != "" {
 		fmt.Printf(" daemon_ok=%v", rep.DaemonOK)
 	}
@@ -149,6 +151,13 @@ func runSoak(cfg config, logw io.Writer) soakReport {
 	lm := laneMixPhase(cfg)
 	rep.LanesOK = len(lm) == 0
 	rep.Violations = append(rep.Violations, lm...)
+
+	// Transaction-level mix: estimates must be deterministic and
+	// conservation-clean, and faulted scenarios requested at transaction
+	// accuracy must conservatively fall back to the exact path.
+	tm := tlmPhase(cfg, a)
+	rep.TLMOK = len(tm) == 0
+	rep.Violations = append(rep.Violations, tm...)
 
 	ctl := controlChecks(cfg)
 	rep.ControlsOK = len(ctl) == 0
@@ -401,6 +410,86 @@ func laneMixPhase(cfg config) []string {
 	}
 	if !bytes.Equal(fingerprint(packed), fingerprint(baseline)) {
 		v = append(v, "lane mix: packed fingerprint differs from the all-event sweep")
+	}
+	return v
+}
+
+// tlmPhase soaks the transaction-level estimator. A fault-free sweep
+// requested at transaction accuracy must actually ride the estimator,
+// keep both energy decompositions conservation-clean (estimates are
+// approximate, but they must still be internally consistent) and replay
+// byte-identically — the estimator is deterministic by contract, that is
+// what makes its results cacheable. Then the randomized *faulted* sweep
+// re-requested at transaction accuracy must conservatively fall back to
+// cycle accuracy scenario by scenario, with the reason surfaced in
+// BackendFallback, and reproduce the cycle-accurate baseline fingerprint
+// bit for bit: a fallback that silently changed the numbers would be an
+// accuracy bug wearing a safety feature's clothes.
+func tlmPhase(cfg config, baseline []byte) []string {
+	var v []string
+	build := func() []engine.Scenario {
+		scens := make([]engine.Scenario, cfg.seeds)
+		for i := range scens {
+			seed := cfg.seed + int64(i)
+			sys := core.PaperSystem()
+			sys.Policy = policyFor(seed)
+			scens[i] = engine.Scenario{
+				Name:     fmt.Sprintf("tlm-mix-%d", seed),
+				System:   sys,
+				Cycles:   cfg.cycles + uint64(i%5)*64,
+				Accuracy: engine.AccuracyTransaction,
+			}
+		}
+		return scens
+	}
+	estRunner := engine.NewRunner(cfg.workers)
+	est := estRunner.Run(context.Background(), build())
+	for i := range est {
+		res := &est[i]
+		if res.Err != nil {
+			v = append(v, fmt.Sprintf("%s: estimate failed: %v", res.Scenario.Name, res.Err))
+			continue
+		}
+		if res.Backend != "tlm" {
+			v = append(v, fmt.Sprintf("%s: ran backend %q, want tlm (fallback: %s)",
+				res.Scenario.Name, res.Backend, res.BackendFallback))
+		}
+		if res.Accuracy != engine.AccuracyTransaction {
+			v = append(v, fmt.Sprintf("%s: result accuracy %q, want transaction", res.Scenario.Name, res.Accuracy))
+		}
+		if err := conservation(res.Report); err != nil {
+			v = append(v, fmt.Sprintf("%s: %v", res.Scenario.Name, err))
+		}
+	}
+	againRunner := engine.NewRunner(cfg.workers)
+	again := againRunner.Run(context.Background(), build())
+	if !bytes.Equal(fingerprint(est), fingerprint(again)) {
+		v = append(v, "tlm mix: estimate replay fingerprint differs between identical sweeps")
+	}
+
+	scens := buildScenariosOnly(cfg)
+	for i := range scens {
+		scens[i].Accuracy = engine.AccuracyTransaction
+	}
+	fbRunner := engine.NewRunner(cfg.workers)
+	fbRunner.Retry = engine.DefaultRetryPolicy()
+	faulted := fbRunner.Run(context.Background(), scens)
+	for i := range faulted {
+		res := &faulted[i]
+		if res.Err != nil {
+			continue // the baseline fingerprint comparison covers error parity
+		}
+		if res.Backend == "tlm" || res.Accuracy != engine.AccuracyCycle {
+			v = append(v, fmt.Sprintf("%s: faulted scenario did not fall back (backend=%q accuracy=%q)",
+				res.Scenario.Name, res.Backend, res.Accuracy))
+		}
+		if !strings.HasPrefix(res.BackendFallback, "transaction accuracy:") {
+			v = append(v, fmt.Sprintf("%s: fallback reason %q lacks the transaction-accuracy prefix",
+				res.Scenario.Name, res.BackendFallback))
+		}
+	}
+	if !bytes.Equal(fingerprint(faulted), baseline) {
+		v = append(v, "tlm mix: faulted transaction sweep differs from the cycle-accurate baseline")
 	}
 	return v
 }
