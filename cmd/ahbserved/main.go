@@ -4,7 +4,11 @@
 // control with backpressure, per-request deadlines, a content-addressed
 // result cache (deterministic runs make cached and fresh responses
 // byte-identical) and a graceful SIGTERM drain that finishes or cancels
-// in-flight batches without dropping completed results.
+// in-flight batches without dropping completed results. With -state-dir
+// the daemon is additionally crash-safe: async jobs are journaled,
+// results gain a disk cache tier, long scenarios checkpoint as they run,
+// and a restart on the same directory recovers every interrupted job —
+// resumed, byte-identical, under its original job id.
 //
 // API:
 //
@@ -49,6 +53,8 @@ func main() {
 	backend := flag.String("backend", "", "default execution backend for requests that don't pick one: event, compiled, lanes or auto")
 	accuracy := flag.String("accuracy", "", "default accuracy class for requests that don't pick one: cycle (exact) or transaction (calibrated estimate; part of the cache key)")
 	degradeEstimate := flag.Bool("degrade-estimate", false, "under queue pressure, downgrade eligible cycle-accuracy scenarios to the transaction-level estimate instead of just shedding options (approximate answers; opt-in)")
+	stateDir := flag.String("state-dir", "", "directory for the durable job journal, disk result cache and scenario checkpoints; a daemon restarted on the same directory recovers interrupted jobs (empty: in-memory only)")
+	checkpointEvery := flag.Uint64("checkpoint-every", 250_000, "minimum cycles between persisted scenario checkpoints when -state-dir is set (0 disables checkpointing)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "ahbserved: ", log.LstdFlags)
@@ -58,7 +64,7 @@ func main() {
 	if !engine.ValidAccuracy(*accuracy) {
 		logger.Fatalf("unknown -accuracy %q (want cycle or transaction)", *accuracy)
 	}
-	srv := serve.New(serve.Config{
+	srv, err := serve.Open(serve.Config{
 		Workers:         *workers,
 		MaxConcurrent:   *concurrent,
 		MaxQueue:        *queue,
@@ -72,7 +78,15 @@ func main() {
 		DefaultBackend:  *backend,
 		DefaultAccuracy: *accuracy,
 		DegradeEstimate: *degradeEstimate,
+		StateDir:        *stateDir,
+		CheckpointEvery: *checkpointEvery,
 	})
+	if err != nil {
+		logger.Fatalf("opening state: %v", err)
+	}
+	if *stateDir != "" {
+		logger.Printf("durable state in %s (checkpoint every %d cycles)", *stateDir, *checkpointEvery)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

@@ -176,6 +176,10 @@ type Bus struct {
 
 	splitMask uint16 // masters currently split-masked from arbitration
 
+	// defErrCycle is the default slave's two-cycle-ERROR latch; a Bus
+	// field (not a closure local) so snapshots can carry it.
+	defErrCycle bool
+
 	// combWaves holds the bus's combinational processes in topological
 	// evaluation order (mux wave, then the decoder that reads the muxed
 	// address), for straight-line execution by a flat stepper.
@@ -435,13 +439,12 @@ func (b *Bus) arbitrate(cur int) int {
 // unmapped addresses receive a two-cycle ERROR response, as required by
 // the AHB spec for non-IDLE transfers to undecoded space.
 func (b *Bus) buildDefaultSlave() {
-	errCycle := false
 	b.K.MethodNoInit(b.Cfg.Name+".defslave", func() {
 		if !b.HReady.Read() {
-			if errCycle {
+			if b.defErrCycle {
 				// Second cycle of the two-cycle ERROR.
 				b.defReady.Write(true)
-				errCycle = false
+				b.defErrCycle = false
 			}
 			return
 		}
@@ -449,7 +452,7 @@ func (b *Bus) buildDefaultSlave() {
 		if b.SelIdx.Read() == -2 && (t == TransNonseq || t == TransSeq) {
 			b.defReady.Write(false)
 			b.defResp.Write(RespError)
-			errCycle = true
+			b.defErrCycle = true
 		} else {
 			b.defReady.Write(true)
 			b.defResp.Write(RespOkay)

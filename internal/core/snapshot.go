@@ -1,0 +1,328 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"ahbpower/internal/amba/ahb"
+	"ahbpower/internal/power"
+	"ahbpower/internal/sim"
+)
+
+// SnapshotVersion is bumped whenever the snapshot layout changes; a
+// restored snapshot must carry the running binary's version.
+const SnapshotVersion = 1
+
+// Snapshotter is the seam for component state that lives outside the
+// System proper (the power analyzer, a compiled fault injector): anything
+// registered via System.AddSnapshotter is captured into — and restored
+// from — the system snapshot under its registration name. Capture and
+// restore pair across processes: restore runs on a freshly constructed
+// component in a new binary, with only the serialized blob carried over.
+type Snapshotter interface {
+	CaptureSnapshot() (json.RawMessage, error)
+	RestoreSnapshot(json.RawMessage) error
+}
+
+// Snapshot is the serialized state of a mid-run system at a settled
+// cycle boundary. Restoring it onto a deterministically rebuilt twin
+// (same topology, same workloads, same attachments) continues the run
+// bit-exactly: energies are carried as Float64bits and PRNG streams as
+// draw counts, so a resumed run is indistinguishable from one that never
+// stopped.
+type Snapshot struct {
+	Version int `json:"version"`
+	// Cycle is the number of bus clock cycles completed at capture.
+	Cycle   uint64                 `json:"cycle"`
+	Signals []sim.SignalValue      `json:"signals"`
+	Bus     ahb.BusState           `json:"bus"`
+	Masters []ahb.MasterState      `json:"masters"`
+	Default *ahb.MasterState       `json:"default,omitempty"`
+	Slaves  []ahb.MemorySlaveState `json:"slaves"`
+	Monitor ahb.MonitorState       `json:"monitor"`
+	// Extra holds the registered Snapshotters' blobs by name.
+	Extra map[string]json.RawMessage `json:"extra,omitempty"`
+}
+
+// Encode serializes the snapshot to its canonical JSON form.
+func (sn *Snapshot) Encode() ([]byte, error) { return json.Marshal(sn) }
+
+// DecodeSnapshot parses a serialized snapshot and checks its version.
+func DecodeSnapshot(b []byte) (*Snapshot, error) {
+	var sn Snapshot
+	if err := json.Unmarshal(b, &sn); err != nil {
+		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
+	}
+	if sn.Version != SnapshotVersion {
+		return nil, fmt.Errorf("core: snapshot version %d, this binary writes %d", sn.Version, SnapshotVersion)
+	}
+	return &sn, nil
+}
+
+// AddSnapshotter registers extra component state under name. Names must
+// be unique; capture and restore match registrations by name, and a
+// restore fails when the snapshot's name set differs from the rebuilt
+// system's.
+func (s *System) AddSnapshotter(name string, sn Snapshotter) {
+	s.snapshotters = append(s.snapshotters, namedSnapshotter{name: name, s: sn})
+}
+
+type namedSnapshotter struct {
+	name string
+	s    Snapshotter
+}
+
+// CaptureSnapshot serializes the full dynamic state of the system at the
+// current settled cycle boundary.
+func (s *System) CaptureSnapshot() (*Snapshot, error) {
+	sigs, err := s.K.CaptureSignals()
+	if err != nil {
+		return nil, err
+	}
+	sn := &Snapshot{
+		Version: SnapshotVersion,
+		Cycle:   s.Bus.Clk.Cycles(),
+		Signals: sigs,
+		Bus:     s.Bus.CaptureState(),
+		Monitor: s.Monitor.CaptureState(),
+	}
+	for _, m := range s.Masters {
+		ms, err := m.CaptureState()
+		if err != nil {
+			return nil, err
+		}
+		sn.Masters = append(sn.Masters, ms)
+	}
+	if s.Default != nil {
+		ds, err := s.Default.CaptureState()
+		if err != nil {
+			return nil, err
+		}
+		sn.Default = &ds
+	}
+	for _, sl := range s.Slaves {
+		sn.Slaves = append(sn.Slaves, sl.CaptureState())
+	}
+	for _, ns := range s.snapshotters {
+		blob, err := ns.s.CaptureSnapshot()
+		if err != nil {
+			return nil, fmt.Errorf("core: capturing %q: %w", ns.name, err)
+		}
+		if sn.Extra == nil {
+			sn.Extra = map[string]json.RawMessage{}
+		}
+		if _, dup := sn.Extra[ns.name]; dup {
+			return nil, fmt.Errorf("core: duplicate snapshotter %q", ns.name)
+		}
+		sn.Extra[ns.name] = blob
+	}
+	return sn, nil
+}
+
+// RestoreSnapshot writes a captured snapshot onto this freshly built
+// system. The system must be a deterministic twin of the captured one —
+// same topology, same loaded workloads, same analyzer/injector
+// attachments — and must not have been run yet. After restore the next
+// simulated cycle is Cycle+1, on either execution backend.
+func (s *System) RestoreSnapshot(sn *Snapshot) error {
+	if sn.Version != SnapshotVersion {
+		return fmt.Errorf("core: snapshot version %d, this binary restores %d", sn.Version, SnapshotVersion)
+	}
+	if got, want := len(sn.Masters), len(s.Masters); got != want {
+		return fmt.Errorf("core: snapshot has %d masters, system has %d", got, want)
+	}
+	if (sn.Default != nil) != (s.Default != nil) {
+		return fmt.Errorf("core: snapshot and system disagree on the default master")
+	}
+	if got, want := len(sn.Slaves), len(s.Slaves); got != want {
+		return fmt.Errorf("core: snapshot has %d slaves, system has %d", got, want)
+	}
+	// Settle initialization at time zero first: the init deltas run every
+	// process once and must not clobber restored values.
+	if err := s.K.Run(0); err != nil {
+		return err
+	}
+	if err := s.K.RestoreSignals(sn.Signals); err != nil {
+		return err
+	}
+	if err := s.K.RestoreTime(sim.Time(sn.Cycle) * s.Bus.Clk.Period()); err != nil {
+		return err
+	}
+	s.Bus.Clk.RestoreCycles(sn.Cycle)
+	s.Bus.RestoreState(sn.Bus)
+	s.Monitor.RestoreState(sn.Monitor)
+	for i, m := range s.Masters {
+		if err := m.RestoreState(sn.Masters[i]); err != nil {
+			return err
+		}
+	}
+	if s.Default != nil {
+		if err := s.Default.RestoreState(*sn.Default); err != nil {
+			return err
+		}
+	}
+	for i, sl := range s.Slaves {
+		sl.RestoreState(sn.Slaves[i])
+	}
+	seen := 0
+	for _, ns := range s.snapshotters {
+		blob, ok := sn.Extra[ns.name]
+		if !ok {
+			return fmt.Errorf("core: snapshot is missing component %q", ns.name)
+		}
+		seen++
+		if err := ns.s.RestoreSnapshot(blob); err != nil {
+			return fmt.Errorf("core: restoring %q: %w", ns.name, err)
+		}
+	}
+	if seen != len(sn.Extra) {
+		return fmt.Errorf("core: snapshot carries %d extra components, system registered %d", len(sn.Extra), seen)
+	}
+	return nil
+}
+
+// SetCheckpointHook registers fn to run at settled chunk boundaries of
+// RunContextStepped, at least every cycles apart (clamped up to the
+// chunk size). The hook sees the number of cycles completed in this run;
+// a typical hook captures a snapshot and persists it. An error from the
+// hook aborts the run. Setting a hook forces the chunked execution path
+// even without a cancellable context.
+func (s *System) SetCheckpointHook(every uint64, fn func(done uint64) error) {
+	if every < runChunk {
+		every = runChunk
+	}
+	s.ckptEvery = every
+	s.ckptFn = fn
+}
+
+// analyzerState is the analyzer's serialized dynamic state. Energies are
+// bit patterns; the per-port local history and private-style glitch
+// accumulators ride along so every style restores exactly.
+type analyzerState struct {
+	FSM       power.FSMState       `json:"fsm"`
+	Breakdown power.BreakdownState `json:"breakdown"`
+
+	HavePrev   bool   `json:"have_prev,omitempty"`
+	PrevDecIn  uint64 `json:"prev_dec_in,omitempty"`
+	PrevAddr   uint32 `json:"prev_addr,omitempty"`
+	PrevCtrl   uint64 `json:"prev_ctrl,omitempty"`
+	PrevWdata  uint32 `json:"prev_wdata,omitempty"`
+	PrevRdata  uint32 `json:"prev_rdata,omitempty"`
+	PrevS2MCtl uint64 `json:"prev_s2m_ctl,omitempty"`
+	PrevM2SSel uint64 `json:"prev_m2s_sel,omitempty"`
+	PrevS2MSel uint64 `json:"prev_s2m_sel,omitempty"`
+	PrevReq    uint16 `json:"prev_req,omitempty"`
+	PrevGrant  uint16 `json:"prev_grant,omitempty"`
+
+	LastActiveMaster uint8 `json:"last_active_master,omitempty"`
+	HaveActive       bool  `json:"have_active,omitempty"`
+
+	PrivM2S int `json:"priv_m2s,omitempty"`
+	PrivS2M int `json:"priv_s2m,omitempty"`
+	PrivDec int `json:"priv_dec,omitempty"`
+	PrivArb int `json:"priv_arb,omitempty"`
+
+	LocalPrev  []uint64 `json:"local_prev,omitempty"`
+	LocalFirst bool     `json:"local_first,omitempty"`
+}
+
+// SnapshotUnsupported returns the reason this analyzer cannot join a
+// checkpoint snapshot, or "" when it can. Streaming consumers (windowed
+// traces, activity stores, DPM estimators, trace recorders) hold
+// unserialized mid-run state, so scenarios using them run without
+// checkpointing and the reason is surfaced like any other traits gate.
+func (a *Analyzer) SnapshotUnsupported() string {
+	return a.cfg.SnapshotUnsupported()
+}
+
+// SnapshotUnsupported is the config-level form of the analyzer's
+// checkpoint-eligibility gate, so callers (the engine) can decide before
+// the analyzer is even built.
+func (cfg AnalyzerConfig) SnapshotUnsupported() string {
+	switch {
+	case cfg.TraceWindow > 0:
+		return "windowed power trace attached"
+	case cfg.RecordActivity:
+		return "activity recording enabled"
+	case cfg.DPM != nil:
+		return "DPM estimator attached"
+	case cfg.Trace != nil:
+		return "trace recorder attached"
+	}
+	return ""
+}
+
+// CaptureSnapshot implements Snapshotter.
+func (a *Analyzer) CaptureSnapshot() (json.RawMessage, error) {
+	if reason := a.SnapshotUnsupported(); reason != "" {
+		return nil, fmt.Errorf("core: analyzer not snapshottable: %s", reason)
+	}
+	st := analyzerState{
+		FSM:       a.fsm.CaptureState(),
+		Breakdown: a.bd.CaptureState(),
+
+		HavePrev:   a.havePrev,
+		PrevDecIn:  a.prevDecIn,
+		PrevAddr:   a.prevAddr,
+		PrevCtrl:   a.prevCtrl,
+		PrevWdata:  a.prevWdata,
+		PrevRdata:  a.prevRdata,
+		PrevS2MCtl: a.prevS2MCtl,
+		PrevM2SSel: a.prevM2SSel,
+		PrevS2MSel: a.prevS2MSel,
+		PrevReq:    a.prevReq,
+		PrevGrant:  a.prevGrant,
+
+		LastActiveMaster: a.lastActiveMaster,
+		HaveActive:       a.haveActive,
+
+		PrivM2S: a.privM2S,
+		PrivS2M: a.privS2M,
+		PrivDec: a.privDec,
+		PrivArb: a.privArb,
+
+		LocalPrev:  append([]uint64(nil), a.localPrev...),
+		LocalFirst: a.localFirst,
+	}
+	return json.Marshal(st)
+}
+
+// RestoreSnapshot implements Snapshotter.
+func (a *Analyzer) RestoreSnapshot(blob json.RawMessage) error {
+	if reason := a.SnapshotUnsupported(); reason != "" {
+		return fmt.Errorf("core: analyzer not snapshottable: %s", reason)
+	}
+	var st analyzerState
+	if err := json.Unmarshal(blob, &st); err != nil {
+		return fmt.Errorf("core: decoding analyzer snapshot: %w", err)
+	}
+	if len(st.LocalPrev) != len(a.localPrev) {
+		return fmt.Errorf("core: analyzer snapshot has %d local-history slots, analyzer has %d", len(st.LocalPrev), len(a.localPrev))
+	}
+	if err := a.fsm.RestoreState(st.FSM); err != nil {
+		return err
+	}
+	if err := a.bd.RestoreState(st.Breakdown); err != nil {
+		return err
+	}
+	a.havePrev = st.HavePrev
+	a.prevDecIn = st.PrevDecIn
+	a.prevAddr = st.PrevAddr
+	a.prevCtrl = st.PrevCtrl
+	a.prevWdata = st.PrevWdata
+	a.prevRdata = st.PrevRdata
+	a.prevS2MCtl = st.PrevS2MCtl
+	a.prevM2SSel = st.PrevM2SSel
+	a.prevS2MSel = st.PrevS2MSel
+	a.prevReq = st.PrevReq
+	a.prevGrant = st.PrevGrant
+	a.lastActiveMaster = st.LastActiveMaster
+	a.haveActive = st.HaveActive
+	a.privM2S = st.PrivM2S
+	a.privS2M = st.PrivS2M
+	a.privDec = st.PrivDec
+	a.privArb = st.PrivArb
+	copy(a.localPrev, st.LocalPrev)
+	a.localFirst = st.LocalFirst
+	return nil
+}

@@ -87,6 +87,16 @@ type System struct {
 	// so batching consumers (the analyzer's sample stream) are flushed
 	// before anyone reads their downstream state.
 	runEndHooks []func()
+
+	// snapshotters is the registered extra-component state captured into
+	// system snapshots (see snapshot.go).
+	snapshotters []namedSnapshotter
+
+	// Checkpoint hook: when set, RunContextStepped always takes the
+	// chunked path and invokes ckptFn at settled chunk boundaries at
+	// least ckptEvery cycles apart.
+	ckptEvery uint64
+	ckptFn    func(done uint64) error
 }
 
 // onRunEnd registers a hook invoked after every Run/RunContext returns.
@@ -272,12 +282,15 @@ func (s *System) RunContextStepped(ctx context.Context, n uint64, step func(uint
 			fn()
 		}
 	}()
-	if ctx == nil || ctx.Done() == nil {
+	if (ctx == nil || ctx.Done() == nil) && s.ckptFn == nil {
 		return step(n)
 	}
+	var done, sinceCkpt uint64
 	for n > 0 {
-		if err := ctx.Err(); err != nil {
-			return err
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 		}
 		c := uint64(runChunk)
 		if n < c {
@@ -287,6 +300,16 @@ func (s *System) RunContextStepped(ctx context.Context, n uint64, step func(uint
 			return err
 		}
 		n -= c
+		done += c
+		sinceCkpt += c
+		// Checkpoint at the settled boundary; the final boundary is skipped
+		// (the finished result supersedes any checkpoint).
+		if s.ckptFn != nil && sinceCkpt >= s.ckptEvery && n > 0 {
+			if err := s.ckptFn(done); err != nil {
+				return err
+			}
+			sinceCkpt = 0
+		}
 	}
 	return nil
 }

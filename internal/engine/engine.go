@@ -99,6 +99,15 @@ type Scenario struct {
 	// conservatively falls back to cycle accuracy, with the reason
 	// surfaced in Result.BackendFallback.
 	Accuracy string
+	// Checkpoint, when non-nil, enables crash-safe periodic snapshots
+	// and/or resume-from-snapshot for this scenario (see
+	// CheckpointConfig). Like Backend it is an execution detail — a
+	// resumed run is bit-identical to an uninterrupted one — so it is
+	// excluded from CanonicalKey. Checkpointing needs per-scenario
+	// kernel state, which the pack (lanes) and transaction-level
+	// executors do not carry, so checkpoint-requesting scenarios route
+	// to a cycle-accurate backend with the reason surfaced.
+	Checkpoint *CheckpointConfig
 }
 
 // Topology returns the canonical topology the scenario builds: Topo when
@@ -127,6 +136,7 @@ func (sc *Scenario) ExecTraits() exec.Traits {
 		HasDPM:            !sc.SkipAnalyzer && sc.Analyzer.DPM != nil,
 		DeltaInstrumented: !sc.SkipAnalyzer && sc.Analyzer.Style == core.StylePrivate,
 		ClockPeriod:       period,
+		Checkpoint:        sc.Checkpoint != nil,
 	}
 }
 
@@ -186,6 +196,14 @@ type Result struct {
 	// Lanes is the occupancy of the lane pack that executed the scenario
 	// (1 for a single-lane run); zero when another backend ran it.
 	Lanes int
+	// CheckpointFallback is the surfaced reason checkpointing was
+	// requested but the scenario ran without it (Setup hook, DPM,
+	// streaming analyzer consumers); empty when checkpointing ran or was
+	// never requested.
+	CheckpointFallback string
+	// ResumedFrom is the absolute cycle the scenario resumed from when a
+	// Checkpoint.Resume snapshot was restored; zero for fresh runs.
+	ResumedFrom uint64
 	// Faults holds the injector's per-kind counters when the scenario
 	// carried an active fault plan.
 	Faults *fault.Stats
@@ -397,6 +415,11 @@ func executeAttempt(ctx context.Context, index int, sc Scenario, attempt int) (r
 	var tlmFallback string
 	if NormalizeAccuracy(sc.Accuracy) == AccuracyTransaction {
 		reason := sc.TLMTraits().Unsupported()
+		if reason == "" && sc.Checkpoint != nil {
+			// The estimator computes whole transactions, not cycles; it has
+			// no kernel state to snapshot or resume.
+			reason = "checkpointing requested"
+		}
 		if reason == "" {
 			return executeTLMAttempt(ctx, index, sc, attempt)
 		}
@@ -408,6 +431,11 @@ func executeAttempt(ctx context.Context, index int, sc Scenario, attempt int) (r
 	var laneFallback string
 	if hint == exec.NameLanes {
 		reason := sc.LaneTraits().Unsupported()
+		if reason == "" && sc.Checkpoint != nil {
+			// A lane pack interleaves up to 64 scenarios in one kernel;
+			// there is no per-scenario state to snapshot.
+			reason = "checkpointing requested"
+		}
 		if reason == "" && tlmFallback == "" {
 			return executeLaneAttempt(ctx, index, sc, attempt)
 		}
@@ -415,6 +443,18 @@ func executeAttempt(ctx context.Context, index int, sc Scenario, attempt int) (r
 		// surfaced, mirroring the compiled backend's fallback contract.
 		laneFallback = reason
 		hint = exec.NameEvent
+	}
+	// Checkpoint eligibility: ineligible scenarios run to completion
+	// without snapshots (reason surfaced); resuming an ineligible
+	// scenario would silently drop state, so that is an error instead.
+	ckpt := sc.Checkpoint
+	if reason := sc.CheckpointUnsupported(); reason != "" {
+		if ckpt != nil && len(ckpt.Resume) > 0 {
+			res.Err = fmt.Errorf("engine: scenario %q: cannot resume from snapshot: %s", sc.Name, reason)
+			return res
+		}
+		res.CheckpointFallback = reason
+		ckpt = nil
 	}
 	backend, fallback, err := exec.Select(hint, sc.ExecTraits())
 	if err != nil {
@@ -483,9 +523,53 @@ func executeAttempt(ctx context.Context, index int, sc Scenario, attempt int) (r
 			return res
 		}
 	}
+	run := sc.Cycles
+	if ckpt != nil {
+		// Register the extra snapshot participants. Registration happens on
+		// both the capture and the resume side, so the snapshot's component
+		// sets always match.
+		if an != nil {
+			sys.AddSnapshotter("analyzer", an)
+		}
+		if inj != nil {
+			sys.AddSnapshotter("faults", inj)
+		}
+		if len(ckpt.Resume) > 0 {
+			snap, err := core.DecodeSnapshot(ckpt.Resume)
+			if err != nil {
+				res.Err = fmt.Errorf("engine: scenario %q: %w", sc.Name, err)
+				return res
+			}
+			if snap.Cycle == 0 || snap.Cycle >= sc.Cycles {
+				res.Err = fmt.Errorf("engine: scenario %q: snapshot at cycle %d cannot resume a %d-cycle run",
+					sc.Name, snap.Cycle, sc.Cycles)
+				return res
+			}
+			if err := sys.RestoreSnapshot(snap); err != nil {
+				res.Err = fmt.Errorf("engine: scenario %q: %w", sc.Name, err)
+				return res
+			}
+			res.ResumedFrom = snap.Cycle
+			run = sc.Cycles - snap.Cycle
+		}
+		if ckpt.Save != nil {
+			save := ckpt.Save
+			sys.SetCheckpointHook(ckpt.Every, func(uint64) error {
+				snap, err := sys.CaptureSnapshot()
+				if err != nil {
+					return err
+				}
+				blob, err := snap.Encode()
+				if err != nil {
+					return err
+				}
+				return save(snap.Cycle, blob)
+			})
+		}
+	}
 	build := time.Since(buildStart)
 	start := time.Now()
-	if err := backend.Run(ctx, sys, sc.Cycles); err != nil {
+	if err := backend.Run(ctx, sys, run); err != nil {
 		res.Err = fmt.Errorf("engine: scenario %q: %w", sc.Name, err)
 		return res
 	}

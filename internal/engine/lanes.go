@@ -56,6 +56,12 @@ func laneEligible(sc *Scenario) bool {
 	if sc.Backend != exec.NameLanes || sc.Cycles == 0 || sc.Faults != nil {
 		return false
 	}
+	// Checkpointing needs per-scenario kernel state a pack cannot provide;
+	// the scenario falls to the per-scenario path, which surfaces the
+	// fallback reason.
+	if sc.Checkpoint != nil {
+		return false
+	}
 	if NormalizeAccuracy(sc.Accuracy) == AccuracyTransaction {
 		return false
 	}

@@ -200,7 +200,18 @@ func (r *Runner) runScenario(ctx context.Context, index int, sc Scenario) Result
 		if rng == nil {
 			rng = rand.New(rand.NewSource(jitterSeed(sc.Name, index)))
 		}
-		t := time.NewTimer(pol.backoff(attempt, rng))
+		delay := pol.backoff(attempt, rng)
+		// Fail fast when the context deadline lands inside the backoff
+		// window: sleeping out the delay just to observe the expiry would
+		// report the scenario with the transient class of the last attempt
+		// after burning the caller's remaining deadline doing nothing.
+		if dl, ok := ctx.Deadline(); ok && time.Until(dl) <= delay {
+			res.Err = &ScenarioError{Name: sc.Name, Index: index, Class: ClassTimeout, Attempts: attempt + 1,
+				Err: fmt.Errorf("engine: scenario %q: retry backoff %v outlives the context deadline: %w",
+					sc.Name, delay, context.DeadlineExceeded)}
+			return res
+		}
+		t := time.NewTimer(delay)
 		select {
 		case <-ctx.Done():
 			t.Stop()

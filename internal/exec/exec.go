@@ -87,6 +87,14 @@ type Traits struct {
 	// even period (an odd one makes the event clock drift against the
 	// nominal period, which the straight-line timestamps cannot mirror).
 	ClockPeriod sim.Time
+	// Checkpoint marks that the scenario requests periodic state
+	// snapshots at chunk boundaries (crash-safe resume). Both
+	// cycle-accurate backends honor it; the pack (lanes) and
+	// transaction-level executors cannot — they carry no per-scenario
+	// kernel state to snapshot — so the engine routes
+	// checkpoint-requesting scenarios away from them with a surfaced
+	// reason.
+	Checkpoint bool
 }
 
 // Unsupported returns the reason the compiled backend cannot honor a
@@ -105,6 +113,26 @@ func (t Traits) Unsupported() string {
 		return "delta-level (private-style) instrumentation"
 	case period%2 != 0:
 		return fmt.Sprintf("odd clock period %d", t.ClockPeriod)
+	}
+	return ""
+}
+
+// CheckpointUnsupported returns the reason a scenario with these traits
+// cannot be checkpointed, or "" when checkpoint/resume is eligible.
+// Eligibility is a property of the scenario, not the backend: both
+// cycle-accurate backends (event and compiled) snapshot at the same
+// settled chunk boundaries. A custom Setup hook may register processes
+// or state the snapshot protocol cannot see, and a DPM estimator keeps
+// windowed history outside the snapshot; both are rejected rather than
+// silently resumed wrong. Analyzer-side ineligibility (trace recorders,
+// windowed traces, activity recording) is reported separately by
+// core.Analyzer.SnapshotUnsupported.
+func (t Traits) CheckpointUnsupported() string {
+	switch {
+	case t.HasSetup:
+		return "custom Setup hook"
+	case t.HasDPM:
+		return "DPM estimator attached"
 	}
 	return ""
 }

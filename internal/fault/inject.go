@@ -36,6 +36,30 @@ type Injector struct {
 	bus   *ahb.Bus
 	plan  *Plan
 	stats Stats
+
+	// The compiled parts are retained for snapshot capture/restore (see
+	// snapshot.go); construction is deterministic, so index-aligned
+	// restore onto an identically attached plan is sound.
+	states  []*ruleState
+	slaves  []*slaveInjector
+	masters []*masterInjector
+}
+
+// countingRNG wraps a PRNG stream and counts the draws taken from it, so
+// a snapshot can record the stream position and a restore can replay the
+// same number of draws from a re-seeded source.
+type countingRNG struct {
+	*rand.Rand
+	draws uint64
+}
+
+func (c *countingRNG) Float64() float64 {
+	c.draws++
+	return c.Rand.Float64()
+}
+
+func newCountingRNG(seed int64) *countingRNG {
+	return &countingRNG{Rand: rand.New(rand.NewSource(seed))}
 }
 
 // Stats returns the injection counters accumulated so far.
@@ -50,7 +74,7 @@ type ruleState struct {
 
 // tryFire consumes one firing opportunity: budget check first (no PRNG
 // draw once exhausted, keeping streams stable), then the probability draw.
-func (rs *ruleState) tryFire(rng *rand.Rand) bool {
+func (rs *ruleState) tryFire(rng *countingRNG) bool {
 	if rs.r.Count > 0 && rs.fired >= rs.r.Count {
 		return false
 	}
@@ -87,6 +111,7 @@ func Attach(bus *ahb.Bus, masters []*ahb.Master, plan *Plan) (*Injector, error) 
 	for i := range plan.Rules {
 		states[i] = &ruleState{r: plan.Rules[i]}
 	}
+	in.states = states
 	for s := 0; s < bus.Cfg.NumSlaves; s++ {
 		var rules []*ruleState
 		split := false
@@ -101,8 +126,9 @@ func Attach(bus *ahb.Bus, masters []*ahb.Master, plan *Plan) (*Injector, error) 
 		}
 		si := &slaveInjector{
 			in: in, bus: bus, idx: s, rules: rules,
-			rng: rand.New(rand.NewSource(subSeed(plan.Seed, tagSlave, uint64(s)))),
+			rng: newCountingRNG(subSeed(plan.Seed, tagSlave, uint64(s))),
 		}
+		in.slaves = append(in.slaves, si)
 		if split {
 			bus.WatchSplitResume(s)
 		}
@@ -119,9 +145,10 @@ func Attach(bus *ahb.Bus, masters []*ahb.Master, plan *Plan) (*Injector, error) 
 			continue
 		}
 		mi := &masterInjector{
-			in: in, rules: rules,
-			rng: rand.New(rand.NewSource(subSeed(plan.Seed, tagMaster, uint64(mIdx)))),
+			in: in, idx: mIdx, rules: rules,
+			rng: newCountingRNG(subSeed(plan.Seed, tagMaster, uint64(mIdx))),
 		}
+		in.masters = append(in.masters, mi)
 		m.OnDrive(mi.hook)
 	}
 	return in, nil
@@ -137,7 +164,7 @@ type slaveInjector struct {
 	in    *Injector
 	bus   *ahb.Bus
 	idx   int
-	rng   *rand.Rand
+	rng   *countingRNG
 	rules []*ruleState
 
 	// Forced-response window: lowLeft more not-ready cycles, then one
@@ -273,7 +300,8 @@ func (rs *ruleState) hold() int {
 // macromodels.
 type masterInjector struct {
 	in    *Injector
-	rng   *rand.Rand
+	idx   int
+	rng   *countingRNG
 	rules []*ruleState
 }
 

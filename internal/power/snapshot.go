@@ -1,0 +1,117 @@
+package power
+
+import (
+	"fmt"
+	"math"
+)
+
+// Snapshot state for the power accumulators. Energies are serialized as
+// their IEEE-754 bit patterns (uint64), not as decimal floats: a
+// checkpoint/resume run must reproduce the uninterrupted run's energies
+// Float64bits-identically, and a decimal round-trip cannot guarantee
+// that.
+
+// FSMSlotState is one instruction accumulator of a captured FSM.
+type FSMSlotState struct {
+	From       State  `json:"from"`
+	To         State  `json:"to"`
+	Count      uint64 `json:"count"`
+	EnergyBits uint64 `json:"energy_bits"`
+}
+
+// FSMState is the serialized dynamic state of an FSM.
+type FSMState struct {
+	Cur       State          `json:"cur"`
+	Started   bool           `json:"started,omitempty"`
+	Slots     []FSMSlotState `json:"slots,omitempty"`
+	TotalBits uint64         `json:"total_bits"`
+	Cycles    uint64         `json:"cycles"`
+}
+
+// CaptureState serializes the FSM's accumulators (non-empty slots only).
+func (f *FSM) CaptureState() FSMState {
+	st := FSMState{
+		Cur:       f.cur,
+		Started:   f.started,
+		TotalBits: math.Float64bits(f.total),
+		Cycles:    f.cycles,
+	}
+	for i := range f.stats {
+		s := &f.stats[i]
+		if s.Count == 0 && s.Energy == 0 {
+			continue
+		}
+		st.Slots = append(st.Slots, FSMSlotState{
+			From:       State(i / NumStates),
+			To:         State(i % NumStates),
+			Count:      s.Count,
+			EnergyBits: math.Float64bits(s.Energy),
+		})
+	}
+	for in, s := range f.overflow {
+		st.Slots = append(st.Slots, FSMSlotState{
+			From: in.From, To: in.To,
+			Count:      s.Count,
+			EnergyBits: math.Float64bits(s.Energy),
+		})
+	}
+	return st
+}
+
+// RestoreState writes a captured FSM state back onto a fresh FSM.
+func (f *FSM) RestoreState(st FSMState) error {
+	f.cur = st.Cur
+	f.started = st.Started
+	f.total = math.Float64frombits(st.TotalBits)
+	f.cycles = st.Cycles
+	f.stats = [NumStates * NumStates]InstructionStat{}
+	f.overflow = nil
+	for _, s := range st.Slots {
+		in := Instruction{From: s.From, To: s.To}
+		if int(s.From) < NumStates && int(s.To) < NumStates {
+			slot := &f.stats[int(s.From)*NumStates+int(s.To)]
+			if slot.Count != 0 || slot.Energy != 0 {
+				return fmt.Errorf("power: duplicate FSM slot %s in snapshot", in)
+			}
+			slot.Instruction = in
+			slot.Count = s.Count
+			slot.Energy = math.Float64frombits(s.EnergyBits)
+			continue
+		}
+		if f.overflow == nil {
+			f.overflow = map[Instruction]*InstructionStat{}
+		}
+		f.overflow[in] = &InstructionStat{
+			Instruction: in,
+			Count:       s.Count,
+			Energy:      math.Float64frombits(s.EnergyBits),
+		}
+	}
+	return nil
+}
+
+// BreakdownState is the serialized per-block energy breakdown, as bit
+// patterns indexed by block.
+type BreakdownState struct {
+	EnergyBits []uint64 `json:"energy_bits"`
+}
+
+// CaptureState serializes the breakdown.
+func (bd *Breakdown) CaptureState() BreakdownState {
+	st := BreakdownState{EnergyBits: make([]uint64, NumBlocks)}
+	for b := 0; b < int(NumBlocks); b++ {
+		st.EnergyBits[b] = math.Float64bits(bd.energy[b])
+	}
+	return st
+}
+
+// RestoreState writes a captured breakdown back.
+func (bd *Breakdown) RestoreState(st BreakdownState) error {
+	if len(st.EnergyBits) != int(NumBlocks) {
+		return fmt.Errorf("power: breakdown snapshot has %d blocks, want %d", len(st.EnergyBits), NumBlocks)
+	}
+	for b := range bd.energy {
+		bd.energy[b] = math.Float64frombits(st.EnergyBits[b])
+	}
+	return nil
+}

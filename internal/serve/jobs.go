@@ -104,3 +104,44 @@ func (r *jobRegistry) retire(j *job) {
 		delete(r.jobs, evict)
 	}
 }
+
+// setNext raises the id counter so a registry restored from a journal
+// never reissues an id the journal already used.
+func (r *jobRegistry) setNext(n uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n > r.next {
+		r.next = n
+	}
+}
+
+// restore re-registers a journaled job under its original id,
+// idempotently: restoring an id that already exists returns the existing
+// job untouched, which is what makes journal replay safe to repeat.
+func (r *jobRegistry) restore(id string, total int) *job {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if j, ok := r.jobs[id]; ok {
+		return j
+	}
+	if n, ok := jobNumber(id); ok && n > r.next {
+		r.next = n
+	}
+	j := &job{id: id, total: total, done: make(chan struct{})}
+	j.status.Store(JobQueued)
+	r.jobs[id] = j
+	return j
+}
+
+// restoreFinished re-registers a journaled terminal job with its
+// original status and response, already finished and subject to the same
+// bounded retention as a job that finished in this process.
+func (r *jobRegistry) restoreFinished(id, status string, response []byte, total int) *job {
+	j := r.restore(id, total)
+	if status == JobDone {
+		j.completed.Store(int64(total))
+	}
+	j.finish(status, response)
+	r.retire(j)
+	return j
+}

@@ -1,0 +1,279 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ahbpower/internal/engine"
+)
+
+// metricInt reads one counter out of the server's metrics JSON.
+func metricInt(t *testing.T, s *Server, name string) int64 {
+	t.Helper()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(s.MetricsJSON()), &m); err != nil {
+		t.Fatalf("decoding metrics: %v", err)
+	}
+	raw, ok := m[name]
+	if !ok {
+		t.Fatalf("metric %q not exported", name)
+	}
+	var v int64
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatalf("metric %q: %v", name, err)
+	}
+	return v
+}
+
+func mustOpen(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+// pollJob polls an async job until it reaches a terminal status.
+func pollJob(t *testing.T, h http.Handler, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		rr := get(h, "/v1/jobs/"+id)
+		if rr.Code != http.StatusOK {
+			t.Fatalf("job %s: status %d, body %s", id, rr.Code, rr.Body.String())
+		}
+		var st JobStatus
+		if err := json.Unmarshal(rr.Body.Bytes(), &st); err != nil {
+			t.Fatalf("decoding job status: %v", err)
+		}
+		if st.Status == JobDone || st.Status == JobCancelled {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q", id, st.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestStateDirRoundTrip runs an async batch to completion on a state
+// dir, restarts the server on the same dir, and asserts the finished job
+// is still queryable with its original result bytes and that the same
+// scenario answers from the disk cache tier byte-identically.
+func TestStateDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	body := `{"async":true,"scenarios":[` + scenarioJSON("durable", 2000, 7) + `]}`
+
+	s1 := mustOpen(t, Config{Workers: 2, StateDir: dir})
+	h1 := s1.Handler()
+	rr := post(h1, body)
+	if rr.Code != http.StatusAccepted {
+		t.Fatalf("async post: status %d, body %s", rr.Code, rr.Body.String())
+	}
+	var acc map[string]string
+	if err := json.Unmarshal(rr.Body.Bytes(), &acc); err != nil {
+		t.Fatalf("decoding 202: %v", err)
+	}
+	id := acc["job_id"]
+	st1 := pollJob(t, h1, id)
+	if st1.Status != JobDone {
+		t.Fatalf("job finished %q, want done", st1.Status)
+	}
+	s1.Drain(time.Second)
+
+	if ents, err := os.ReadDir(filepath.Join(dir, "results")); err != nil || len(ents) == 0 {
+		t.Fatalf("no disk-cached results after drain (err=%v)", err)
+	}
+
+	// Restart: the retired job must answer under its original id with the
+	// same result bytes, without re-running anything.
+	s2 := mustOpen(t, Config{Workers: 2, StateDir: dir})
+	h2 := s2.Handler()
+	if n := metricInt(t, s2, "jobs_recovered"); n != 0 {
+		t.Errorf("jobs_recovered = %d after clean shutdown, want 0", n)
+	}
+	st2 := pollJob(t, h2, id)
+	if st2.Status != JobDone || st2.Response == nil || st1.Response == nil {
+		t.Fatalf("restored job: %+v", st2)
+	}
+	if string(st1.Response.Results[0]) != string(st2.Response.Results[0]) {
+		t.Errorf("restored job response differs:\nbefore: %s\nafter:  %s",
+			st1.Response.Results[0], st2.Response.Results[0])
+	}
+
+	// A fresh sync request for the same scenario must hit the disk tier.
+	sync := post(h2, `{"scenarios":[`+scenarioJSON("durable", 2000, 7)+`]}`)
+	r := decodeRun(t, sync)
+	if r.Batch.CacheHits != 1 {
+		t.Fatalf("restarted server: cache hits = %d, want 1 (from disk)", r.Batch.CacheHits)
+	}
+	if n := metricInt(t, s2, "disk_cache_hits"); n != 1 {
+		t.Errorf("disk_cache_hits = %d, want 1", n)
+	}
+	if string(r.Results[0]) != string(st1.Response.Results[0]) {
+		t.Errorf("disk-cached result differs from the original run:\n%s\n%s",
+			r.Results[0], st1.Response.Results[0])
+	}
+	s2.Drain(time.Second)
+}
+
+// TestCrashRecoveryResumesJob emulates a crash: an "accepted" journal
+// entry with no retirement, plus a mid-run checkpoint a dead process
+// left behind. Opening a server on that state dir must re-admit the job
+// under its original id, resume the scenario from the checkpoint, and
+// produce result bytes identical to an uninterrupted run.
+func TestCrashRecoveryResumesJob(t *testing.T) {
+	const spec = `{"async":true,"scenarios":[{"name":"crashy","cycles":3000,"workloads":[{"seed":9,"sequences":3,"pairs_min":2,"pairs_max":6,"idle_min":2,"idle_max":8,"addr_size":4096}]}]}`
+	var req RunRequest
+	if err := json.Unmarshal([]byte(spec), &req); err != nil {
+		t.Fatalf("decoding request: %v", err)
+	}
+	sc, err := req.Scenarios[0].Scenario(0)
+	if err != nil {
+		t.Fatalf("resolving scenario: %v", err)
+	}
+	key, ok := sc.CanonicalKey()
+	if !ok {
+		t.Fatal("scenario not cacheable")
+	}
+
+	// The uninterrupted control result, via a stateless server (same
+	// marshaling path).
+	ctl := New(Config{Workers: 2})
+	ctlResp := decodeRun(t, post(ctl.Handler(), `{"scenarios":[`+spec[len(`{"async":true,"scenarios":[`):]))
+	if len(ctlResp.Results) != 1 {
+		t.Fatalf("control: %d results", len(ctlResp.Results))
+	}
+
+	// Capture a genuine mid-run checkpoint the way a crashed daemon would
+	// have persisted one.
+	var blob []byte
+	var at uint64
+	stop := errors.New("captured")
+	crash := sc
+	crash.Checkpoint = &engine.CheckpointConfig{Every: 512, Save: func(cycle uint64, snapshot []byte) error {
+		blob, at = snapshot, cycle
+		return stop
+	}}
+	if res := engine.RunOne(context.Background(), crash); res.Err == nil || !errors.Is(res.Err, stop) {
+		t.Fatalf("checkpoint capture run: %v", res.Err)
+	}
+	if at == 0 || at >= sc.Cycles {
+		t.Fatalf("checkpoint at cycle %d of %d", at, sc.Cycles)
+	}
+
+	// Forge the dead daemon's state dir: journal with an unretired
+	// acceptance, checkpoint on disk, no cached result.
+	dir := t.TempDir()
+	st, err := openState(dir)
+	if err != nil {
+		t.Fatalf("openState: %v", err)
+	}
+	if err := st.append(journalEntry{T: journalAccepted, Job: "job-000007", Req: &req}); err != nil {
+		t.Fatalf("journal: %v", err)
+	}
+	if err := st.storeCheckpoint(key, blob); err != nil {
+		t.Fatalf("storeCheckpoint: %v", err)
+	}
+	st.close()
+
+	s := mustOpen(t, Config{Workers: 2, StateDir: dir, CheckpointEvery: 512})
+	h := s.Handler()
+	if n := metricInt(t, s, "jobs_recovered"); n != 1 {
+		t.Fatalf("jobs_recovered = %d, want 1", n)
+	}
+	stDone := pollJob(t, h, "job-000007")
+	if stDone.Status != JobDone || stDone.Response == nil {
+		t.Fatalf("recovered job: %+v", stDone)
+	}
+	if string(stDone.Response.Results[0]) != string(ctlResp.Results[0]) {
+		t.Errorf("recovered result differs from uninterrupted control:\ngot  %s\nwant %s",
+			stDone.Response.Results[0], ctlResp.Results[0])
+	}
+	if n := metricInt(t, s, "scenarios_resumed"); n != 1 {
+		t.Errorf("scenarios_resumed = %d, want 1", n)
+	}
+	// The superseded checkpoint is gone, the result is on disk, and the
+	// next id never collides with the recovered one.
+	if _, err := os.Stat(st.checkpointPath(key)); !os.IsNotExist(err) {
+		t.Errorf("checkpoint not dropped after completion (err=%v)", err)
+	}
+	if j := s.jobs.create(1); j.id != "job-000008" {
+		t.Errorf("next id after recovery = %s, want job-000008", j.id)
+	}
+	s.Drain(time.Second)
+}
+
+// TestDrainJournalsCancelledJob pins the drain satellite: a SIGTERM-style
+// drain that interrupts an async job must journal the cancelled terminal
+// state, so a restarted daemon reports the job cancelled instead of
+// silently re-running it.
+func TestDrainJournalsCancelledJob(t *testing.T) {
+	dir := t.TempDir()
+	s1 := mustOpen(t, Config{Workers: 1, StateDir: dir})
+	h1 := s1.Handler()
+	rr := post(h1, `{"async":true,"timeout_ms":60000,"scenarios":[`+scenarioJSON("drainy", 40_000_000, 3)+`]}`)
+	if rr.Code != http.StatusAccepted {
+		t.Fatalf("async post: status %d, body %s", rr.Code, rr.Body.String())
+	}
+	var acc map[string]string
+	_ = json.Unmarshal(rr.Body.Bytes(), &acc)
+	s1.Drain(0) // no grace: cancel the in-flight job immediately
+
+	s2 := mustOpen(t, Config{Workers: 1, StateDir: dir})
+	if n := metricInt(t, s2, "jobs_recovered"); n != 0 {
+		t.Errorf("jobs_recovered = %d, want 0 (drain journaled the retirement)", n)
+	}
+	st := pollJob(t, s2.Handler(), acc["job_id"])
+	if st.Status != JobCancelled {
+		t.Errorf("restored job status %q, want cancelled", st.Status)
+	}
+	s2.Drain(time.Second)
+}
+
+// TestJournalReplayIdempotent folds the same journal content twice (as
+// if two daemon lifetimes re-journaled the same job) and asserts replay
+// still yields exactly one job in its terminal state.
+func TestJournalReplayIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	st, err := openState(dir)
+	if err != nil {
+		t.Fatalf("openState: %v", err)
+	}
+	req := &RunRequest{}
+	_ = json.Unmarshal([]byte(`{"scenarios":[`+scenarioJSON("idem", 1000, 1)+`]}`), req)
+	resp := json.RawMessage(`{"results":[]}`)
+	for i := 0; i < 2; i++ { // the same lifetime twice
+		if err := st.append(journalEntry{T: journalAccepted, Job: "job-000003", Req: req}); err != nil {
+			t.Fatalf("journal: %v", err)
+		}
+		if err := st.append(journalEntry{T: journalRetired, Job: "job-000003", Status: JobDone, Response: resp}); err != nil {
+			t.Fatalf("journal: %v", err)
+		}
+	}
+	// Plus a torn final line, as a crash mid-append would leave.
+	st.mu.Lock()
+	st.f.WriteString(`{"t":"accepted","job":"job-0000`)
+	st.mu.Unlock()
+	rs, err := st.replay()
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if len(rs.pending) != 0 || len(rs.finished) != 1 {
+		t.Fatalf("replay: %d pending, %d finished; want 0/1", len(rs.pending), len(rs.finished))
+	}
+	if rs.finished[0].id != "job-000003" || rs.finished[0].status != JobDone || rs.finished[0].total != 1 {
+		t.Errorf("replayed job: %+v", rs.finished[0])
+	}
+	if rs.next != 3 {
+		t.Errorf("replayed next = %d, want 3", rs.next)
+	}
+	st.close()
+}

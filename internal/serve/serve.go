@@ -81,6 +81,21 @@ type Config struct {
 	// and transaction results never answer each other. Validated like the
 	// backend (engine.ValidAccuracy).
 	DefaultAccuracy string
+	// StateDir, when non-empty, makes the daemon crash-safe: async job
+	// lifecycle events are written to an fsynced write-ahead journal under
+	// the directory, completed scenario results gain a content-addressed
+	// disk tier, and in-progress scenarios persist periodic checkpoints.
+	// A server opened on the same directory after a crash replays the
+	// journal — finished jobs answer byte-identically from disk, and
+	// interrupted jobs are re-admitted and resumed from their latest
+	// checkpoints. Empty (the default) keeps all state in memory.
+	StateDir string
+	// CheckpointEvery is the minimum number of simulated cycles between
+	// persisted checkpoints of an in-progress scenario; it only takes
+	// effect with a StateDir. 0 disables checkpointing (results and the
+	// journal stay durable; an interrupted scenario restarts from cycle
+	// 0 on recovery).
+	CheckpointEvery uint64
 	// DegradeEstimate, when true, adds the transaction-level estimator to
 	// the degraded-mode playbook: under queue pressure, eligible
 	// cycle-accuracy scenarios are downgraded to transaction accuracy —
@@ -140,6 +155,9 @@ type Server struct {
 	cfg   Config
 	cache *cache
 	jobs  *jobRegistry
+	// state is the durable journal + disk cache + checkpoint store; nil
+	// without Config.StateDir.
+	state *stateStore
 
 	// slots is the batch-execution semaphore; waiting counts requests
 	// blocked in admission (the bounded queue).
@@ -195,10 +213,34 @@ type counters struct {
 
 	validateRequests expvar.Int // POST /v1/validate requests
 	validateRejects  expvar.Int // validate requests with at least one invalid scenario
+
+	checkpointsSaved    expvar.Int // scenario snapshots persisted to the state dir
+	scenariosResumed    expvar.Int // scenarios resumed from a persisted checkpoint
+	checkpointFallbacks expvar.Int // scenarios that could not checkpoint (reason surfaced)
+	journalErrors       expvar.Int // best-effort state-dir writes that failed
+	jobsRecovered       expvar.Int // interrupted jobs re-admitted by journal replay
+	diskCacheHits       expvar.Int // results served from the disk cache tier
 }
 
-// New builds a server from the configuration.
+// New builds a server from a configuration without durable state. It is
+// Open minus the error return — construction without a StateDir cannot
+// fail — and panics if given a StateDir whose recovery fails; daemons
+// that configure one should call Open.
 func New(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open builds a server from the configuration. With a Config.StateDir it
+// also opens the write-ahead journal and replays it: jobs retired by a
+// previous process become queryable again with their original responses,
+// and jobs a crash interrupted are re-admitted — their completed
+// scenarios answer from the disk cache, and interrupted long scenarios
+// resume from their latest persisted checkpoints.
+func Open(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:   cfg,
@@ -241,10 +283,60 @@ func New(cfg Config) *Server {
 
 		"validate_requests": &s.ctr.validateRequests,
 		"validate_rejects":  &s.ctr.validateRejects,
+
+		"checkpoints_saved":    &s.ctr.checkpointsSaved,
+		"scenarios_resumed":    &s.ctr.scenariosResumed,
+		"checkpoint_fallbacks": &s.ctr.checkpointFallbacks,
+		"journal_errors":       &s.ctr.journalErrors,
+		"jobs_recovered":       &s.ctr.jobsRecovered,
+		"disk_cache_hits":      &s.ctr.diskCacheHits,
 	} {
 		s.vars.Set(name, v)
 	}
-	return s
+	if cfg.StateDir != "" {
+		st, err := openState(cfg.StateDir)
+		if err != nil {
+			return nil, err
+		}
+		s.state = st
+		rs, err := st.replay()
+		if err != nil {
+			st.close()
+			return nil, err
+		}
+		s.jobs.setNext(rs.next)
+		for _, fj := range rs.finished {
+			s.jobs.restoreFinished(fj.id, fj.status, fj.response, fj.total)
+		}
+		for _, pj := range rs.pending {
+			s.recoverJob(pj.id, pj.req)
+		}
+	}
+	return s, nil
+}
+
+// recoverJob re-admits one journaled-but-unretired job: the request is
+// resolved exactly as at original admission (so cache keys match the
+// scenario entries the crashed process journaled) and executed under
+// this process's lifetime, keeping its original id so clients polling
+// across the restart see the same job complete. The acceptance is not
+// re-journaled — replay folds by id, so the original entry still covers
+// it. A request the current configuration no longer admits (limits
+// tightened between runs) is retired cancelled with the rejection as its
+// response.
+func (s *Server) recoverJob(id string, req *RunRequest) {
+	scenarios, keys, err := s.resolveRequest(req)
+	if err != nil {
+		j := s.jobs.restore(id, 0)
+		b, _ := json.Marshal(errorWire(err))
+		j.finish(JobCancelled, b)
+		s.journalRetired(id, JobCancelled, b)
+		s.jobs.retire(j)
+		return
+	}
+	j := s.jobs.restore(id, len(scenarios))
+	s.ctr.jobsRecovered.Add(1)
+	s.runJobAsync(j, req, scenarios, keys)
 }
 
 // Handler returns the HTTP API:
@@ -286,9 +378,14 @@ func (s *Server) Drain(grace time.Duration) {
 		}
 	}
 	// Cancel stragglers (and release admission waiters), then wait: a
-	// cancelled run stops at the next cycle-slice boundary.
+	// cancelled run stops at the next cycle-slice boundary. Every job
+	// journals its terminal state before releasing its inflight slot, so
+	// once the wait returns the journal is complete and safe to close.
 	s.cancelRuns()
 	<-done
+	if s.state != nil {
+		s.state.close()
+	}
 }
 
 // MetricsJSON renders the serving counters as the same JSON body
@@ -364,27 +461,40 @@ func (s *Server) decodeRun(r *http.Request) (*RunRequest, []engine.Scenario, []s
 	if err := dec.Decode(&req); err != nil {
 		return nil, nil, nil, fmt.Errorf("decoding request: %w", err)
 	}
+	scenarios, keys, err := s.resolveRequest(&req)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return &req, scenarios, keys, nil
+}
+
+// resolveRequest validates an already-decoded request and resolves it
+// into engine scenarios and canonical cache keys. It is deterministic in
+// (request, config), which is what lets journal replay re-resolve a
+// recovered job to the same scenarios and keys its first admission
+// computed.
+func (s *Server) resolveRequest(req *RunRequest) ([]engine.Scenario, []string, error) {
 	if len(req.Scenarios) == 0 {
-		return nil, nil, nil, errors.New("request has no scenarios")
+		return nil, nil, errors.New("request has no scenarios")
 	}
 	if len(req.Scenarios) > s.cfg.MaxScenarios {
-		return nil, nil, nil, fmt.Errorf("request has %d scenarios, limit %d", len(req.Scenarios), s.cfg.MaxScenarios)
+		return nil, nil, fmt.Errorf("request has %d scenarios, limit %d", len(req.Scenarios), s.cfg.MaxScenarios)
 	}
 	if !exec.ValidName(req.Backend) {
-		return nil, nil, nil, fmt.Errorf("unknown backend %q (want event|compiled|lanes|auto)", req.Backend)
+		return nil, nil, fmt.Errorf("unknown backend %q (want event|compiled|lanes|auto)", req.Backend)
 	}
 	if !engine.ValidAccuracy(req.Accuracy) {
-		return nil, nil, nil, fmt.Errorf("unknown accuracy %q (want cycle|transaction)", req.Accuracy)
+		return nil, nil, fmt.Errorf("unknown accuracy %q (want cycle|transaction)", req.Accuracy)
 	}
 	scenarios := make([]engine.Scenario, len(req.Scenarios))
 	keys := make([]string, len(req.Scenarios))
 	for i := range req.Scenarios {
 		sc, err := req.Scenarios[i].Scenario(i)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, err
 		}
 		if sc.Cycles > s.cfg.MaxCycles {
-			return nil, nil, nil, fmt.Errorf("scenario %q: %d cycles exceeds the per-scenario limit %d", sc.Name, sc.Cycles, s.cfg.MaxCycles)
+			return nil, nil, fmt.Errorf("scenario %q: %d cycles exceeds the per-scenario limit %d", sc.Name, sc.Cycles, s.cfg.MaxCycles)
 		}
 		// Backend resolution: scenario hint, then request default, then
 		// server default. Deliberately after CanonicalKey-relevant fields
@@ -396,7 +506,7 @@ func (s *Server) decodeRun(r *http.Request) (*RunRequest, []engine.Scenario, []s
 			sc.Backend = s.cfg.DefaultBackend
 		}
 		if !exec.ValidName(sc.Backend) {
-			return nil, nil, nil, fmt.Errorf("scenario %q: unknown backend %q (want event|compiled|lanes|auto)", sc.Name, sc.Backend)
+			return nil, nil, fmt.Errorf("scenario %q: unknown backend %q (want event|compiled|lanes|auto)", sc.Name, sc.Backend)
 		}
 		// Accuracy resolution mirrors the backend chain — scenario, then
 		// request, then server default — but must settle *before* the key
@@ -408,12 +518,12 @@ func (s *Server) decodeRun(r *http.Request) (*RunRequest, []engine.Scenario, []s
 			sc.Accuracy = s.cfg.DefaultAccuracy
 		}
 		if !engine.ValidAccuracy(sc.Accuracy) {
-			return nil, nil, nil, fmt.Errorf("scenario %q: unknown accuracy %q (want cycle|transaction)", sc.Name, sc.Accuracy)
+			return nil, nil, fmt.Errorf("scenario %q: unknown accuracy %q (want cycle|transaction)", sc.Name, sc.Accuracy)
 		}
 		scenarios[i] = sc
 		keys[i], _ = sc.CanonicalKey()
 	}
-	return &req, scenarios, keys, nil
+	return scenarios, keys, nil
 }
 
 // handleRun serves POST /v1/run.
@@ -517,10 +627,31 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 }
 
 // startJob answers an async run: 202 with a job id, batch execution in
-// the background under the server's (not the request's) lifetime.
+// the background under the server's (not the request's) lifetime. With a
+// state dir the acceptance hits the journal before the 202 leaves — once
+// a client holds a job id, no crash can lose the job.
 func (s *Server) startJob(w http.ResponseWriter, req *RunRequest, scenarios []engine.Scenario, keys []string) {
 	j := s.jobs.create(len(scenarios))
 	s.ctr.jobsCreated.Add(1)
+	if s.state != nil {
+		if err := s.state.append(journalEntry{T: journalAccepted, Job: j.id, Req: req}); err != nil {
+			s.ctr.journalErrors.Add(1)
+		}
+	}
+	s.runJobAsync(j, req, scenarios, keys)
+	writeJSON(w, http.StatusAccepted, map[string]string{
+		"job_id": j.id,
+		"status": JobQueued,
+		"url":    "/v1/jobs/" + j.id,
+	})
+}
+
+// runJobAsync executes one async job in the background: the shared tail
+// of a fresh admission and a journal-replay recovery. The terminal state
+// — done or cancelled, drain included — is journaled before the job's
+// inflight slot is released, so a drained daemon's journal always agrees
+// with what its clients were told.
+func (s *Server) runJobAsync(j *job, req *RunRequest, scenarios []engine.Scenario, keys []string) {
 	s.inflight.Add(1)
 	go func() {
 		defer s.inflight.Done()
@@ -537,12 +668,85 @@ func (s *Server) startJob(w http.ResponseWriter, req *RunRequest, scenarios []en
 			status = JobCancelled
 		}
 		j.finish(status, b)
+		s.journalRetired(j.id, status, b)
 	}()
-	writeJSON(w, http.StatusAccepted, map[string]string{
-		"job_id": j.id,
-		"status": JobQueued,
-		"url":    "/v1/jobs/" + j.id,
-	})
+}
+
+// journalRetired records a job's terminal state, best-effort.
+func (s *Server) journalRetired(id, status string, response []byte) {
+	if s.state == nil {
+		return
+	}
+	if err := s.state.append(journalEntry{T: journalRetired, Job: id, Status: status, Response: response}); err != nil {
+		s.ctr.journalErrors.Add(1)
+	}
+}
+
+// cacheGet reads the content-addressed result cache through both tiers:
+// memory first, then the state dir, promoting disk hits into memory.
+func (s *Server) cacheGet(key string) ([]byte, bool) {
+	if b, ok := s.cache.get(key); ok {
+		return b, true
+	}
+	if s.state != nil {
+		if b, ok := s.state.loadResult(key); ok {
+			s.ctr.diskCacheHits.Add(1)
+			s.cache.put(key, b)
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+// cachePut stores a fresh result in both tiers, journals the scenario
+// completion, and drops the scenario's now-superseded checkpoint. State
+// writes are best-effort: the response already holds the result.
+func (s *Server) cachePut(key string, b []byte) {
+	s.cache.put(key, b)
+	if s.state == nil {
+		return
+	}
+	if err := s.state.storeResult(key, b); err != nil {
+		s.ctr.journalErrors.Add(1)
+	} else if err := s.state.append(journalEntry{T: journalScenario, Key: key}); err != nil {
+		s.ctr.journalErrors.Add(1)
+	}
+	s.state.dropCheckpoint(key)
+}
+
+// attachCheckpoint arms crash-safe snapshots on one cacheable cache
+// miss: as it runs, the scenario persists its latest kernel snapshot
+// under its canonical key, and it picks up whatever snapshot a crashed
+// predecessor left there — the resumed tail is Float64bits-identical to
+// a from-scratch run, so the cached result is too. Saving is best-effort
+// (a state-dir write failure is counted, never fatal). Lane and
+// transaction-accuracy hints run unarmed rather than forcing a backend
+// fallback just to snapshot, as do checkpoint-ineligible analyzer
+// configurations.
+func (s *Server) attachCheckpoint(sc *engine.Scenario, key string) {
+	if s.state == nil || s.cfg.CheckpointEvery == 0 || key == "" {
+		return
+	}
+	if sc.Backend == exec.NameLanes || engine.NormalizeAccuracy(sc.Accuracy) == engine.AccuracyTransaction {
+		return
+	}
+	st := s.state
+	sc.Checkpoint = &engine.CheckpointConfig{
+		Every: s.cfg.CheckpointEvery,
+		Save: func(cycle uint64, snapshot []byte) error {
+			if err := st.storeCheckpoint(key, snapshot); err != nil {
+				s.ctr.journalErrors.Add(1)
+				return nil
+			}
+			s.ctr.checkpointsSaved.Add(1)
+			return nil
+		},
+		Resume: st.loadCheckpoint(key),
+	}
+	if sc.CheckpointUnsupported() != "" {
+		sc.Checkpoint = nil
+		s.ctr.checkpointFallbacks.Add(1)
+	}
 }
 
 // handleJob serves GET /v1/jobs/{id}.
@@ -661,7 +865,7 @@ func (s *Server) runBatch(ctx context.Context, scenarios []engine.Scenario, keys
 			continue
 		}
 		if !noCache {
-			if b, ok := s.cache.get(keys[i]); ok {
+			if b, ok := s.cacheGet(keys[i]); ok {
 				s.ctr.cacheHits.Add(1)
 				resp.Batch.CacheHits++
 				if cacheOverride {
@@ -694,6 +898,7 @@ func (s *Server) runBatch(ctx context.Context, scenarios []engine.Scenario, keys
 			miss := make([]engine.Scenario, len(missIdx))
 			for n, i := range missIdx {
 				miss[n] = scenarios[i]
+				s.attachCheckpoint(&miss[n], keys[i])
 			}
 			runner := engine.NewRunner(s.cfg.Workers)
 			runner.OnDone = onDone
@@ -705,6 +910,12 @@ func (s *Server) runBatch(ctx context.Context, scenarios []engine.Scenario, keys
 			for n := range res {
 				if res[n].Attempts > 1 {
 					s.ctr.scenariosRetried.Add(1)
+				}
+				if res[n].ResumedFrom > 0 {
+					s.ctr.scenariosResumed.Add(1)
+				}
+				if res[n].CheckpointFallback != "" {
+					s.ctr.checkpointFallbacks.Add(1)
 				}
 				// Backend accounting counts completed runs only: a lane-pack
 				// member that errored (or a pack whose build failed) still
@@ -757,8 +968,8 @@ func (s *Server) runBatch(ctx context.Context, scenarios []engine.Scenario, keys
 				s.ctr.scenariosRun.Add(1)
 				if res[n].Err != nil {
 					s.ctr.scenariosFailed.Add(1)
-				} else {
-					s.cache.put(keys[i], b)
+				} else if keys[i] != "" {
+					s.cachePut(keys[i], b)
 				}
 			}
 		}

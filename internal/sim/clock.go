@@ -19,6 +19,9 @@ func NewClock(k *Kernel, name string, period Time) *Clock {
 		sig:    NewBool(k, name, false),
 		period: period,
 	}
+	// The clock's level is derived state (cycle count + execution model),
+	// not snapshot payload; see RestoreCycles.
+	c.sig.snapSkip = true
 	half := period / 2
 	var toggle func()
 	toggle = func() {
@@ -46,6 +49,12 @@ func (c *Clock) FrequencyHz() float64 {
 
 // Cycles returns the number of rising edges produced so far.
 func (c *Clock) Cycles() uint64 { return c.cycles }
+
+// RestoreCycles sets the rising-edge count during snapshot restore. The
+// signal itself is left at its constructed level: the event kernel's
+// queued toggle (relocated by Kernel.RestoreTime) reproduces the right
+// waveform, and a flat stepper pins the level itself.
+func (c *Clock) RestoreCycles(n uint64) { c.cycles = n }
 
 // Posedge returns a trigger for the clock's rising edge.
 func (c *Clock) Posedge() Trigger { return Posedge(c.sig) }

@@ -129,6 +129,10 @@ type Kernel struct {
 	observers []CycleObserver
 	probedAny bool
 	probedAt  Time
+
+	// signals is the snapshot registry: every signal constructed against
+	// this kernel, in construction order (see snapshot.go).
+	signals []snapshottable
 }
 
 // NewKernel returns an empty kernel at time zero.

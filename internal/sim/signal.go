@@ -20,11 +20,17 @@ type Signal[T comparable] struct {
 	riseVal  T
 
 	watchers []func(old, new T)
+
+	// snapSkip excludes the signal from kernel snapshots; set for clock
+	// signals, whose level is derived from the restored cycle count.
+	snapSkip bool
 }
 
 // NewSignal creates a named signal with the given initial value.
 func NewSignal[T comparable](k *Kernel, name string, init T) *Signal[T] {
-	return &Signal[T]{k: k, name: name, cur: init, next: init}
+	s := &Signal[T]{k: k, name: name, cur: init, next: init}
+	k.registerSignal(s)
+	return s
 }
 
 // NewBool creates a boolean signal with edge (posedge/negedge) sensitivity
@@ -99,6 +105,62 @@ func (s *Signal[T]) apply(k *Kernel) {
 	for _, w := range s.watchers {
 		w(old, s.cur)
 	}
+}
+
+// snapName, snapExcluded, snapCapture and snapRestore implement the
+// kernel's snapshot protocol (see snapshot.go). Values are widened to 64
+// bits; restore is silent — it neither fires watchers nor wakes
+// processes, matching SetInit semantics.
+func (s *Signal[T]) snapName() string   { return s.name }
+func (s *Signal[T]) snapExcluded() bool { return s.snapSkip }
+
+func (s *Signal[T]) snapCapture() (uint64, bool) {
+	switch v := any(s.cur).(type) {
+	case bool:
+		if v {
+			return 1, true
+		}
+		return 0, true
+	case uint8:
+		return uint64(v), true
+	case uint16:
+		return uint64(v), true
+	case uint32:
+		return uint64(v), true
+	case uint64:
+		return v, true
+	case int:
+		return uint64(int64(v)), true
+	case int64:
+		return uint64(v), true
+	}
+	return 0, false
+}
+
+func (s *Signal[T]) snapRestore(bits uint64) bool {
+	var v T
+	switch p := any(&v).(type) {
+	case *bool:
+		*p = bits != 0
+	case *uint8:
+		*p = uint8(bits)
+	case *uint16:
+		*p = uint16(bits)
+	case *uint32:
+		*p = uint32(bits)
+	case *uint64:
+		*p = bits
+	case *int:
+		*p = int(int64(bits))
+	case *int64:
+		*p = int64(bits)
+	default:
+		return false
+	}
+	s.cur = v
+	s.next = v
+	s.pending = false
+	return true
 }
 
 // changeTrigger makes the signal usable in sensitivity lists.

@@ -1,0 +1,116 @@
+package sim
+
+import "fmt"
+
+// Snapshot support: the kernel can serialize the settled values of every
+// registered signal and later restore them onto a freshly constructed,
+// structurally identical kernel. Restores are silent — no value-change
+// events, no watcher callbacks, no process wakeups — because the caller
+// restores component-level state (FSM cursors, accumulators, masks)
+// explicitly alongside the signals; firing watchers during restore would
+// double-apply those side effects.
+//
+// The protocol assumes deterministic construction: capture and restore
+// walk the signal registry in registration order, and names are checked
+// pairwise as an integrity guard. Clock signals are excluded (snapSkip):
+// the two execution backends hold the clock at different levels between
+// cycles (event: low at a cycle boundary; flat: pinned high), and the
+// clock's position is fully determined by the cycle count, which the
+// caller restores through Clock.RestoreCycles.
+
+// SignalValue is the serialized settled value of one kernel signal. Bits
+// holds the value widened to 64 bits with the signal's native encoding
+// (bool as 0/1, signed ints sign-extended).
+type SignalValue struct {
+	Name string `json:"name"`
+	Bits uint64 `json:"bits"`
+}
+
+// snapshottable is the non-generic handle the kernel keeps for capturing
+// and restoring a signal's settled value.
+type snapshottable interface {
+	snapName() string
+	snapExcluded() bool
+	snapCapture() (uint64, bool)
+	snapRestore(bits uint64) bool
+}
+
+// registerSignal records a signal in the kernel's snapshot registry, in
+// construction order.
+func (k *Kernel) registerSignal(s snapshottable) {
+	k.signals = append(k.signals, s)
+}
+
+// CaptureSignals serializes the settled value of every registered signal
+// (excluding snapshot-excluded ones, i.e. clocks), in registration
+// order. The kernel must be settled: capturing with staged writes or
+// runnable processes would freeze a half-applied delta.
+func (k *Kernel) CaptureSignals() ([]SignalValue, error) {
+	if k.nRunnable > 0 || len(k.pending) > 0 {
+		return nil, fmt.Errorf("sim: capture on unsettled kernel (%d runnable, %d pending)", k.nRunnable, len(k.pending))
+	}
+	vals := make([]SignalValue, 0, len(k.signals))
+	for _, s := range k.signals {
+		if s.snapExcluded() {
+			continue
+		}
+		bits, ok := s.snapCapture()
+		if !ok {
+			return nil, fmt.Errorf("sim: signal %q has a non-serializable value type", s.snapName())
+		}
+		vals = append(vals, SignalValue{Name: s.snapName(), Bits: bits})
+	}
+	return vals, nil
+}
+
+// RestoreSignals writes the captured values back onto this kernel's
+// signals, silently (no events, watchers, or wakeups). The kernel must
+// be structurally identical to the one captured: same signals in the
+// same registration order.
+func (k *Kernel) RestoreSignals(vals []SignalValue) error {
+	i := 0
+	for _, s := range k.signals {
+		if s.snapExcluded() {
+			continue
+		}
+		if i >= len(vals) {
+			return fmt.Errorf("sim: restore underflow: %d captured values for more signals", len(vals))
+		}
+		v := vals[i]
+		i++
+		if v.Name != s.snapName() {
+			return fmt.Errorf("sim: restore mismatch at %d: captured %q, kernel has %q", i-1, v.Name, s.snapName())
+		}
+		if !s.snapRestore(v.Bits) {
+			return fmt.Errorf("sim: signal %q has a non-serializable value type", v.Name)
+		}
+	}
+	if i != len(vals) {
+		return fmt.Errorf("sim: restore overflow: %d captured values, kernel consumed %d", len(vals), i)
+	}
+	return nil
+}
+
+// RestoreTime moves a settled, initialized kernel to an absolute
+// simulated time without running anything: queued events are shifted by
+// the same offset (preserving their relative phase — for a bus kernel
+// that is the single self-rescheduling clock toggle), and the
+// settled-probe latch is set so observers are not re-fired for the
+// restored boundary. Callers restore signal and component state
+// separately; this only relocates the timeline.
+func (k *Kernel) RestoreTime(now Time) error {
+	if !k.initialized {
+		return fmt.Errorf("sim: RestoreTime before initialization")
+	}
+	if k.nRunnable > 0 || len(k.pending) > 0 {
+		return fmt.Errorf("sim: RestoreTime on unsettled kernel")
+	}
+	offset := now - k.now
+	for i := range k.queue {
+		k.queue[i].at += offset
+	}
+	k.now = now
+	k.probedAny = true
+	k.probedAt = now
+	return nil
+}

@@ -1,0 +1,246 @@
+package main
+
+// The kill-recovery phase: the harness boots a real ahbserved binary on
+// a durable state dir, SIGKILLs it in the middle of an async batch —
+// after at least one scenario checkpoint hit the disk — restarts it on
+// the same dir, and asserts that the batch completes under its original
+// job id with result bytes identical to an uninterrupted control daemon.
+// That is the end-to-end claim of the durability layer: a hard crash
+// loses no accepted job and never changes a single result byte.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"syscall"
+	"time"
+
+	"ahbpower/internal/fault"
+)
+
+// crashPhase runs the control daemon to completion, then the kill →
+// restart → recover sequence, and compares the two outcomes.
+func crashPhase(cfg config, logw io.Writer) []string {
+	var v []string
+	base := "http://" + cfg.crashAddr
+	root, err := os.MkdirTemp("", "chaos-crash-*")
+	if err != nil {
+		return []string{fmt.Sprintf("crash: temp dir: %v", err)}
+	}
+	defer os.RemoveAll(root)
+	client := &http.Client{Timeout: 30 * time.Second}
+	body := crashBatchBody(cfg)
+
+	// Control: the same batch on an undisturbed daemon.
+	ctl, err := startDaemon(cfg, filepath.Join(root, "control"), logw)
+	if err != nil {
+		return []string{fmt.Sprintf("crash: control daemon: %v", err)}
+	}
+	ctlID, err := postAsync(client, base, body)
+	if err != nil {
+		stopDaemon(ctl)
+		return []string{fmt.Sprintf("crash: control submit: %v", err)}
+	}
+	ctlStatus, ctlResults, err := pollDaemonJob(client, base, ctlID, 5*time.Minute)
+	stopDaemon(ctl)
+	if err != nil || ctlStatus != "done" {
+		return []string{fmt.Sprintf("crash: control job %s ended %q (err=%v)", ctlID, ctlStatus, err)}
+	}
+
+	// Victim: same batch, killed mid-run once a checkpoint is on disk.
+	stateDir := filepath.Join(root, "victim")
+	victim, err := startDaemon(cfg, stateDir, logw)
+	if err != nil {
+		return []string{fmt.Sprintf("crash: victim daemon: %v", err)}
+	}
+	jobID, err := postAsync(client, base, body)
+	if err != nil {
+		stopDaemon(victim)
+		return []string{fmt.Sprintf("crash: victim submit: %v", err)}
+	}
+	deadline := time.Now().Add(time.Minute)
+	for {
+		saved, err := metricValue(client, base, "checkpoints_saved")
+		if err == nil && saved >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			stopDaemon(victim)
+			return []string{fmt.Sprintf("crash: no checkpoint persisted within a minute (last err=%v)", err)}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	victim.Process.Kill() // SIGKILL: no drain, no journal retirement, no goodbye
+	victim.Wait()
+	fmt.Fprintf(logw, "chaos: SIGKILLed daemon mid-batch (job %s), restarting on %s\n", jobID, stateDir)
+
+	// Recovery: a restart on the same state dir must finish the job under
+	// its original id, byte-identical to the control run.
+	revived, err := startDaemon(cfg, stateDir, logw)
+	if err != nil {
+		return []string{fmt.Sprintf("crash: restart daemon: %v", err)}
+	}
+	defer stopDaemon(revived)
+	if rec, err := metricValue(client, base, "jobs_recovered"); err != nil || rec < 1 {
+		v = append(v, fmt.Sprintf("crash: restarted daemon recovered %v jobs, want >=1 (err=%v)", rec, err))
+	}
+	status, results, err := pollDaemonJob(client, base, jobID, 10*time.Minute)
+	if err != nil {
+		return append(v, fmt.Sprintf("crash: recovered job %s lost: %v", jobID, err))
+	}
+	if status != "done" {
+		return append(v, fmt.Sprintf("crash: recovered job %s ended %q, want done", jobID, status))
+	}
+	if !sameResults(ctlResults, results) {
+		v = append(v, "crash: recovered batch differs from the uninterrupted control run")
+	}
+	resumed, _ := metricValue(client, base, "scenarios_resumed")
+	fmt.Fprintf(logw, "chaos: job %s recovered (%0.f scenarios resumed from checkpoints)\n", jobID, resumed)
+	return v
+}
+
+// crashBatchBody builds the kill-recovery batch: a few long faulted
+// scenarios, async so the job id survives the crash.
+func crashBatchBody(cfg config) []byte {
+	var scens []map[string]any
+	for i := 0; i < 3; i++ {
+		seed := cfg.seed + int64(i)
+		scens = append(scens, map[string]any{
+			"name":   fmt.Sprintf("crash-%d", seed),
+			"cycles": cfg.crashCycles,
+			"faults": fault.RandomPlan(seed),
+		})
+	}
+	b, _ := json.Marshal(map[string]any{"scenarios": scens, "async": true, "timeout_ms": 600_000})
+	return b
+}
+
+// startDaemon boots one ahbserved on the given state dir and waits for
+// /healthz.
+func startDaemon(cfg config, stateDir string, logw io.Writer) (*exec.Cmd, error) {
+	cmd := exec.Command(cfg.crashBin,
+		"-addr", cfg.crashAddr,
+		"-state-dir", stateDir,
+		"-checkpoint-every", strconv.FormatUint(cfg.crashEvery, 10),
+		"-drain-grace", "5s")
+	cmd.Stdout = logw
+	cmd.Stderr = logw
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get("http://" + cfg.crashAddr + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			return nil, fmt.Errorf("daemon on %s not healthy within 15s (last err=%v)", cfg.crashAddr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// stopDaemon shuts a daemon down the polite way, escalating to SIGKILL.
+func stopDaemon(cmd *exec.Cmd) {
+	cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() { cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		<-done
+	}
+}
+
+// postAsync submits an async batch and returns the job id, retrying 503s
+// and restart-window connection errors like postWithRetry.
+func postAsync(client *http.Client, base string, body []byte) (string, error) {
+	raw, err := postWithRetry(client, base+"/v1/run", body, 5, 2*time.Second)
+	if err != nil {
+		return "", err
+	}
+	var acc struct {
+		JobID string `json:"job_id"`
+	}
+	if err := json.Unmarshal(raw, &acc); err != nil || acc.JobID == "" {
+		return "", fmt.Errorf("no job id in %.200s", raw)
+	}
+	return acc.JobID, nil
+}
+
+// pollDaemonJob polls one async job to a terminal state, riding out the
+// restart window (connection errors and 404-free gaps do not abort the
+// poll — only the deadline does).
+func pollDaemonJob(client *http.Client, base, id string, wait time.Duration) (string, []json.RawMessage, error) {
+	deadline := time.Now().Add(wait)
+	var lastErr error
+	for {
+		if time.Now().After(deadline) {
+			return "", nil, fmt.Errorf("job %s not terminal within %s (last err=%v)", id, wait, lastErr)
+		}
+		time.Sleep(100 * time.Millisecond)
+		resp, err := client.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			lastErr = fmt.Errorf("status %d (err=%v)", resp.StatusCode, err)
+			continue
+		}
+		var st struct {
+			Status   string `json:"status"`
+			Response *struct {
+				Results []json.RawMessage `json:"results"`
+			} `json:"response"`
+		}
+		if err := json.Unmarshal(raw, &st); err != nil {
+			lastErr = err
+			continue
+		}
+		if st.Status == "done" || st.Status == "cancelled" {
+			var results []json.RawMessage
+			if st.Response != nil {
+				results = st.Response.Results
+			}
+			return st.Status, results, nil
+		}
+	}
+}
+
+// metricValue reads one numeric counter from /metrics.
+func metricValue(client *http.Client, base, name string) (float64, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var m map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return 0, err
+	}
+	raw, ok := m[name]
+	if !ok {
+		return 0, fmt.Errorf("metric %q not exported", name)
+	}
+	var v float64
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return 0, err
+	}
+	return v, nil
+}

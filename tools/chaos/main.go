@@ -7,11 +7,16 @@
 // poisoning its batch, and a transient injected failure succeeds after a
 // retry. With -addr it additionally soaks a live ahbserved daemon over
 // HTTP and asserts the same replay identity through the wire format.
+// With -crash-bin it runs the kill-recovery phase: boot an ahbserved on
+// a durable state dir, SIGKILL it mid-batch, restart it on the same dir
+// and assert every job completes byte-identical to an uninterrupted
+// control daemon (see crash.go).
 //
 // Usage:
 //
 //	chaos -seeds 64 -seed 1 -cycles 1500 -timeout 30s \
 //	      -addr http://localhost:8098 -o chaos_report.json
+//	chaos -seeds 4 -crash-bin ./ahbserved -crash-addr 127.0.0.1:8099
 //
 // Exit status is 1 when any invariant was violated, 0 on a clean soak.
 package main
@@ -30,6 +35,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"ahbpower/internal/amba/ahb"
@@ -46,6 +52,15 @@ type config struct {
 	timeout time.Duration
 	addr    string
 	verbose bool
+
+	// Crash-recovery phase (enabled by crashBin): the harness boots its
+	// own ahbserved on a state dir, SIGKILLs it mid-batch, restarts it on
+	// the same dir and asserts every job completes byte-identical to an
+	// uninterrupted control daemon.
+	crashBin    string
+	crashAddr   string
+	crashCycles uint64
+	crashEvery  uint64
 }
 
 // soakReport is the machine-readable outcome written by -o.
@@ -61,6 +76,7 @@ type soakReport struct {
 	TLMOK       bool     `json:"tlm_ok"`
 	ControlsOK  bool     `json:"controls_ok"`
 	DaemonOK    bool     `json:"daemon_ok,omitempty"`
+	CrashOK     bool     `json:"crash_ok,omitempty"`
 	Violations  []string `json:"violations"`
 	ElapsedMs   float64  `json:"elapsed_ms"`
 }
@@ -73,6 +89,10 @@ func main() {
 	flag.IntVar(&cfg.workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	flag.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-scenario deadline; an expiry is a hang and a violation")
 	flag.StringVar(&cfg.addr, "addr", "", "ahbserved base URL; when set, also soak the daemon over HTTP")
+	flag.StringVar(&cfg.crashBin, "crash-bin", "", "path to an ahbserved binary; when set, run the kill-recovery phase (boot, SIGKILL mid-batch, restart, assert byte-identical completion)")
+	flag.StringVar(&cfg.crashAddr, "crash-addr", "127.0.0.1:8099", "listen address the kill-recovery daemons bind")
+	flag.Uint64Var(&cfg.crashCycles, "crash-cycles", 4_000_000, "cycles per scenario in the kill-recovery batch (long enough to die mid-run)")
+	flag.Uint64Var(&cfg.crashEvery, "crash-every", 50_000, "checkpoint interval the kill-recovery daemons run with")
 	flag.BoolVar(&cfg.verbose, "v", false, "log each scenario outcome")
 	jsonOut := flag.String("o", "", "write the JSON report to this file")
 	flag.Parse()
@@ -82,6 +102,9 @@ func main() {
 		rep.Scenarios, rep.Seeds, rep.Retried, rep.FaultEvents, rep.ReplayOK, rep.BackendsOK, rep.LanesOK, rep.TLMOK, rep.ControlsOK)
 	if cfg.addr != "" {
 		fmt.Printf(" daemon_ok=%v", rep.DaemonOK)
+	}
+	if cfg.crashBin != "" {
+		fmt.Printf(" crash_ok=%v", rep.CrashOK)
 	}
 	fmt.Printf(" (%.1fs)\n", rep.ElapsedMs/1000)
 	for _, v := range rep.Violations {
@@ -167,6 +190,11 @@ func runSoak(cfg config, logw io.Writer) soakReport {
 		dm := daemonPhase(cfg)
 		rep.DaemonOK = len(dm) == 0
 		rep.Violations = append(rep.Violations, dm...)
+	}
+	if cfg.crashBin != "" {
+		cr := crashPhase(cfg, logw)
+		rep.CrashOK = len(cr) == 0
+		rep.Violations = append(rep.Violations, cr...)
 	}
 	rep.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
 	return rep
@@ -619,22 +647,34 @@ func sameResults(a, b []json.RawMessage) bool {
 	return true
 }
 
-// postWithRetry POSTs JSON, retrying 503 admission rejections with
-// exponential backoff and honoring the daemon's Retry-After hint, each
-// sleep capped at rcap.
+// postWithRetry POSTs JSON, retrying 503 admission rejections — and
+// refused/reset connections, which is what the daemon's listen socket
+// looks like during a crash-recovery restart window — with exponential
+// backoff, honoring the daemon's Retry-After hint, each sleep capped at
+// rcap.
 func postWithRetry(client *http.Client, url string, body []byte, attempts int, rcap time.Duration) ([]byte, error) {
 	backoff := 100 * time.Millisecond
 	for attempt := 0; ; attempt++ {
 		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 		if err != nil {
-			return nil, err
+			if attempt >= attempts ||
+				(!errors.Is(err, syscall.ECONNREFUSED) && !errors.Is(err, syscall.ECONNRESET)) {
+				return nil, err
+			}
+			sleep := backoff
+			if sleep > rcap {
+				sleep = rcap
+			}
+			time.Sleep(sleep)
+			backoff *= 2
+			continue
 		}
 		raw, rerr := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if rerr != nil {
 			return nil, rerr
 		}
-		if resp.StatusCode == http.StatusOK {
+		if resp.StatusCode/100 == 2 { // 200 sync, 202 async admission
 			return raw, nil
 		}
 		if resp.StatusCode != http.StatusServiceUnavailable || attempt >= attempts {

@@ -17,6 +17,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -26,14 +27,16 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"syscall"
 	"time"
 )
 
 type result struct {
-	latency time.Duration
-	status  int
-	retries int // 503 rounds absorbed before the final outcome
-	err     error
+	latency    time.Duration
+	status     int
+	retries    int // 503 rounds absorbed before the final outcome
+	reconnects int // connection-refused/reset rounds absorbed (daemon restart window)
+	err        error
 }
 
 // retryPolicy bounds how oneRequest reacts to 503 admission rejections:
@@ -52,6 +55,7 @@ type report struct {
 	ErrorRate    float64 `json:"error_rate"`
 	Retried      int     `json:"retried"`       // requests that succeeded after >=1 retry
 	RetriesTotal int     `json:"retries_total"` // 503 rounds absorbed across all requests
+	Reconnects   int     `json:"reconnects"`    // connection-refused/reset rounds absorbed (restart window)
 	AchievedRPS  float64 `json:"achieved_rps"`
 	P50Ms        float64 `json:"p50_ms"`
 	P95Ms        float64 `json:"p95_ms"`
@@ -129,8 +133,8 @@ func main() {
 		rep.Requests, elapsed.Round(time.Millisecond), rep.AchievedRPS, *rps)
 	fmt.Printf("latency p50=%.1fms p95=%.1fms p99=%.1fms max=%.1fms\n",
 		rep.P50Ms, rep.P95Ms, rep.P99Ms, rep.MaxMs)
-	fmt.Printf("errors %d (%.2f%%), retried %d ok after %d 503 rounds\n",
-		rep.Errors, 100*rep.ErrorRate, rep.Retried, rep.RetriesTotal)
+	fmt.Printf("errors %d (%.2f%%), retried %d ok after %d 503 rounds, %d reconnects\n",
+		rep.Errors, 100*rep.ErrorRate, rep.Retried, rep.RetriesTotal, rep.Reconnects)
 	for _, r := range results {
 		if r.err != nil {
 			fmt.Printf("first error: %v\n", r.err)
@@ -215,17 +219,29 @@ func requestBodies(distinct, perReq int, cycles uint64) [][]byte {
 // A 503 is the daemon's admission control saying "later", not a broken
 // request, so it is retried with exponential backoff, honoring the
 // Retry-After hint when the server sends one; only exhausting the retry
-// budget turns it into a hard error. The reported latency spans the
+// budget turns it into a hard error. A refused or reset connection gets
+// the same treatment — during a crash-recovery restart the daemon's
+// listener is briefly gone, and a load client that cannot ride that
+// window out would misreport a recovering daemon as broken; those rounds
+// are counted separately as reconnects. The reported latency spans the
 // whole exchange, sleeps included — that is what a caller experiences.
 func oneRequest(client *http.Client, url string, body []byte, rp retryPolicy) result {
 	t0 := time.Now()
 	backoff := 100 * time.Millisecond
+	retries503, reconnects := 0, 0
 	for attempt := 0; ; attempt++ {
 		r, retryAfter := postOnce(client, url, body)
-		r.retries = attempt
+		r.retries = retries503
+		r.reconnects = reconnects
 		r.latency = time.Since(t0)
-		if r.status != http.StatusServiceUnavailable || attempt >= rp.max {
+		connErr := retryableConnErr(r.err)
+		if (r.status != http.StatusServiceUnavailable && !connErr) || attempt >= rp.max {
 			return r
+		}
+		if connErr {
+			reconnects++
+		} else {
+			retries503++
 		}
 		sleep := backoff
 		if retryAfter > sleep {
@@ -237,6 +253,13 @@ func oneRequest(client *http.Client, url string, body []byte, rp retryPolicy) re
 		time.Sleep(sleep)
 		backoff *= 2
 	}
+}
+
+// retryableConnErr reports whether the exchange died before reaching the
+// daemon's admission control: a refused connection (nothing listening —
+// the restart window) or a reset one (listener went away mid-exchange).
+func retryableConnErr(err error) bool {
+	return errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET)
 }
 
 // postOnce is a single POST exchange; oneRequest wraps it in the retry
@@ -299,11 +322,12 @@ func summarize(results []result, elapsed time.Duration) report {
 	lats := make([]float64, 0, len(results))
 	for _, r := range results {
 		rep.RetriesTotal += r.retries
+		rep.Reconnects += r.reconnects
 		if r.err != nil {
 			rep.Errors++
 			continue
 		}
-		if r.retries > 0 {
+		if r.retries > 0 || r.reconnects > 0 {
 			rep.Retried++
 		}
 		lats = append(lats, float64(r.latency)/float64(time.Millisecond))
